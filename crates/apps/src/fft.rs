@@ -1,0 +1,425 @@
+//! The SPLASH-2 FFT kernel: a six-step, √n × √n radix-√n 1-D FFT with
+//! blocked, staggered all-to-all transposes.
+//!
+//! The data set is an n-point complex array viewed as an m×m matrix
+//! (m = √n). Each processor owns a contiguous block of rows (placed locally
+//! under manual distribution). The three transposes are the communication
+//! phases the paper studies: every processor reads a patch of every other
+//! processor's rows, staggered so that processor *i* starts with the patch
+//! of processor *i + first_peer_offset* to avoid hot spots (§7.1 examines
+//! exactly this stagger and its interaction with two-processor nodes).
+//!
+//! The optional prefetch variant (§6.1) issues software prefetches for the
+//! next remote patch while the current one is transposed.
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+use ccnuma_sim::shared::SharedVec;
+
+use crate::common::{chunk_range, Cx, Job, Workload, XorShift};
+
+/// How row FFT inputs cross the matrix transpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransposeKind {
+    /// A separate blocked transpose phase before each FFT phase
+    /// (the SPLASH-2 structure).
+    Explicit,
+    /// No separate phase: each row FFT gathers its column directly with
+    /// strided remote reads. The paper tried this to reduce communication
+    /// burstiness and found it did not help (§5.1).
+    Implicit,
+}
+
+/// Configuration of one FFT run.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// log₂ of the number of points (must be even so the matrix is square).
+    pub log2n: u32,
+    /// Transpose structure.
+    pub transpose: TransposeKind,
+    /// Stagger offset of the transpose: processor *i* starts reading the
+    /// patch owned by processor *i + offset*. The SPLASH-2 default is 1,
+    /// which under a linear mapping makes one processor of each node start
+    /// on-node and the other off-node — the bad case of §7.1. Offset 2
+    /// makes both start off-node.
+    pub first_peer_offset: usize,
+    /// Placement of the matrices: `true` = manual block distribution
+    /// (each processor's rows local), `false` = machine default policy.
+    pub manual_placement: bool,
+    /// Seed for the input signal.
+    pub seed: u64,
+}
+
+impl Fft {
+    /// A standard FFT of `1 << log2n` points with the SPLASH defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2n` is odd or less than 4.
+    pub fn new(log2n: u32) -> Self {
+        assert!(log2n >= 4 && log2n.is_multiple_of(2), "log2n must be even and ≥ 4");
+        Fft {
+            log2n,
+            transpose: TransposeKind::Explicit,
+            first_peer_offset: 1,
+            manual_placement: true,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        1 << self.log2n
+    }
+
+    /// Rows (= columns) of the matrix view.
+    pub fn m(&self) -> usize {
+        1 << (self.log2n / 2)
+    }
+
+    /// Generates the deterministic input signal.
+    pub fn input(&self) -> Vec<Cx> {
+        let mut rng = XorShift::new(self.seed);
+        (0..self.n()).map(|_| Cx::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0))).collect()
+    }
+
+    /// The host-side reference DFT of the input (iterative radix-2 FFT).
+    pub fn reference(&self) -> Vec<Cx> {
+        let mut buf = self.input();
+        fft_inplace(&mut buf);
+        buf
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT (forward transform,
+/// `e^{-2πi/n}` convention). Also used by the row FFTs of the parallel code.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_inplace(buf: &mut [Cx]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wl = Cx::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2].mul(w);
+                buf[start + k] = a.add(b);
+                buf[start + k + len / 2] = a.sub(b);
+                w = w.mul(wl);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Flop count charged for one length-`m` row FFT (the standard 5·m·log₂m).
+fn row_fft_flops(m: usize) -> u64 {
+    5 * m as u64 * m.trailing_zeros() as u64
+}
+
+/// Transposes the patch of `src`'s rows into `dst` columns for processor
+/// `p`: `dst[c][r] = src[r][c]` for `r` in `src_rows`, `c` in `my_rows`.
+fn transpose_patch(
+    ctx: &Ctx,
+    src: &SharedVec<Cx>,
+    dst: &SharedVec<Cx>,
+    m: usize,
+    src_rows: std::ops::Range<usize>,
+    my_rows: std::ops::Range<usize>,
+    prefetch_next: Option<(usize, usize)>,
+) {
+    // Prefetch the next patch's rows while we work on this one.
+    if let Some((next_lo, next_hi)) = prefetch_next {
+        for r in next_lo..next_hi {
+            src.prefetch(ctx, r * m + my_rows.start, my_rows.len());
+        }
+    }
+    for r in src_rows {
+        // Contiguous (stride-one) read of the remote patch row.
+        for c in my_rows.clone() {
+            let v = src.read(ctx, r * m + c);
+            dst.write(ctx, c * m + r, v);
+        }
+        ctx.compute_ops(my_rows.len() as u64);
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> String {
+        match self.transpose {
+            TransposeKind::Explicit => "fft".into(),
+            TransposeKind::Implicit => "fft/implicit".into(),
+        }
+    }
+
+    fn problem(&self) -> String {
+        format!("2^{} points", self.log2n)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let n = self.n();
+        let m = self.m();
+        let placement =
+            if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let a = machine.shared_vec::<Cx>(n, placement);
+        let b = machine.shared_vec::<Cx>(n, placement);
+        let bar = machine.barrier();
+        a.copy_from_slice(&self.input());
+
+        let offset = self.first_peer_offset;
+        let transpose = self.transpose;
+        let (a2, b2) = (a.clone(), b.clone());
+        let expected = self.reference();
+        let out = b.clone();
+
+        let body = move |ctx: &Ctx| {
+            let np = ctx.nprocs();
+            let p = ctx.id();
+            let my_rows = chunk_range(m, np, p);
+            let mut buf = vec![Cx::default(); m];
+
+            match transpose {
+                TransposeKind::Explicit => {
+                    // Step 1: transpose a → b, staggered all-to-all.
+                    for k in 0..np {
+                        let src_p = (p + offset + k) % np;
+                        let next = if k + 1 < np {
+                            let q = chunk_range(m, np, (p + offset + k + 1) % np);
+                            Some((q.start, q.end))
+                        } else {
+                            None
+                        };
+                        transpose_patch(
+                            ctx,
+                            &a2,
+                            &b2,
+                            m,
+                            chunk_range(m, np, src_p),
+                            my_rows.clone(),
+                            next,
+                        );
+                    }
+                    ctx.barrier(bar);
+                    // Step 2+3: row FFTs on b, then twiddle multiply.
+                    for c in my_rows.clone() {
+                        for (j, slot) in buf.iter_mut().enumerate() {
+                            *slot = b2.read(ctx, c * m + j);
+                        }
+                        fft_inplace(&mut buf);
+                        ctx.compute_flops(row_fft_flops(m));
+                        for (k, v) in buf.iter().enumerate() {
+                            let tw = Cx::cis(
+                                -2.0 * std::f64::consts::PI * (c * k) as f64 / n as f64,
+                            );
+                            b2.write(ctx, c * m + k, v.mul(tw));
+                        }
+                        ctx.compute_flops(8 * m as u64);
+                    }
+                    ctx.barrier(bar);
+                    // Step 4: transpose b → a.
+                    for k in 0..np {
+                        let src_p = (p + offset + k) % np;
+                        let next = if k + 1 < np {
+                            let q = chunk_range(m, np, (p + offset + k + 1) % np);
+                            Some((q.start, q.end))
+                        } else {
+                            None
+                        };
+                        transpose_patch(
+                            ctx,
+                            &b2,
+                            &a2,
+                            m,
+                            chunk_range(m, np, src_p),
+                            my_rows.clone(),
+                            next,
+                        );
+                    }
+                    ctx.barrier(bar);
+                    // Step 5: row FFTs on a.
+                    for k in my_rows.clone() {
+                        for (j, slot) in buf.iter_mut().enumerate() {
+                            *slot = a2.read(ctx, k * m + j);
+                        }
+                        fft_inplace(&mut buf);
+                        ctx.compute_flops(row_fft_flops(m));
+                        for (j, v) in buf.iter().enumerate() {
+                            a2.write(ctx, k * m + j, *v);
+                        }
+                    }
+                    ctx.barrier(bar);
+                }
+                TransposeKind::Implicit => {
+                    // Steps 1–3 fused: gather column c of `a` with strided
+                    // remote reads, FFT it, twiddle, and write row c of `b`.
+                    for c in my_rows.clone() {
+                        for (r, slot) in buf.iter_mut().enumerate() {
+                            *slot = a2.read(ctx, r * m + c);
+                        }
+                        fft_inplace(&mut buf);
+                        ctx.compute_flops(row_fft_flops(m));
+                        for (k, v) in buf.iter().enumerate() {
+                            let tw = Cx::cis(
+                                -2.0 * std::f64::consts::PI * (c * k) as f64 / n as f64,
+                            );
+                            b2.write(ctx, c * m + k, v.mul(tw));
+                        }
+                        ctx.compute_flops(8 * m as u64);
+                    }
+                    ctx.barrier(bar);
+                    // Steps 4–5 fused: gather column k of `b`, FFT, write
+                    // row k of `a`.
+                    for k in my_rows.clone() {
+                        for (r, slot) in buf.iter_mut().enumerate() {
+                            *slot = b2.read(ctx, r * m + k);
+                        }
+                        fft_inplace(&mut buf);
+                        ctx.compute_flops(row_fft_flops(m));
+                        for (j, v) in buf.iter().enumerate() {
+                            a2.write(ctx, k * m + j, *v);
+                        }
+                    }
+                    ctx.barrier(bar);
+                }
+            }
+
+            // Step 6: final transpose a → b restores natural order.
+            for k in 0..np {
+                let src_p = (p + offset + k) % np;
+                transpose_patch(ctx, &a2, &b2, m, chunk_range(m, np, src_p), my_rows.clone(), None);
+            }
+            ctx.barrier(bar);
+        };
+
+        let verify = move || {
+            let tol = 1e-6 * (n as f64);
+            for (i, want) in expected.iter().enumerate() {
+                let got = out.get(i);
+                let err = got.sub(*want).norm_sq().sqrt();
+                if err > tol {
+                    return Err(format!(
+                        "FFT mismatch at {i}: got ({}, {}), want ({}, {}), err {err}",
+                        got.re, got.im, want.re, want.im
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    #[test]
+    fn fft_inplace_matches_naive_dft() {
+        let mut rng = XorShift::new(1);
+        let n = 64;
+        let input: Vec<Cx> =
+            (0..n).map(|_| Cx::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0))).collect();
+        let mut fast = input.clone();
+        fft_inplace(&mut fast);
+        for k in 0..n {
+            let mut acc = Cx::default();
+            for (j, x) in input.iter().enumerate() {
+                acc = acc.add(x.mul(Cx::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64)));
+            }
+            assert!(fast[k].sub(acc).norm_sq().sqrt() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parallel_fft_matches_reference() {
+        for np in [1usize, 4, 7] {
+            let app = Fft::new(8); // 256 points, 16×16
+            let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+            let job = app.build(&mut m);
+            let body = job.body;
+            m.run(move |ctx| body(ctx)).unwrap();
+            (job.verify)().unwrap_or_else(|e| panic!("np={np}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parallel_fft_with_prefetch_matches_reference() {
+        let app = Fft::new(8);
+        let mut cfg = MachineConfig::origin2000_scaled(8, 64 << 10);
+        cfg.prefetch_enabled = true;
+        let mut m = Machine::new(cfg).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        assert!(stats.total(|p| p.prefetches) > 0);
+    }
+
+    #[test]
+    fn transposes_generate_remote_traffic() {
+        let app = Fft::new(10);
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(8, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        assert!(
+            stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty) > 100,
+            "all-to-all transpose must communicate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_log2n_rejected() {
+        Fft::new(9);
+    }
+
+    #[test]
+    fn implicit_transpose_matches_reference() {
+        let mut app = Fft::new(8);
+        app.transpose = TransposeKind::Implicit;
+        for np in [1usize, 4, 7] {
+            let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+            let job = app.build(&mut m);
+            let body = job.body;
+            m.run(move |ctx| body(ctx)).unwrap();
+            (job.verify)().unwrap_or_else(|e| panic!("np={np}: {e}"));
+        }
+    }
+
+    #[test]
+    fn implicit_transpose_scatters_reads_across_lines() {
+        // The whole point of the explicit blocked transpose: the implicit
+        // version's column gathers touch one line per element.
+        let run = |transpose| {
+            let mut app = Fft::new(10);
+            app.transpose = transpose;
+            let mut m = Machine::new(MachineConfig::origin2000_scaled(8, 16 << 10)).unwrap();
+            let job = app.build(&mut m);
+            let body = job.body;
+            let stats = m.run(move |ctx| body(ctx)).unwrap();
+            (job.verify)().unwrap();
+            stats.total(|p| p.misses())
+        };
+        let explicit = run(TransposeKind::Explicit);
+        let implicit = run(TransposeKind::Implicit);
+        assert!(implicit > explicit, "{implicit} vs {explicit}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # splash-apps — the application suite of the ISCA'99 scaling study
+//!
+//! Rust reimplementations of the workloads used by Jiang & Singh (ISCA
+//! 1999), in their *original* optimized forms and the paper's *restructured*
+//! forms, written against the [`ccnuma_sim`] shared-address-space API. Each
+//! application computes real, verifiable results.
+
+#![warn(missing_docs)]
+
+pub mod barnes;
+pub mod common;
+pub mod fft;
+pub mod infer;
+pub mod ocean;
+pub mod protein;
+pub mod radix;
+pub mod sample_sort;
+pub mod sor;
+pub mod water_nsq;
+pub mod raytrace;
+pub mod shearwarp;
+pub mod volrend;
+pub mod water_sp;

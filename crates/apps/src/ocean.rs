@@ -1,0 +1,595 @@
+//! Ocean: a near-neighbor multigrid Poisson solver standing in for the
+//! SPLASH-2 Ocean simulation.
+//!
+//! The grid is (dim+2)² with a fixed zero boundary; the solver runs V-cycles
+//! of red-black Gauss-Seidel smoothing with full-weighting restriction and
+//! bilinear-ish prolongation. Two partitionings are supported, matching the
+//! paper's §5.1 discussion:
+//!
+//! * **Tiled** (the SPLASH-2 default): processors own 2-D tiles, stored
+//!   tile-major (the "4-D array" data-structure optimization) so each tile
+//!   is contiguous and placeable locally. Column boundaries fragment: a
+//!   neighbour-column read touches one cache line per element.
+//! * **Rowwise**: processors own strips of rows (better page-granularity
+//!   behaviour — the SVM restructuring — at a worse inherent
+//!   communication-to-computation ratio).
+//!
+//! Red-black sweeps are order-independent within a colour, so results are
+//! bitwise identical across processor counts and partitionings; the
+//! verifier exploits this.
+
+use std::sync::Arc;
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+use ccnuma_sim::shared::SharedVec;
+use ccnuma_sim::sync::BarrierRef;
+
+use crate::common::{chunk_range, Job, Workload};
+
+/// Partitioning/data-layout strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OceanPartition {
+    /// 2-D tiles in tile-major storage (SPLASH-2 "4-D arrays").
+    Tiled,
+    /// Contiguous row strips in row-major storage.
+    Rowwise,
+}
+
+/// Configuration of one Ocean run.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    /// Interior grid dimension (the full grid is `(dim+2)²`). Must be a
+    /// power of two ≥ 8 so multigrid levels divide evenly.
+    pub dim: usize,
+    /// Partitioning strategy.
+    pub partition: OceanPartition,
+    /// Number of V-cycles.
+    pub vcycles: usize,
+    /// `true` = manual placement (each share local), `false` = policy.
+    pub manual_placement: bool,
+}
+
+impl Ocean {
+    /// A tiled Ocean of interior dimension `dim` running 2 V-cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not a power of two or is below 8.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim.is_power_of_two() && dim >= 8, "dim must be a power of two ≥ 8");
+        Ocean { dim, partition: OceanPartition::Tiled, vcycles: 2, manual_placement: true }
+    }
+
+    fn levels(&self) -> usize {
+        // Coarsen down to an 8×8 interior.
+        (self.dim.trailing_zeros() as usize).saturating_sub(2).max(1)
+    }
+
+    /// The right-hand side: a smooth deterministic source field.
+    fn rhs_at(i: usize, j: usize, dim: usize) -> f64 {
+        let x = i as f64 / (dim + 1) as f64;
+        let y = j as f64 / (dim + 1) as f64;
+        (2.0 * std::f64::consts::PI * x).sin() * (2.0 * std::f64::consts::PI * y).sin()
+    }
+
+    /// Runs the identical algorithm on the host, returning the final fine
+    /// grid (for verification) as a row-major `(dim+2)²` array.
+    pub fn reference(&self) -> Vec<f64> {
+        let mut solver = HostMultigrid::new(self.dim, self.levels());
+        for _ in 0..self.vcycles {
+            solver.vcycle(0);
+        }
+        solver.u.remove(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout: maps (i, j) on a (dim+2)² grid to a linear index.
+// ---------------------------------------------------------------------------
+
+/// Index layout for one grid level.
+#[derive(Debug, Clone)]
+struct Layout {
+    dim: usize,
+    /// For Tiled: processor grid (pr × pc) and per-cell base offsets.
+    tiled: Option<TiledLayout>,
+}
+
+#[derive(Debug, Clone)]
+struct TiledLayout {
+    pr: usize,
+    pc: usize,
+    /// Row → (tile row, local row) for all dim+2 rows.
+    row_of: Vec<(usize, usize)>,
+    col_of: Vec<(usize, usize)>,
+    /// Tile (ti, tj) → base offset; tile widths per tj.
+    base: Vec<usize>,
+    width: Vec<usize>,
+}
+
+/// Factors `p` into (pr, pc) with pr ≤ pc, pr as near √p as possible.
+fn proc_grid(p: usize) -> (usize, usize) {
+    let mut pr = (p as f64).sqrt() as usize;
+    while pr > 1 && !p.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr.max(1), p / pr.max(1))
+}
+
+impl Layout {
+    fn new(dim: usize, partition: OceanPartition, nprocs: usize) -> Self {
+        match partition {
+            OceanPartition::Rowwise => Layout { dim, tiled: None },
+            OceanPartition::Tiled => {
+                let (pr, pc) = proc_grid(nprocs);
+                let side = dim + 2;
+                // Interior rows are chunked over pr; boundary rows join the
+                // adjacent edge tiles.
+                let mut row_of = vec![(0, 0); side];
+                let mut heights = vec![0usize; pr];
+                for (ti, height) in heights.iter_mut().enumerate() {
+                    let r = chunk_range(dim, pr, ti);
+                    let lo = if ti == 0 { 0 } else { r.start + 1 };
+                    let hi = if ti == pr - 1 { dim + 2 } else { r.end + 1 };
+                    for (local, i) in (lo..hi).enumerate() {
+                        row_of[i] = (ti, local);
+                    }
+                    *height = hi - lo;
+                }
+                let mut col_of = vec![(0, 0); side];
+                let mut widths = vec![0usize; pc];
+                for (tj, width) in widths.iter_mut().enumerate() {
+                    let c = chunk_range(dim, pc, tj);
+                    let lo = if tj == 0 { 0 } else { c.start + 1 };
+                    let hi = if tj == pc - 1 { dim + 2 } else { c.end + 1 };
+                    for (local, j) in (lo..hi).enumerate() {
+                        col_of[j] = (tj, local);
+                    }
+                    *width = hi - lo;
+                }
+                let mut base = vec![0usize; pr * pc];
+                let mut acc = 0;
+                for ti in 0..pr {
+                    for tj in 0..pc {
+                        base[ti * pc + tj] = acc;
+                        acc += heights[ti] * widths[tj];
+                    }
+                }
+                Layout {
+                    dim,
+                    tiled: Some(TiledLayout { pr, pc, row_of, col_of, base, width: widths }),
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        match &self.tiled {
+            None => i * (self.dim + 2) + j,
+            Some(t) => {
+                let (ti, li) = t.row_of[i];
+                let (tj, lj) = t.col_of[j];
+                t.base[ti * t.pc + tj] + li * t.width[tj] + lj
+            }
+        }
+    }
+
+    /// The interior row/column ranges owned by processor `p`.
+    fn my_block(&self, nprocs: usize, p: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        match &self.tiled {
+            None => {
+                let r = chunk_range(self.dim, nprocs, p);
+                (1 + r.start..1 + r.end, 1..self.dim + 1)
+            }
+            Some(t) => {
+                let (ti, tj) = (p / t.pc, p % t.pc);
+                if ti >= t.pr {
+                    return (0..0, 0..0);
+                }
+                let r = chunk_range(self.dim, t.pr, ti);
+                let c = chunk_range(self.dim, t.pc, tj);
+                (1 + r.start..1 + r.end, 1 + c.start..1 + c.end)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host reference solver (same arithmetic, same sweep structure).
+// ---------------------------------------------------------------------------
+
+struct HostMultigrid {
+    dims: Vec<usize>,
+    u: Vec<Vec<f64>>,
+    f: Vec<Vec<f64>>,
+    r: Vec<Vec<f64>>,
+}
+
+const SMOOTH_PRE: usize = 2;
+const SMOOTH_POST: usize = 2;
+const SMOOTH_COARSE: usize = 8;
+
+impl HostMultigrid {
+    fn new(dim: usize, levels: usize) -> Self {
+        let mut dims = Vec::new();
+        let mut d = dim;
+        for _ in 0..levels {
+            dims.push(d);
+            d /= 2;
+        }
+        let alloc = |d: usize| vec![0.0; (d + 2) * (d + 2)];
+        let mut f: Vec<Vec<f64>> = dims.iter().map(|&d| alloc(d)).collect();
+        for i in 1..=dim {
+            for j in 1..=dim {
+                f[0][i * (dim + 2) + j] = Ocean::rhs_at(i, j, dim);
+            }
+        }
+        HostMultigrid {
+            u: dims.iter().map(|&d| alloc(d)).collect(),
+            r: dims.iter().map(|&d| alloc(d)).collect(),
+            f,
+            dims,
+        }
+    }
+
+    fn smooth(&mut self, l: usize, sweeps: usize) {
+        let d = self.dims[l];
+        let h2 = 1.0 / ((d + 1) * (d + 1)) as f64;
+        for _ in 0..sweeps {
+            for color in 0..2 {
+                for i in 1..=d {
+                    for j in 1..=d {
+                        if (i + j) % 2 == color {
+                            let s = self.u[l][(i - 1) * (d + 2) + j]
+                                + self.u[l][(i + 1) * (d + 2) + j]
+                                + self.u[l][i * (d + 2) + j - 1]
+                                + self.u[l][i * (d + 2) + j + 1];
+                            self.u[l][i * (d + 2) + j] =
+                                0.25 * (s + h2 * self.f[l][i * (d + 2) + j]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn vcycle(&mut self, l: usize) {
+        if l == self.dims.len() - 1 {
+            self.smooth(l, SMOOTH_COARSE);
+            return;
+        }
+        self.smooth(l, SMOOTH_PRE);
+        let d = self.dims[l];
+        let h2 = 1.0 / ((d + 1) * (d + 1)) as f64;
+        for i in 1..=d {
+            for j in 1..=d {
+                let s = self.u[l][(i - 1) * (d + 2) + j]
+                    + self.u[l][(i + 1) * (d + 2) + j]
+                    + self.u[l][i * (d + 2) + j - 1]
+                    + self.u[l][i * (d + 2) + j + 1];
+                self.r[l][i * (d + 2) + j] =
+                    self.f[l][i * (d + 2) + j] - (4.0 * self.u[l][i * (d + 2) + j] - s) / h2;
+            }
+        }
+        let dc = self.dims[l + 1];
+        // Full-weighting restriction: coarse (i,j) ↔ fine (2i,2j).
+        for i in 1..=dc {
+            for j in 1..=dc {
+                let rd = |fi: usize, fj: usize| self.r[l][fi * (d + 2) + fj];
+                let (fi, fj) = (2 * i, 2 * j);
+                let v = (4.0 * rd(fi, fj)
+                    + 2.0 * (rd(fi - 1, fj) + rd(fi + 1, fj) + rd(fi, fj - 1) + rd(fi, fj + 1))
+                    + rd(fi - 1, fj - 1)
+                    + rd(fi - 1, fj + 1)
+                    + rd(fi + 1, fj - 1)
+                    + rd(fi + 1, fj + 1))
+                    / 16.0;
+                self.f[l + 1][i * (dc + 2) + j] = v;
+                self.u[l + 1][i * (dc + 2) + j] = 0.0;
+            }
+        }
+        self.vcycle(l + 1);
+        // Bilinear prolongation of the coarse correction.
+        for fi in 1..=d {
+            for fj in 1..=d {
+                let c = prolong_at(&self.u[l + 1], dc, fi, fj);
+                self.u[l][fi * (d + 2) + fj] += c;
+            }
+        }
+        self.smooth(l, SMOOTH_POST);
+    }
+}
+
+/// Bilinear interpolation of a coarse-grid correction (coarse point (i,j)
+/// coincides with fine point (2i,2j); outside 1..=dc the correction is 0).
+fn prolong_at(coarse: &[f64], dc: usize, fi: usize, fj: usize) -> f64 {
+    let cv = |i: usize, j: usize| -> f64 {
+        if (1..=dc).contains(&i) && (1..=dc).contains(&j) {
+            coarse[i * (dc + 2) + j]
+        } else {
+            0.0
+        }
+    };
+    match (fi % 2, fj % 2) {
+        (0, 0) => cv(fi / 2, fj / 2),
+        (1, 0) => 0.5 * (cv(fi / 2, fj / 2) + cv(fi / 2 + 1, fj / 2)),
+        (0, 1) => 0.5 * (cv(fi / 2, fj / 2) + cv(fi / 2, fj / 2 + 1)),
+        _ => {
+            0.25 * (cv(fi / 2, fj / 2)
+                + cv(fi / 2 + 1, fj / 2)
+                + cv(fi / 2, fj / 2 + 1)
+                + cv(fi / 2 + 1, fj / 2 + 1))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel solver.
+// ---------------------------------------------------------------------------
+
+struct Level {
+    dim: usize,
+    layout: Layout,
+    u: SharedVec<f64>,
+    f: SharedVec<f64>,
+    r: SharedVec<f64>,
+}
+
+fn smooth_parallel(ctx: &Ctx, lv: &Level, sweeps: usize, bar: BarrierRef) {
+    let d = lv.dim;
+    let h2 = 1.0 / ((d + 1) * (d + 1)) as f64;
+    let (rows, cols) = lv.layout.my_block(ctx.nprocs(), ctx.id());
+    for _ in 0..sweeps {
+        for color in 0..2 {
+            for i in rows.clone() {
+                for j in cols.clone() {
+                    if (i + j) % 2 == color {
+                        let s = lv.u.read(ctx, lv.layout.idx(i - 1, j))
+                            + lv.u.read(ctx, lv.layout.idx(i + 1, j))
+                            + lv.u.read(ctx, lv.layout.idx(i, j - 1))
+                            + lv.u.read(ctx, lv.layout.idx(i, j + 1));
+                        let f = lv.f.read(ctx, lv.layout.idx(i, j));
+                        lv.u.write(ctx, lv.layout.idx(i, j), 0.25 * (s + h2 * f));
+                        ctx.compute_flops(13);
+                    }
+                }
+            }
+            ctx.barrier(bar);
+        }
+    }
+}
+
+fn vcycle_parallel(ctx: &Ctx, levels: &[Level], l: usize, bar: BarrierRef) {
+    if l == levels.len() - 1 {
+        smooth_parallel(ctx, &levels[l], SMOOTH_COARSE, bar);
+        return;
+    }
+    smooth_parallel(ctx, &levels[l], SMOOTH_PRE, bar);
+    let lv = &levels[l];
+    let d = lv.dim;
+    let h2 = 1.0 / ((d + 1) * (d + 1)) as f64;
+    let (rows, cols) = lv.layout.my_block(ctx.nprocs(), ctx.id());
+    for i in rows.clone() {
+        for j in cols.clone() {
+            let s = lv.u.read(ctx, lv.layout.idx(i - 1, j))
+                + lv.u.read(ctx, lv.layout.idx(i + 1, j))
+                + lv.u.read(ctx, lv.layout.idx(i, j - 1))
+                + lv.u.read(ctx, lv.layout.idx(i, j + 1));
+            let c = lv.u.read(ctx, lv.layout.idx(i, j));
+            let f = lv.f.read(ctx, lv.layout.idx(i, j));
+            lv.r.write(ctx, lv.layout.idx(i, j), f - (4.0 * c - s) / h2);
+            ctx.compute_flops(8);
+        }
+    }
+    ctx.barrier(bar);
+    // Full-weighting restriction: coarse (i,j) ↔ fine (2i,2j).
+    let cv = &levels[l + 1];
+    let dc = cv.dim;
+    let (crows, ccols) = cv.layout.my_block(ctx.nprocs(), ctx.id());
+    for i in crows.clone() {
+        for j in ccols.clone() {
+            let rd = |fi: usize, fj: usize| lv.r.read(ctx, lv.layout.idx(fi, fj));
+            let (fi, fj) = (2 * i, 2 * j);
+            let v = (4.0 * rd(fi, fj)
+                + 2.0 * (rd(fi - 1, fj) + rd(fi + 1, fj) + rd(fi, fj - 1) + rd(fi, fj + 1))
+                + rd(fi - 1, fj - 1)
+                + rd(fi - 1, fj + 1)
+                + rd(fi + 1, fj - 1)
+                + rd(fi + 1, fj + 1))
+                / 16.0;
+            cv.f.write(ctx, cv.layout.idx(i, j), v);
+            cv.u.write(ctx, cv.layout.idx(i, j), 0.0);
+            ctx.compute_flops(12);
+        }
+    }
+    ctx.barrier(bar);
+    vcycle_parallel(ctx, levels, l + 1, bar);
+    // Bilinear prolongation: every processor updates its own fine points.
+    let coarse_u = |ctx: &Ctx, i: usize, j: usize| -> f64 {
+        if (1..=dc).contains(&i) && (1..=dc).contains(&j) {
+            cv.u.read(ctx, cv.layout.idx(i, j))
+        } else {
+            0.0
+        }
+    };
+    for fi in rows.clone() {
+        for fj in cols.clone() {
+            let c = match (fi % 2, fj % 2) {
+                (0, 0) => coarse_u(ctx, fi / 2, fj / 2),
+                (1, 0) => 0.5 * (coarse_u(ctx, fi / 2, fj / 2) + coarse_u(ctx, fi / 2 + 1, fj / 2)),
+                (0, 1) => 0.5 * (coarse_u(ctx, fi / 2, fj / 2) + coarse_u(ctx, fi / 2, fj / 2 + 1)),
+                _ => {
+                    0.25 * (coarse_u(ctx, fi / 2, fj / 2)
+                        + coarse_u(ctx, fi / 2 + 1, fj / 2)
+                        + coarse_u(ctx, fi / 2, fj / 2 + 1)
+                        + coarse_u(ctx, fi / 2 + 1, fj / 2 + 1))
+                }
+            };
+            let fidx = lv.layout.idx(fi, fj);
+            let cur = lv.u.read(ctx, fidx);
+            lv.u.write(ctx, fidx, cur + c);
+            ctx.compute_flops(3);
+        }
+    }
+    ctx.barrier(bar);
+    smooth_parallel(ctx, &levels[l], SMOOTH_POST, bar);
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> String {
+        match self.partition {
+            OceanPartition::Tiled => "ocean".into(),
+            OceanPartition::Rowwise => "ocean/rowwise".into(),
+        }
+    }
+
+    fn problem(&self) -> String {
+        format!("{0}x{0} grid", self.dim + 2)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let placement = if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let nprocs = machine.nprocs();
+        let mut levels = Vec::new();
+        let mut d = self.dim;
+        for _ in 0..self.levels() {
+            let layout = Layout::new(d, self.partition, nprocs);
+            let size = (d + 2) * (d + 2);
+            let lv = Level {
+                dim: d,
+                layout,
+                u: machine.shared_vec::<f64>(size, placement),
+                f: machine.shared_vec::<f64>(size, placement),
+                r: machine.shared_vec::<f64>(size, placement),
+            };
+            levels.push(lv);
+            d /= 2;
+        }
+        // Initialize the fine-level RHS.
+        let fine = &levels[0];
+        for i in 1..=self.dim {
+            for j in 1..=self.dim {
+                fine.f.set(fine.layout.idx(i, j), Ocean::rhs_at(i, j, self.dim));
+            }
+        }
+        let bar = machine.barrier();
+        let vcycles = self.vcycles;
+        let levels = Arc::new(levels);
+        let levels2 = Arc::clone(&levels);
+
+        let expected = self.reference();
+        let dim = self.dim;
+        let out = levels[0].u.clone();
+        let out_layout = levels[0].layout.clone();
+
+        let body = move |ctx: &Ctx| {
+            for _ in 0..vcycles {
+                vcycle_parallel(ctx, &levels2, 0, bar);
+            }
+        };
+        let verify = move || {
+            for i in 1..=dim {
+                for j in 1..=dim {
+                    let got = out.get(out_layout.idx(i, j));
+                    let want = expected[i * (dim + 2) + j];
+                    if (got - want).abs() > 1e-12 {
+                        return Err(format!("ocean mismatch at ({i},{j}): {got} vs {want}"));
+                    }
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &Ocean, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn multigrid_reduces_residual() {
+        let app = Ocean::new(32);
+        let u = app.reference();
+        let d = app.dim;
+        // Residual of the multigrid solution should be far below the
+        // initial RHS norm.
+        let h2 = 1.0 / ((d + 1) * (d + 1)) as f64;
+        let mut res = 0.0f64;
+        let mut rhs = 0.0f64;
+        for i in 1..=d {
+            for j in 1..=d {
+                let s = u[(i - 1) * (d + 2) + j]
+                    + u[(i + 1) * (d + 2) + j]
+                    + u[i * (d + 2) + j - 1]
+                    + u[i * (d + 2) + j + 1];
+                let f = Ocean::rhs_at(i, j, d);
+                res += (f - (4.0 * u[i * (d + 2) + j] - s) / h2).powi(2);
+                rhs += f * f;
+            }
+        }
+        assert!(res.sqrt() < 0.05 * rhs.sqrt(), "res {res} rhs {rhs}");
+    }
+
+    #[test]
+    fn tiled_matches_reference_at_many_proc_counts() {
+        for np in [1usize, 4, 6] {
+            run(&Ocean::new(16), np);
+        }
+    }
+
+    #[test]
+    fn rowwise_matches_reference() {
+        let mut app = Ocean::new(16);
+        app.partition = OceanPartition::Rowwise;
+        for np in [2usize, 5] {
+            run(&app, np);
+        }
+    }
+
+    #[test]
+    fn near_neighbor_communication_is_modest() {
+        let stats = run(&Ocean::new(32), 8);
+        let remote = stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty);
+        let total = stats.total(|p| p.accesses());
+        assert!(remote > 0, "must communicate at boundaries");
+        assert!((remote as f64) < 0.25 * total as f64, "communication should be boundary-only");
+    }
+
+    #[test]
+    fn proc_grid_factors_reasonably() {
+        assert_eq!(proc_grid(1), (1, 1));
+        assert_eq!(proc_grid(4), (2, 2));
+        assert_eq!(proc_grid(8), (2, 4));
+        assert_eq!(proc_grid(6), (2, 3));
+        assert_eq!(proc_grid(7), (1, 7));
+        assert_eq!(proc_grid(64), (8, 8));
+    }
+
+    #[test]
+    fn tiled_layout_is_a_bijection() {
+        let l = Layout::new(16, OceanPartition::Tiled, 6);
+        let side = 18;
+        let mut seen = vec![false; side * side];
+        for i in 0..side {
+            for j in 0..side {
+                let k = l.idx(i, j);
+                assert!(!seen[k], "index {k} repeated at ({i},{j})");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,317 @@
+//! Protein: hierarchical protein-structure determination with *process
+//! regrouping* (§2.2).
+//!
+//! The computation is a tree whose edges express cross-node dependences;
+//! every tree node carries a large parallelizable work array with heavy
+//! size variance (the load-imbalance that motivates the technique). Unlike
+//! task stealing, load balancing works by **regrouping**: the work list is
+//! ordered bottom-up and every node's work is split into chunks that any
+//! processor may claim — so processors that run out of their own work
+//! "join the group" currently crunching the next unfinished node instead
+//! of stealing unrelated tasks. A node becomes claimable once all its
+//! children have completed (broadcast through a semaphore primed with one
+//! permit per processor).
+//!
+//! Results are deterministic: partial sums combine in chunk order, child
+//! results in child order; the verifier compares against a sequential
+//! reference exactly.
+
+use std::sync::Arc;
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+
+use crate::common::{Job, Workload, XorShift};
+
+/// Configuration of one Protein run.
+#[derive(Debug, Clone)]
+pub struct Protein {
+    /// Number of tree nodes (substructures).
+    pub n_nodes: usize,
+    /// Scale factor for per-node work arrays.
+    pub work_scale: usize,
+    /// Elements per claimable chunk.
+    pub chunk: usize,
+    /// Seed for tree/work generation.
+    pub seed: u64,
+}
+
+/// The generated problem tree.
+#[derive(Debug, Clone)]
+pub struct ProteinTree {
+    /// Parent of node i (node 0 is the root).
+    pub parent: Vec<usize>,
+    /// Children, in index order.
+    pub children: Vec<Vec<usize>>,
+    /// Work-array length per node (heavily skewed).
+    pub work_len: Vec<usize>,
+    /// Offset of each node's work array in the flat data array.
+    pub work_off: Vec<usize>,
+    /// Post-order over nodes (children before parents).
+    pub post_order: Vec<usize>,
+    /// Deterministic input data (flat).
+    pub data: Vec<f64>,
+}
+
+impl Protein {
+    /// A Protein solve over `n_nodes` substructures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    pub fn new(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0);
+        Protein { n_nodes, work_scale: 64, chunk: 32, seed: 0x9607 }
+    }
+
+    /// Generates the deterministic tree.
+    pub fn tree(&self) -> ProteinTree {
+        let n = self.n_nodes;
+        let mut rng = XorShift::new(self.seed);
+        let mut parent = vec![0usize; n];
+        for (i, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = rng.below(i as u64) as usize;
+        }
+        let mut children = vec![Vec::new(); n];
+        for i in 1..n {
+            children[parent[i]].push(i);
+        }
+        // Heavily skewed work sizes: a few huge nodes, many small ones.
+        let work_len: Vec<usize> = (0..n)
+            .map(|_| {
+                let base = self.work_scale;
+                let skew = 1usize << rng.below(5); // 1..16×
+                base * skew
+            })
+            .collect();
+        let mut work_off = vec![0usize; n];
+        let mut acc = 0;
+        for i in 0..n {
+            work_off[i] = acc;
+            acc += work_len[i];
+        }
+        // Post-order (children before parents), derived from the fact that
+        // parent(i) < i: reversed index order works, but a true post-order
+        // walk keeps sibling subtrees contiguous for locality.
+        let mut post_order = Vec::with_capacity(n);
+        fn walk(node: usize, children: &[Vec<usize>], out: &mut Vec<usize>) {
+            for &c in &children[node] {
+                walk(c, children, out);
+            }
+            out.push(node);
+        }
+        walk(0, &children, &mut post_order);
+        let data: Vec<f64> = (0..acc).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        ProteinTree { parent, children, work_len, work_off, post_order, data }
+    }
+
+    /// The per-node result function: a reduction over the node's data,
+    /// coupled to the children's results.
+    fn node_result(data_sum: f64, child_sum: f64) -> f64 {
+        data_sum * (1.0 + 0.125 * child_sum) + child_sum
+    }
+
+    /// Sequential reference: result per node (root result at index 0).
+    pub fn reference(&self) -> Vec<f64> {
+        let t = self.tree();
+        let mut result = vec![0.0; self.n_nodes];
+        for &i in &t.post_order {
+            let data_sum: f64 =
+                t.data[t.work_off[i]..t.work_off[i] + t.work_len[i]].iter().sum();
+            let child_sum: f64 = t.children[i].iter().map(|&c| result[c]).sum();
+            result[i] = Self::node_result(data_sum, child_sum);
+        }
+        result
+    }
+}
+
+impl Workload for Protein {
+    fn name(&self) -> String {
+        "protein".into()
+    }
+
+    fn problem(&self) -> String {
+        format!("{} substructures (scale {})", self.n_nodes, self.work_scale)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let t = Arc::new(self.tree());
+        let n = self.n_nodes;
+        let chunk = self.chunk;
+        
+        let total: usize = t.work_len.iter().sum();
+
+        let data = machine.shared_vec::<f64>(total, Placement::Interleaved);
+        let result = machine.shared_vec::<f64>(n, Placement::Interleaved);
+        data.copy_from_slice(&t.data);
+
+        // Per-node chunk bookkeeping.
+        let nchunks: Vec<usize> = t.work_len.iter().map(|&w| w.div_ceil(chunk)).collect();
+        let partial_off: Vec<usize> = {
+            let mut acc = 0;
+            let mut v = Vec::with_capacity(n);
+            for &c in &nchunks {
+                v.push(acc);
+                acc += c;
+            }
+            v
+        };
+        let total_chunks: usize = nchunks.iter().sum();
+        let partials = machine.shared_vec::<f64>(total_chunks, Placement::Interleaved);
+
+        // The global work list: (node, chunk) pairs ordered deepest level
+        // first (children always precede parents, and independent subtrees
+        // interleave, which minimizes head-of-line blocking at scale).
+        let mut depth = vec![0usize; n];
+        for i in 1..n {
+            depth[i] = depth[t.parent[i]] + 1;
+        }
+        let mut level_order: Vec<usize> = (0..n).collect();
+        level_order.sort_by_key(|&i| (std::cmp::Reverse(depth[i]), i));
+        let work_list: Vec<(usize, usize)> = level_order
+            .iter()
+            .flat_map(|&i| (0..nchunks[i]).map(move |c| (i, c)))
+            .collect();
+        let cursor = machine.fetch_cell(0);
+        // ready[i] carries one permit per chunk claim: primed for leaves,
+        // posted when the last child completes otherwise.
+        let ready: Arc<Vec<_>> = Arc::new(
+            (0..n)
+                .map(|i| {
+                    machine.semaphore(if t.children[i].is_empty() {
+                        nchunks[i] as i64
+                    } else {
+                        0
+                    })
+                })
+                .collect(),
+        );
+        let done_chunks: Arc<Vec<_>> = Arc::new((0..n).map(|_| machine.fetch_cell(0)).collect());
+        let kids_done: Arc<Vec<_>> = Arc::new((0..n).map(|_| machine.fetch_cell(0)).collect());
+
+        let (data2, result2, partials2) = (data.clone(), result.clone(), partials.clone());
+        let t2 = Arc::clone(&t);
+        let (ready2, done2, kids2) = (Arc::clone(&ready), Arc::clone(&done_chunks), Arc::clone(&kids_done));
+        let nchunks2 = Arc::new(nchunks);
+        let partial_off2 = Arc::new(partial_off);
+        let work_list2 = Arc::new(work_list);
+        let (nc3, po3, wl3) = (Arc::clone(&nchunks2), Arc::clone(&partial_off2), Arc::clone(&work_list2));
+
+        let expected = self.reference();
+        let out = result.clone();
+
+        let body = move |ctx: &Ctx| {
+            
+            loop {
+                let w = ctx.fetch_add(cursor, 1) as usize;
+                if w >= wl3.len() {
+                    break;
+                }
+                let (i, c) = wl3[w];
+                // Wait for the node to become ready (children complete).
+                ctx.sem_wait(ready2[i]);
+                // Process chunk c of node i.
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(t2.work_len[i]);
+                let mut s = 0.0;
+                for r in lo..hi {
+                    s += data2.read(ctx, t2.work_off[i] + r);
+                    ctx.compute_flops(3);
+                }
+                partials2.write(ctx, po3[i] + c, s);
+                // Last chunk combines and completes the node.
+                if ctx.fetch_add(done2[i], 1) as usize == nc3[i] - 1 {
+                    let mut data_sum = 0.0;
+                    for cc in 0..nc3[i] {
+                        data_sum += partials2.read(ctx, po3[i] + cc);
+                        ctx.compute_flops(1);
+                    }
+                    let mut child_sum = 0.0;
+                    for &ch in &t2.children[i] {
+                        child_sum += result2.read(ctx, ch);
+                        ctx.compute_flops(1);
+                    }
+                    result2.write(ctx, i, Protein::node_result(data_sum, child_sum));
+                    if i != 0 {
+                        let parent = t2.parent[i];
+                        let need = t2.children[parent].len() as i64;
+                        if ctx.fetch_add(kids2[parent], 1) == need - 1 {
+                            // Release the parent: one permit per chunk.
+                            ctx.sem_post(ready2[parent], nc3[parent] as u32);
+                        }
+                    }
+                }
+            }
+        };
+
+        let verify = move || {
+            for (i, want) in expected.iter().enumerate() {
+                let (got, want) = (out.get(i), *want);
+                if (got - want).abs() > 1e-12 * want.abs().max(1.0) {
+                    return Err(format!("protein mismatch at node {i}: {got} vs {want}"));
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &Protein, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn post_order_respects_dependencies() {
+        let t = Protein::new(64).tree();
+        let mut done = vec![false; 64];
+        for &i in &t.post_order {
+            for &c in &t.children[i] {
+                assert!(done[c], "child {c} after parent {i}");
+            }
+            done[i] = true;
+        }
+        assert!(done.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn matches_reference_at_many_proc_counts() {
+        for np in [1usize, 4, 8] {
+            run(&Protein::new(40), np);
+        }
+    }
+
+    #[test]
+    fn work_sizes_are_skewed() {
+        let t = Protein::new(128).tree();
+        let max = *t.work_len.iter().max().unwrap();
+        let min = *t.work_len.iter().min().unwrap();
+        assert!(max >= 8 * min, "skew {max}/{min}");
+    }
+
+    #[test]
+    fn regrouping_shares_imbalanced_work() {
+        // With chunked nodes and a shared cursor, busy time must end up far
+        // better balanced than the per-node work skew.
+        let stats = run(&Protein::new(96), 8);
+        let busys: Vec<u64> = stats.procs.iter().map(|p| p.busy_ns).collect();
+        let max = *busys.iter().max().unwrap() as f64;
+        let min = *busys.iter().min().unwrap() as f64;
+        assert!(min > 0.25 * max, "regrouping should balance: {busys:?}");
+    }
+
+    #[test]
+    fn single_node_tree_works() {
+        run(&Protein::new(1), 4);
+    }
+}

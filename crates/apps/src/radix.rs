@@ -1,0 +1,309 @@
+//! The SPLASH-2 Radix sort kernel and its local-buffer variant.
+//!
+//! Parallel radix sort proceeds digit by digit. Each pass builds per-
+//! processor histograms, computes global bucket offsets, then *permutes*
+//! keys into the destination array. The permutation's writes are temporally
+//! scattered remote writes — the burst of write-based communication and
+//! protocol traffic (ownership requests, invalidations, writebacks) that
+//! makes Radix collapse at 128 processors in the paper (§4.1, §5.1).
+//!
+//! [`RadixVariant::LocalBuffer`] is the paper's *failed* restructuring: keys
+//! are first staged in small contiguous local buffers and then copied to
+//! the destination in contiguous chunks. It reduces write scatter but adds
+//! a full extra copy, which the paper found to outweigh the savings. The
+//! successful restructuring is a different algorithm entirely — see
+//! [`crate::sample_sort`].
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+
+use crate::common::{chunk_range, Job, Workload, XorShift};
+
+/// Permutation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadixVariant {
+    /// Write each key straight to its destination (SPLASH-2 original).
+    Direct,
+    /// Stage keys in per-bucket local buffers, flushing contiguously.
+    LocalBuffer,
+}
+
+/// Configuration of one Radix sort run.
+#[derive(Debug, Clone)]
+pub struct Radix {
+    /// Number of keys.
+    pub n_keys: usize,
+    /// Bits per digit (buckets per pass = 2^bits).
+    pub radix_bits: u32,
+    /// Total key bits (passes = key_bits / radix_bits).
+    pub key_bits: u32,
+    /// Permutation strategy.
+    pub variant: RadixVariant,
+    /// `true` = manual block distribution of the key arrays (each
+    /// processor's share local), `false` = machine default policy
+    /// (Table 3 of the paper compares these).
+    pub manual_placement: bool,
+    /// Seed for key generation.
+    pub seed: u64,
+}
+
+impl Radix {
+    /// A direct-permutation Radix sort of `n_keys` 16-bit keys with 256
+    /// buckets (two passes), scaled from the SPLASH defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_keys` is zero.
+    pub fn new(n_keys: usize) -> Self {
+        assert!(n_keys > 0);
+        Radix {
+            n_keys,
+            radix_bits: 8,
+            key_bits: 16,
+            variant: RadixVariant::Direct,
+            manual_placement: true,
+            seed: 0xADD,
+        }
+    }
+
+    fn n_buckets(&self) -> usize {
+        1 << self.radix_bits
+    }
+
+    fn n_passes(&self) -> u32 {
+        self.key_bits.div_ceil(self.radix_bits)
+    }
+
+    /// The deterministic input keys.
+    pub fn input(&self) -> Vec<u64> {
+        let mut rng = XorShift::new(self.seed);
+        let mask = (1u64 << self.key_bits) - 1;
+        (0..self.n_keys).map(|_| rng.next_u64() & mask).collect()
+    }
+}
+
+/// How many staged keys trigger a buffer flush in the LocalBuffer variant.
+const FLUSH_KEYS: usize = 16;
+
+impl Workload for Radix {
+    fn name(&self) -> String {
+        match self.variant {
+            RadixVariant::Direct => "radix".into(),
+            RadixVariant::LocalBuffer => "radix/localbuf".into(),
+        }
+    }
+
+    fn problem(&self) -> String {
+        format!("{} keys", self.n_keys)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let n = self.n_keys;
+        let nbuckets = self.n_buckets();
+        let npasses = self.n_passes();
+        let radix_bits = self.radix_bits;
+        let variant = self.variant;
+        let np = machine.nprocs();
+
+        let placement =
+            if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let a = machine.shared_vec::<u64>(n, placement);
+        let b = machine.shared_vec::<u64>(n, placement);
+        // Parallel-prefix scratch: scan[p][stage][bucket], processor-major
+        // so each processor's slices are local under block placement. The
+        // final stage slot publishes the inclusive prefix so that everyone
+        // can read the grand totals from the last processor.
+        let stages = (usize::BITS - (np - 1).leading_zeros()) as usize;
+        let scan = machine.shared_vec::<u64>(np * (stages + 1) * nbuckets, Placement::Blocked);
+        // Staging buffers for the LocalBuffer variant (one region per proc).
+        let stage = machine.shared_vec::<u64>(np * nbuckets.min(64) * FLUSH_KEYS, Placement::Blocked);
+        let bar = machine.barrier();
+        a.copy_from_slice(&self.input());
+
+        let (a2, b2, scan2, stage2) = (a.clone(), b.clone(), scan.clone(), stage.clone());
+        let mut expected = self.input();
+        expected.sort_unstable();
+        let out = if npasses.is_multiple_of(2) { a.clone() } else { b.clone() };
+
+        let body = move |ctx: &Ctx| {
+            let p = ctx.id();
+            let npr = ctx.nprocs();
+            let my = chunk_range(n, npr, p);
+            let stage_cap = nbuckets.min(64) * FLUSH_KEYS;
+            for pass in 0..npasses {
+                let (src, dst) =
+                    if pass % 2 == 0 { (&a2, &b2) } else { (&b2, &a2) };
+                let shift = pass * radix_bits;
+                // Phase 1: local histogram.
+                let mut local = vec![0u64; nbuckets];
+                for i in my.clone() {
+                    let k = src.read(ctx, i);
+                    local[((k >> shift) as usize) & (nbuckets - 1)] += 1;
+                    ctx.compute_ops(2);
+                }
+                // Phase 2: a Hillis-Steele dissemination scan over the
+                // per-processor histogram vectors (the SPLASH-2 prefix
+                // tree, O(B·log P) per processor instead of O(B·P)).
+                let slot = |q: usize, st: usize, bkt: usize| {
+                    (q * (stages + 1) + st) * nbuckets + bkt
+                };
+                let mut incl = local.clone(); // inclusive prefix over procs ≤ p
+                for st in 0..stages {
+                    for (bkt, &v) in incl.iter().enumerate() {
+                        scan2.write(ctx, slot(p, st, bkt), v);
+                    }
+                    ctx.barrier(bar);
+                    if p >= (1 << st) {
+                        let q = p - (1 << st);
+                        for (bkt, vv) in incl.iter_mut().enumerate() {
+                            *vv += scan2.read(ctx, slot(q, st, bkt));
+                            ctx.compute_ops(1);
+                        }
+                    }
+                }
+                // Publish the inclusive prefixes; the last processor's row
+                // holds the grand totals.
+                for (bkt, &v) in incl.iter().enumerate() {
+                    scan2.write(ctx, slot(p, stages, bkt), v);
+                }
+                ctx.barrier(bar);
+                let mut offset = vec![0u64; nbuckets];
+                let mut run = 0u64;
+                for bkt in 0..nbuckets {
+                    let total = scan2.read(ctx, slot(npr - 1, stages, bkt));
+                    offset[bkt] = run + incl[bkt] - local[bkt];
+                    run += total;
+                    ctx.compute_ops(2);
+                }
+                ctx.barrier(bar);
+                // Phase 3: permutation.
+                match variant {
+                    RadixVariant::Direct => {
+                        for i in my.clone() {
+                            let k = src.read(ctx, i);
+                            let bkt = ((k >> shift) as usize) & (nbuckets - 1);
+                            dst.write(ctx, offset[bkt] as usize, k);
+                            offset[bkt] += 1;
+                            ctx.compute_ops(3);
+                        }
+                    }
+                    RadixVariant::LocalBuffer => {
+                        // One small buffer per bucket: every key is first
+                        // written to the local buffer, then read back and
+                        // copied — contiguously — to the destination chunk.
+                        // This is the paper's failed restructuring: the
+                        // write scatter shrinks, but every key moves twice.
+                        let mut bufs: Vec<Vec<(usize, u64)>> =
+                            (0..nbuckets).map(|_| Vec::with_capacity(FLUSH_KEYS)).collect();
+                        let my_stage = p * stage_cap;
+                        let flush = |ctx: &Ctx, bkt: usize, bufs: &mut Vec<Vec<(usize, u64)>>| {
+                            if bufs[bkt].is_empty() {
+                                return;
+                            }
+                            let base = my_stage + (bkt % (stage_cap / FLUSH_KEYS)) * FLUSH_KEYS;
+                            // Stage locally (timed local writes)...
+                            for (slot, &(_, k)) in bufs[bkt].iter().enumerate() {
+                                stage2.write(ctx, base + slot, k);
+                            }
+                            // ...then read back and copy to the (contiguous)
+                            // destination run.
+                            for (slot, &(pos, k)) in bufs[bkt].iter().enumerate() {
+                                let _ = stage2.read(ctx, base + slot);
+                                dst.write(ctx, pos, k);
+                                ctx.compute_ops(2);
+                            }
+                            bufs[bkt].clear();
+                        };
+                        for i in my.clone() {
+                            let k = src.read(ctx, i);
+                            let bkt = ((k >> shift) as usize) & (nbuckets - 1);
+                            bufs[bkt].push((offset[bkt] as usize, k));
+                            offset[bkt] += 1;
+                            ctx.compute_ops(3);
+                            if bufs[bkt].len() == FLUSH_KEYS {
+                                flush(ctx, bkt, &mut bufs);
+                            }
+                        }
+                        for bkt in 0..nbuckets {
+                            flush(ctx, bkt, &mut bufs);
+                        }
+                    }
+                }
+                ctx.barrier(bar);
+            }
+        };
+
+        let verify = move || {
+            for (i, want) in expected.iter().enumerate() {
+                let got = out.get(i);
+                if got != *want {
+                    return Err(format!("radix mismatch at {i}: {got} vs {want}"));
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &Radix, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn sorts_at_many_proc_counts() {
+        for np in [1usize, 4, 7] {
+            run(&Radix::new(2000), np);
+        }
+    }
+
+    #[test]
+    fn local_buffer_variant_sorts_and_moves_every_key_twice() {
+        let mut direct = Radix::new(4096);
+        direct.seed = 99;
+        let mut buffered = direct.clone();
+        buffered.variant = RadixVariant::LocalBuffer;
+        let sd = run(&direct, 8);
+        let sb = run(&buffered, 8);
+        // The mechanism behind the paper's finding that the restructuring
+        // fails: the staging copy adds a full extra pass of traffic.
+        // (Whether the copy outweighs the contention savings is scale-
+        // dependent; the experiment harness measures that at full size.)
+        assert!(
+            sb.total(|p| p.accesses()) > sd.total(|p| p.accesses()) * 21 / 20,
+            "staging must add traffic: {} vs {}",
+            sb.total(|p| p.accesses()),
+            sd.total(|p| p.accesses())
+        );
+        assert!(
+            sb.total(|p| p.hits) > sd.total(|p| p.hits),
+            "the staged copy is extra (mostly cache-hit) local traffic"
+        );
+    }
+
+    #[test]
+    fn permutation_generates_scattered_remote_writes() {
+        let stats = run(&Radix::new(4096), 8);
+        // Writes into other processors' partitions: remote misses and
+        // invalidation/ownership traffic.
+        assert!(stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty) > 100);
+        assert!(stats.total(|p| p.writebacks) > 0, "dirty lines must wash back");
+    }
+
+    #[test]
+    fn odd_pass_counts_land_in_the_right_array() {
+        let mut app = Radix::new(512);
+        app.key_bits = 24; // 3 passes → result in b
+        run(&app, 4);
+    }
+}

@@ -1,0 +1,438 @@
+//! Raytrace: a sphere-scene ray tracer with a uniform-grid acceleration
+//! structure and dynamically scheduled pixel tiles.
+//!
+//! The scene (spheres plus the 3-D grid of per-cell sphere lists) is
+//! read-shared by all processors; large scenes give the "large and somewhat
+//! diffuse working set of mostly remote data" the paper observes for
+//! Raytrace (Figure 8). Tiles are claimed from a shared counter (dynamic
+//! self-scheduling, standing in for SPLASH-2's task stealing).
+//!
+//! The original version takes a global **statistics lock** on every ray to
+//! bump shared counters; the restructured version keeps statistics in
+//! private counters and merges them once at the end. On SVM removing that
+//! lock was worth 23×; on the Origin about 4% (§5.2) — the experiment
+//! harness reproduces that contrast.
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+
+use crate::common::{Job, Workload, XorShift};
+
+/// Configuration of one Raytrace run.
+#[derive(Debug, Clone)]
+pub struct Raytrace {
+    /// Image is `image_side × image_side` pixels.
+    pub image_side: usize,
+    /// Number of spheres in the scene.
+    pub n_spheres: usize,
+    /// Grid resolution per axis for the acceleration structure.
+    pub grid_side: usize,
+    /// Pixel tile edge for dynamic scheduling.
+    pub tile: usize,
+    /// Take the global statistics lock on every ray (original version).
+    pub per_ray_stats_lock: bool,
+    /// Seed for scene generation.
+    pub seed: u64,
+}
+
+const WORLD: f64 = 16.0;
+/// Flops charged per sphere intersection test.
+const ISECT_FLOPS: u64 = 20;
+/// Flops charged per shading evaluation.
+const SHADE_FLOPS: u64 = 25;
+
+#[derive(Debug, Clone, Copy)]
+struct Hit {
+    t: f64,
+    sphere: usize,
+}
+
+/// Host-side scene representation (also used to build the shared copies).
+#[derive(Debug, Clone)]
+pub struct Scene {
+    spheres: Vec<[f64; 4]>, // x, y, z, radius
+    shades: Vec<f64>,       // per-sphere albedo
+    grid_side: usize,
+    cell_start: Vec<usize>,
+    items: Vec<usize>,
+}
+
+impl Scene {
+    fn generate(n_spheres: usize, grid_side: usize, seed: u64) -> Scene {
+        let mut rng = XorShift::new(seed);
+        let spheres: Vec<[f64; 4]> = (0..n_spheres)
+            .map(|_| {
+                [
+                    rng.range_f64(1.0, WORLD - 1.0),
+                    rng.range_f64(1.0, WORLD - 1.0),
+                    rng.range_f64(1.0, WORLD - 1.0),
+                    rng.range_f64(0.2, 0.9),
+                ]
+            })
+            .collect();
+        let shades: Vec<f64> = (0..n_spheres).map(|_| rng.range_f64(0.2, 1.0)).collect();
+        // Bin spheres into all grid cells their bounding box overlaps.
+        let g = grid_side;
+        let cell_len = WORLD / g as f64;
+        let ncells = g * g * g;
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); ncells];
+        for (s, sp) in spheres.iter().enumerate() {
+            let lo = |d: usize| (((sp[d] - sp[3]) / cell_len).floor().max(0.0) as usize).min(g - 1);
+            let hi = |d: usize| (((sp[d] + sp[3]) / cell_len).floor().max(0.0) as usize).min(g - 1);
+            for z in lo(2)..=hi(2) {
+                for y in lo(1)..=hi(1) {
+                    for x in lo(0)..=hi(0) {
+                        lists[(z * g + y) * g + x].push(s);
+                    }
+                }
+            }
+        }
+        let mut cell_start = Vec::with_capacity(ncells + 1);
+        let mut items = Vec::new();
+        cell_start.push(0);
+        for l in &lists {
+            items.extend_from_slice(l);
+            cell_start.push(items.len());
+        }
+        Scene { spheres, shades, grid_side, cell_start, items }
+    }
+
+    /// Traces one primary ray from pixel (px, py), reading sphere and grid
+    /// data through the supplied closures (timed in the parallel version).
+    /// Returns the pixel intensity. `depth` counts remaining bounces.
+    #[allow(clippy::too_many_arguments)]
+    fn trace(
+        &self,
+        origin: [f64; 3],
+        dir: [f64; 3],
+        depth: u32,
+        read_sphere: &mut dyn FnMut(usize) -> [f64; 4],
+        read_shade: &mut dyn FnMut(usize) -> f64,
+        read_cell: &mut dyn FnMut(usize) -> (usize, usize),
+        read_item: &mut dyn FnMut(usize) -> usize,
+        work: &mut u64,
+    ) -> f64 {
+        let g = self.grid_side;
+        let cell_len = WORLD / g as f64;
+        // 3-D DDA through the grid.
+        let mut cell = [0usize; 3];
+        for d in 0..3 {
+            cell[d] = ((origin[d] / cell_len).floor().max(0.0) as usize).min(g - 1);
+        }
+        let step: Vec<i64> = dir.iter().map(|&v| if v >= 0.0 { 1 } else { -1 }).collect();
+        let mut tmax = [f64::INFINITY; 3];
+        let mut tdelta = [f64::INFINITY; 3];
+        for d in 0..3 {
+            if dir[d].abs() > 1e-12 {
+                let next = if dir[d] >= 0.0 {
+                    (cell[d] as f64 + 1.0) * cell_len
+                } else {
+                    cell[d] as f64 * cell_len
+                };
+                tmax[d] = (next - origin[d]) / dir[d];
+                tdelta[d] = cell_len / dir[d].abs();
+            }
+        }
+        let mut best: Option<Hit> = None;
+        loop {
+            let c = (cell[2] * g + cell[1]) * g + cell[0];
+            let (start, end) = read_cell(c);
+            for t in start..end {
+                let s = read_item(t);
+                let sp = read_sphere(s);
+                *work += ISECT_FLOPS;
+                if let Some(t_hit) = ray_sphere(origin, dir, sp) {
+                    if best.map(|b| t_hit < b.t).unwrap_or(true) {
+                        best = Some(Hit { t: t_hit, sphere: s });
+                    }
+                }
+            }
+            // Stop when a hit lies within the current cell's exit distance.
+            let exit = tmax[0].min(tmax[1]).min(tmax[2]);
+            if let Some(b) = best {
+                if b.t <= exit {
+                    break;
+                }
+            }
+            // Advance to the next cell.
+            let axis = (0..3).min_by(|&a, &b| tmax[a].total_cmp(&tmax[b])).unwrap();
+            let next = cell[axis] as i64 + step[axis];
+            if next < 0 || next >= g as i64 {
+                break;
+            }
+            cell[axis] = next as usize;
+            tmax[axis] += tdelta[axis];
+        }
+        let Some(hit) = best else { return 0.05 }; // background
+        let sp = read_sphere(hit.sphere);
+        let albedo = read_shade(hit.sphere);
+        *work += SHADE_FLOPS;
+        let p = [origin[0] + dir[0] * hit.t, origin[1] + dir[1] * hit.t, origin[2] + dir[2] * hit.t];
+        let nrm = normalize([p[0] - sp[0], p[1] - sp[1], p[2] - sp[2]]);
+        let light = normalize([0.4, 0.7, -0.6]);
+        let diff = (nrm[0] * light[0] + nrm[1] * light[1] + nrm[2] * light[2]).max(0.0);
+        let mut shade = albedo * (0.15 + 0.85 * diff);
+        if depth > 0 {
+            // One reflection bounce.
+            let d_dot_n = dir[0] * nrm[0] + dir[1] * nrm[1] + dir[2] * nrm[2];
+            let rdir = normalize([
+                dir[0] - 2.0 * d_dot_n * nrm[0],
+                dir[1] - 2.0 * d_dot_n * nrm[1],
+                dir[2] - 2.0 * d_dot_n * nrm[2],
+            ]);
+            let rorig = [p[0] + rdir[0] * 1e-6, p[1] + rdir[1] * 1e-6, p[2] + rdir[2] * 1e-6];
+            let refl = self.trace(
+                rorig, rdir, depth - 1, read_sphere, read_shade, read_cell, read_item, work,
+            );
+            shade = 0.8 * shade + 0.2 * refl;
+        }
+        shade
+    }
+}
+
+fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt().max(1e-12);
+    [v[0] / n, v[1] / n, v[2] / n]
+}
+
+fn ray_sphere(o: [f64; 3], d: [f64; 3], sp: [f64; 4]) -> Option<f64> {
+    let oc = [o[0] - sp[0], o[1] - sp[1], o[2] - sp[2]];
+    let b = oc[0] * d[0] + oc[1] * d[1] + oc[2] * d[2];
+    let c = oc[0] * oc[0] + oc[1] * oc[1] + oc[2] * oc[2] - sp[3] * sp[3];
+    let disc = b * b - c;
+    if disc < 0.0 {
+        return None;
+    }
+    let t = -b - disc.sqrt();
+    (t > 1e-9).then_some(t)
+}
+
+/// Ray origin/direction for pixel (px, py): orthographic, along +z.
+fn primary_ray(px: usize, py: usize, side: usize) -> ([f64; 3], [f64; 3]) {
+    let u = (px as f64 + 0.5) / side as f64 * (WORLD - 2.0) + 1.0;
+    let v = (py as f64 + 0.5) / side as f64 * (WORLD - 2.0) + 1.0;
+    ([u, v, 1e-3], [0.0, 0.0, 1.0])
+}
+
+impl Raytrace {
+    /// A tracer of `image_side²` pixels over a generated scene whose sphere
+    /// count scales with the image area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_side < 8`.
+    pub fn new(image_side: usize) -> Self {
+        assert!(image_side >= 8);
+        Raytrace {
+            image_side,
+            n_spheres: (image_side * image_side / 16).max(32),
+            grid_side: 8,
+            tile: (image_side / 16).clamp(2, 8),
+            per_ray_stats_lock: false,
+            seed: 0xbea3,
+        }
+    }
+
+    /// The scene this configuration generates.
+    pub fn scene(&self) -> Scene {
+        Scene::generate(self.n_spheres, self.grid_side, self.seed)
+    }
+
+    /// Sequential reference image.
+    pub fn reference(&self) -> Vec<f64> {
+        let scene = self.scene();
+        let side = self.image_side;
+        let mut img = vec![0.0; side * side];
+        let mut work = 0u64;
+        for py in 0..side {
+            for px in 0..side {
+                let (o, d) = primary_ray(px, py, side);
+                img[py * side + px] = scene.trace(
+                    o,
+                    d,
+                    1,
+                    &mut |s| scene.spheres[s],
+                    &mut |s| scene.shades[s],
+                    &mut |c| (scene.cell_start[c], scene.cell_start[c + 1]),
+                    &mut |t| scene.items[t],
+                    &mut work,
+                );
+            }
+        }
+        img
+    }
+}
+
+impl Workload for Raytrace {
+    fn name(&self) -> String {
+        if self.per_ray_stats_lock {
+            "raytrace/statslock".into()
+        } else {
+            "raytrace".into()
+        }
+    }
+
+    fn problem(&self) -> String {
+        format!("{0}x{0} image, {1} spheres", self.image_side, self.n_spheres)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let scene = self.scene();
+        let side = self.image_side;
+        let tile = self.tile;
+        let use_stats_lock = self.per_ray_stats_lock;
+
+        // Shared copies of the scene (read-only; interleaved homes).
+        let spheres = machine.shared_vec::<[f64; 4]>(scene.spheres.len(), Placement::Interleaved);
+        let shades = machine.shared_vec::<f64>(scene.shades.len(), Placement::Interleaved);
+        let cells =
+            machine.shared_vec::<u64>(scene.cell_start.len(), Placement::Interleaved);
+        let items = machine.shared_vec::<u64>(scene.items.len().max(1), Placement::Interleaved);
+        spheres.copy_from_slice(&scene.spheres);
+        shades.copy_from_slice(&scene.shades);
+        cells.copy_from_slice(&scene.cell_start.iter().map(|&v| v as u64).collect::<Vec<_>>());
+        if !scene.items.is_empty() {
+            items.copy_from_slice(&scene.items.iter().map(|&v| v as u64).collect::<Vec<_>>());
+        }
+        let image = machine.shared_vec::<f64>(side * side, Placement::Blocked);
+        let next_tile = machine.fetch_cell(0);
+        let stats_lock = machine.lock();
+        let rays_traced = machine.shared_vec::<u64>(1, Placement::Node(0));
+
+        let tiles_per_row = side.div_ceil(tile);
+        let n_tiles = tiles_per_row * tiles_per_row;
+
+        let (sp2, sh2, ce2, it2, im2, rt2) = (
+            spheres.clone(),
+            shades.clone(),
+            cells.clone(),
+            items.clone(),
+            image.clone(),
+            rays_traced.clone(),
+        );
+        let scene2 = std::sync::Arc::new(scene);
+        let expected = self.reference();
+        let out = image.clone();
+        let rays_out = rays_traced.clone();
+
+        let body = move |ctx: &Ctx| {
+            let mut local_rays = 0u64;
+            loop {
+                let t = ctx.fetch_add(next_tile, 1);
+                if t as usize >= n_tiles {
+                    break;
+                }
+                let ty = t as usize / tiles_per_row;
+                let tx = t as usize % tiles_per_row;
+                for py in ty * tile..((ty + 1) * tile).min(side) {
+                    for px in tx * tile..((tx + 1) * tile).min(side) {
+                        let (o, d) = primary_ray(px, py, side);
+                        let mut work = 0u64;
+                        let v = scene2.trace(
+                            o,
+                            d,
+                            1,
+                            &mut |s| sp2.read(ctx, s),
+                            &mut |s| sh2.read(ctx, s),
+                            &mut |c| {
+                                (ce2.read(ctx, c) as usize, ce2.read(ctx, c + 1) as usize)
+                            },
+                            &mut |t| it2.read(ctx, t) as usize,
+                            &mut work,
+                        );
+                        ctx.compute_flops(work);
+                        im2.write(ctx, py * side + px, v);
+                        if use_stats_lock {
+                            // The original's per-ray statistics lock.
+                            ctx.lock(stats_lock);
+                            rt2.update(ctx, 0, |r| r + 1);
+                            ctx.unlock(stats_lock);
+                        } else {
+                            local_rays += 1;
+                        }
+                    }
+                }
+            }
+            if !use_stats_lock && local_rays > 0 {
+                ctx.lock(stats_lock);
+                rt2.update(ctx, 0, |r| r + local_rays);
+                ctx.unlock(stats_lock);
+            }
+        };
+
+        let verify = move || {
+            if rays_out.get(0) != (side * side) as u64 {
+                return Err(format!(
+                    "ray count {} != {} pixels",
+                    rays_out.get(0),
+                    side * side
+                ));
+            }
+            for (i, want) in expected.iter().enumerate() {
+                let (got, want) = (out.get(i), *want);
+                if (got - want).abs() > 1e-12 {
+                    return Err(format!("raytrace mismatch at pixel {i}: {got} vs {want}"));
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &Raytrace, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn image_matches_reference() {
+        for np in [1usize, 4, 6] {
+            run(&Raytrace::new(24), np);
+        }
+    }
+
+    #[test]
+    fn stats_lock_variant_matches_and_synchronizes_more() {
+        let mut locked = Raytrace::new(24);
+        locked.per_ray_stats_lock = true;
+        let plain = Raytrace::new(24);
+        let sl = run(&locked, 8);
+        let sp = run(&plain, 8);
+        assert!(
+            sl.total(|p| p.lock_acquires) > sp.total(|p| p.lock_acquires) * 10,
+            "per-ray locking should dominate acquires: {} vs {}",
+            sl.total(|p| p.lock_acquires),
+            sp.total(|p| p.lock_acquires)
+        );
+    }
+
+    #[test]
+    fn reference_image_has_content() {
+        let app = Raytrace::new(24);
+        let img = app.reference();
+        let hits = img.iter().filter(|&&v| v > 0.06).count();
+        assert!(hits > img.len() / 10, "scene should cover pixels: {hits}");
+        let distinct: std::collections::BTreeSet<u64> =
+            img.iter().map(|v| (v * 1e6) as u64).collect();
+        assert!(distinct.len() > 16, "shading should vary");
+    }
+
+    #[test]
+    fn dynamic_tiles_balance_load() {
+        let stats = run(&Raytrace::new(32), 8);
+        let busys: Vec<u64> = stats.procs.iter().map(|p| p.busy_ns).collect();
+        let max = *busys.iter().max().unwrap() as f64;
+        let min = *busys.iter().min().unwrap() as f64;
+        assert!(min > 0.3 * max, "stealing should balance busy time: {busys:?}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Sample sort — the paper's successful restructuring of Radix sort (§5.1).
+//!
+//! Two local sorting phases bracket a splitter-based exchange. Unlike the
+//! Radix permutation's scattered remote *writes*, the exchange here is
+//! stride-one remote *reads* of contiguous segments, which behave far
+//! better under the coherence protocol. The price is sorting locally twice,
+//! bounding parallel efficiency near 50% — exactly the paper's analysis.
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+
+use crate::common::{chunk_range, Job, Workload, XorShift};
+
+/// Configuration of one Sample sort run.
+#[derive(Debug, Clone)]
+pub struct SampleSort {
+    /// Number of keys.
+    pub n_keys: usize,
+    /// Samples taken per processor for splitter selection.
+    pub oversample: usize,
+    /// Total key bits.
+    pub key_bits: u32,
+    /// Seed for key generation.
+    pub seed: u64,
+    /// Whether to prefetch remote segments during the exchange (§6.1).
+    pub prefetch: bool,
+}
+
+impl SampleSort {
+    /// A Sample sort of `n_keys` 16-bit keys with 24-fold oversampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_keys` is zero.
+    pub fn new(n_keys: usize) -> Self {
+        assert!(n_keys > 0);
+        SampleSort { n_keys, oversample: 24, key_bits: 16, seed: 0xADD, prefetch: true }
+    }
+
+    /// The deterministic input keys (same generator as Radix for a fair
+    /// comparison).
+    pub fn input(&self) -> Vec<u64> {
+        let mut rng = XorShift::new(self.seed);
+        let mask = (1u64 << self.key_bits) - 1;
+        (0..self.n_keys).map(|_| rng.next_u64() & mask).collect()
+    }
+}
+
+/// Charges the cost of a local radix sort of `n` keys (`passes` passes of
+/// counting + permuting).
+fn charge_local_sort(ctx: &Ctx, n: u64, key_bits: u32) {
+    let passes = u64::from(key_bits.div_ceil(8));
+    ctx.compute_ops(passes * n * 4);
+}
+
+impl Workload for SampleSort {
+    fn name(&self) -> String {
+        "samplesort".into()
+    }
+
+    fn problem(&self) -> String {
+        format!("{} keys", self.n_keys)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let n = self.n_keys;
+        let np = machine.nprocs();
+        let s = self.oversample;
+        let key_bits = self.key_bits;
+
+        let keys = machine.shared_vec::<u64>(n, Placement::Blocked);
+        let out = machine.shared_vec::<u64>(n, Placement::Blocked);
+        let samples = machine.shared_vec::<u64>(np * s, Placement::Node(0));
+        // Splitters, computed once by processor 0 and read by everyone.
+        let splitters = machine.shared_vec::<u64>(np.max(2) - 1, Placement::Node(0));
+        // bounds[q * (np+1) + d]: segment boundaries within q's sorted block.
+        let bounds = machine.shared_vec::<u64>(np * (np + 1), Placement::Blocked);
+        // Prefix-scan scratch over per-processor count vectors (as in
+        // Radix): scan[q][stage][d], processor-major.
+        let stages = (usize::BITS - (np - 1).leading_zeros()) as usize;
+        let scan = machine.shared_vec::<u64>(np * (stages + 1) * np, Placement::Blocked);
+        let bar = machine.barrier();
+        keys.copy_from_slice(&self.input());
+
+        let (k2, o2, sm2, sp2, sc2, bd2) = (
+            keys.clone(),
+            out.clone(),
+            samples.clone(),
+            splitters.clone(),
+            scan.clone(),
+            bounds.clone(),
+        );
+        let mut expected = self.input();
+        expected.sort_unstable();
+        let result = out.clone();
+        let do_prefetch = self.prefetch;
+
+        let body = move |ctx: &Ctx| {
+            let p = ctx.id();
+            let npr = ctx.nprocs();
+            let my = chunk_range(n, npr, p);
+            let m = my.len();
+
+            // Phase 1: local sort of my block (read, host sort, write back).
+            let mut block: Vec<u64> = my.clone().map(|i| k2.read(ctx, i)).collect();
+            block.sort_unstable();
+            charge_local_sort(ctx, m as u64, key_bits);
+            for (off, &k) in block.iter().enumerate() {
+                k2.write(ctx, my.start + off, k);
+            }
+
+            // Phase 2: publish *randomly drawn* samples (seeded per
+            // processor). Regular per-block quantiles would cluster the
+            // pooled sample at only `oversample` quantile levels, which
+            // cannot yield nprocs distinct splitters; random draws make
+            // the pooled sample i.i.d., as classic sample sort requires.
+            let mut rng = XorShift::new(0x5A17 ^ (p as u64) << 8);
+            for t in 0..s {
+                let v = if m == 0 { 0 } else { block[rng.below(m as u64) as usize] };
+                sm2.write(ctx, p * s + t, v);
+                ctx.compute_ops(2);
+            }
+            ctx.barrier(bar);
+
+            // Phase 3: processor 0 sorts the samples and publishes the
+            // splitters; everyone else just reads the np−1 values.
+            if p == 0 {
+                let mut all: Vec<u64> = (0..npr * s).map(|i| sm2.read(ctx, i)).collect();
+                all.sort_unstable();
+                charge_local_sort(ctx, (npr * s) as u64, key_bits);
+                for d in 1..npr {
+                    sp2.write(ctx, d - 1, all[d * s]);
+                }
+            }
+            ctx.barrier(bar);
+            let splitters: Vec<u64> = (0..npr.max(2) - 1)
+                .take(npr - 1)
+                .map(|d| sp2.read(ctx, d))
+                .collect();
+
+            // Phase 4: segment my sorted block by splitter and publish
+            // counts + boundaries.
+            let mut cuts = Vec::with_capacity(npr + 1);
+            cuts.push(0usize);
+            for sp in &splitters {
+                cuts.push(block.partition_point(|&k| k <= *sp));
+                ctx.compute_ops((m.max(2) as u64).ilog2() as u64 + 1);
+            }
+            cuts.push(m);
+            let counts_row: Vec<u64> =
+                (0..npr).map(|d| (cuts[d + 1] - cuts[d]) as u64).collect();
+            for (d, &c) in cuts.iter().enumerate() {
+                bd2.write(ctx, p * (npr + 1) + d, c as u64);
+            }
+
+            // Phase 5: dissemination scan over the per-processor count
+            // vectors gives every processor the destination totals in
+            // O(P·log P) instead of reading the whole P×P matrix.
+            let slot = |q: usize, st: usize, d: usize| (q * (stages + 1) + st) * npr + d;
+            let mut incl = counts_row.clone();
+            for st in 0..stages {
+                for (d, &v) in incl.iter().enumerate() {
+                    sc2.write(ctx, slot(p, st, d), v);
+                }
+                ctx.barrier(bar);
+                if p >= (1 << st) {
+                    let q = p - (1 << st);
+                    for (d, vv) in incl.iter_mut().enumerate() {
+                        *vv += sc2.read(ctx, slot(q, st, d));
+                        ctx.compute_ops(1);
+                    }
+                }
+            }
+            for (d, &v) in incl.iter().enumerate() {
+                sc2.write(ctx, slot(p, stages, d), v);
+            }
+            ctx.barrier(bar);
+            let mut my_start = 0u64;
+            let mut my_total = 0u64;
+            for d in 0..npr {
+                let total = sc2.read(ctx, slot(npr - 1, stages, d));
+                if d < p {
+                    my_start += total;
+                } else if d == p {
+                    my_total = total;
+                }
+                ctx.compute_ops(1);
+            }
+
+            // Phase 6: gather my segments with stride-one remote reads,
+            // staggered to avoid a hot spot.
+            let mut merged: Vec<u64> = Vec::with_capacity(my_total as usize);
+            for t in 0..npr {
+                let q = (p + 1 + t) % npr;
+                let qr = chunk_range(n, npr, q);
+                let lo = bd2.read(ctx, q * (npr + 1) + p) as usize;
+                let hi = bd2.read(ctx, q * (npr + 1) + p + 1) as usize;
+                if do_prefetch && hi > lo {
+                    k2.prefetch(ctx, qr.start + lo, hi - lo);
+                }
+                for i in lo..hi {
+                    merged.push(k2.read(ctx, qr.start + i));
+                }
+            }
+
+            // Phase 7: second local sort, then contiguous write-out.
+            merged.sort_unstable();
+            charge_local_sort(ctx, merged.len() as u64, key_bits);
+            for (off, &k) in merged.iter().enumerate() {
+                o2.write(ctx, my_start as usize + off, k);
+            }
+            ctx.barrier(bar);
+        };
+
+        let verify = move || {
+            for (i, want) in expected.iter().enumerate() {
+                let got = result.get(i);
+                if got != *want {
+                    return Err(format!("samplesort mismatch at {i}: {got} vs {want}"));
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &SampleSort, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn sorts_at_many_proc_counts() {
+        for np in [1usize, 4, 7, 8] {
+            run(&SampleSort::new(3000), np);
+        }
+    }
+
+    #[test]
+    fn skewed_inputs_still_sort() {
+        // Heavily duplicated keys stress splitter handling.
+        let mut app = SampleSort::new(2048);
+        app.key_bits = 4; // only 16 distinct values
+        run(&app, 8);
+    }
+
+    #[test]
+    fn exchange_causes_less_write_protocol_traffic_than_radix() {
+        // The paper's §5.1 point: Sample sort's all-to-all is stride-one
+        // remote *reads*, Radix's is scattered remote *writes*. Writes show
+        // up as invalidations and upgrades; compare the two algorithms on
+        // the same input.
+        let stats_ss = run(&SampleSort::new(4096), 8);
+        let radix = crate::radix::Radix::new(4096);
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(8, 64 << 10)).unwrap();
+        let job = radix.build(&mut m);
+        let body = job.body;
+        let stats_rx = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        let write_traffic =
+            |s: &ccnuma_sim::stats::RunStats| s.total(|p| p.invals_sent + p.upgrades);
+        assert!(
+            write_traffic(&stats_ss) < write_traffic(&stats_rx),
+            "sample sort {} should invalidate less than radix {}",
+            write_traffic(&stats_ss),
+            write_traffic(&stats_rx)
+        );
+    }
+
+    #[test]
+    fn tiny_inputs_and_more_procs_than_keys() {
+        let app = SampleSort::new(5);
+        run(&app, 8);
+    }
+}

@@ -1,0 +1,419 @@
+//! Shear-Warp volume rendering, original and restructured (§4.1, §5.1).
+//!
+//! Shear-warp factorizes the viewing transformation: a **compositing**
+//! phase shears volume slices and composites them front-to-back into a
+//! distorted intermediate image (over 90% of the sequential time), and a
+//! **warp** phase resamples the intermediate image into the final image.
+//!
+//! * **Original**: intermediate-image scanlines are assigned to processors
+//!   in an interleaved round-robin of scanline chunks (for load balance),
+//!   while the warp partitions the *final* image — so the processor that
+//!   warps a row generally did not composite the intermediate rows it
+//!   reads. That interface loses locality and is exactly the memory-time
+//!   bottleneck of Figure 7.
+//! * **Restructured** (the paper's new algorithm, simplified): contiguous
+//!   intermediate partitions sized by *profiled work* (slice coverage per
+//!   scanline, as Lacroute's parallel shear-warp balances on), and each
+//!   processor warps precisely the final rows that sample its own
+//!   intermediate rows — the compositing→warp interface becomes
+//!   processor-local.
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+
+use crate::common::{chunk_range, Job, Workload};
+use crate::volrend::Volrend;
+
+/// Partitioning of the compositing/warp phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShearWarpVariant {
+    /// Interleaved intermediate scanlines; warp partitions the final image.
+    Original,
+    /// Contiguous partitions with a locality-preserving warp assignment.
+    Sweep,
+}
+
+/// Configuration of one Shear-Warp run.
+#[derive(Debug, Clone)]
+pub struct ShearWarp {
+    /// Volume side length (volume is `side³`).
+    pub side: usize,
+    /// Shear per slice in intermediate-image rows (integer, ≥ 0).
+    pub shear: usize,
+    /// Scanline chunk size for the interleaved assignment.
+    pub chunk: usize,
+    /// Which algorithm variant to run.
+    pub variant: ShearWarpVariant,
+}
+
+const SAMPLE_FLOPS: u64 = 8;
+const WARP_FLOPS: u64 = 6;
+const OPACITY_CUTOFF: f64 = 0.95;
+
+impl ShearWarp {
+    /// A Shear-Warp renderer over the same analytic volume as
+    /// [`Volrend`], with a 1-row-per-4-slices shear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 8`.
+    pub fn new(side: usize) -> Self {
+        assert!(side >= 8);
+        ShearWarp { side, shear: 1, chunk: 2, variant: ShearWarpVariant::Original }
+    }
+
+    fn vol(&self) -> Vec<f32> {
+        Volrend::new(self.side).volume()
+    }
+
+    /// Rows of the (sheared) intermediate image.
+    pub fn inter_rows(&self) -> usize {
+        self.side + self.row_shift(self.side - 1) + 1
+    }
+
+    /// Shear offset (in intermediate rows) of slice `z`.
+    fn row_shift(&self, z: usize) -> usize {
+        (z * self.shear) / 4
+    }
+
+    fn transfer(d: f64) -> (f64, f64) {
+        let a = (d - 0.05).max(0.0) * 0.9;
+        (a.min(1.0), d)
+    }
+
+    /// Number of column segments per scanline used for work distribution:
+    /// enough that `nprocs` processors have at least two items each.
+    pub fn segments(&self, nprocs: usize) -> usize {
+        (2 * nprocs).div_ceil(self.inter_rows()).max(1).min(self.side)
+    }
+
+    /// Measured compositing work per item (the *profile* the paper's
+    /// restructured algorithm balances on): a host-side compositing pass
+    /// over the actual volume, so early ray termination is accounted for.
+    fn item_weights(&self, nprocs: usize) -> Vec<u64> {
+        let vol = self.vol();
+        let k = self.segments(nprocs);
+        let rows = self.inter_rows();
+        let n = self.side;
+        (0..rows * k)
+            .map(|item| {
+                let (row, seg) = (item / k, item % k);
+                let cols = chunk_range(n, k, seg);
+                self.composite_row(row, cols, |i| vol[i], |_, _| ()) + 1
+            })
+            .collect()
+    }
+
+    /// Contiguous, profile-balanced partition of the `rows·k` work items
+    /// into `nprocs` groups: returns the `nprocs + 1` item boundaries.
+    pub fn balanced_bounds(&self, nprocs: usize) -> Vec<usize> {
+        let k = self.segments(nprocs);
+        let rows = self.inter_rows();
+        let weights = self.item_weights(nprocs);
+        let total: u64 = weights.iter().sum();
+        let mut bounds = Vec::with_capacity(nprocs + 1);
+        bounds.push(0);
+        let mut acc = 0u64;
+        let mut next_target = 1;
+        for (item, &w) in weights.iter().enumerate() {
+            acc += w;
+            while next_target < nprocs
+                && acc * nprocs as u64 >= total * next_target as u64
+            {
+                bounds.push(item + 1);
+                next_target += 1;
+            }
+        }
+        while bounds.len() < nprocs + 1 {
+            bounds.push(rows * k);
+        }
+        bounds
+    }
+
+    /// Composites intermediate row `v`, columns `cols`, reading voxels
+    /// through `read_voxel` and writing through `write_inter`. The z-loop
+    /// is innermost per pixel so early termination applies per column.
+    fn composite_row(
+        &self,
+        v: usize,
+        cols: std::ops::Range<usize>,
+        mut read_voxel: impl FnMut(usize) -> f32,
+        mut write_inter: impl FnMut(usize, f64),
+    ) -> u64 {
+        let n = self.side;
+        let mut work = 0u64;
+        for u in cols {
+            let mut color = 0.0;
+            let mut alpha = 0.0;
+            for z in 0..n {
+                let shift = self.row_shift(z);
+                if v < shift || v - shift >= n {
+                    continue;
+                }
+                let y = v - shift;
+                let d = f64::from(read_voxel((z * n + y) * n + u));
+                work += SAMPLE_FLOPS;
+                let (a, c) = Self::transfer(d);
+                color += (1.0 - alpha) * a * c;
+                alpha += (1.0 - alpha) * a;
+                if alpha > OPACITY_CUTOFF {
+                    break;
+                }
+            }
+            write_inter(v * n + u, color);
+        }
+        work
+    }
+
+    /// Warps final row `y`: samples two intermediate rows with the inverse
+    /// shear and blends (the un-distortion). Returns charged flops.
+    fn warp_row(
+        &self,
+        y: usize,
+        cols: std::ops::Range<usize>,
+        mut read_inter: impl FnMut(usize) -> f64,
+        mut write_final: impl FnMut(usize, f64),
+    ) -> u64 {
+        let n = self.side;
+        // The inverse warp maps final row y to intermediate rows around
+        // y + mean_shift; blend two rows for a smooth resample.
+        let mean_shift = self.row_shift(n - 1) / 2;
+        let v0 = y + mean_shift;
+        let v1 = (v0 + 1).min(self.inter_rows() - 1);
+        let mut work = 0u64;
+        for x in cols {
+            let a = read_inter(v0 * n + x);
+            let b = read_inter(v1 * n + x);
+            write_final(y * n + x, 0.75 * a + 0.25 * b);
+            work += WARP_FLOPS;
+        }
+        work
+    }
+
+    /// Sequential reference: composite everything, then warp everything.
+    pub fn reference(&self) -> Vec<f64> {
+        let vol = self.vol();
+        let n = self.side;
+        let mut inter = vec![0.0; self.inter_rows() * n];
+        for v in 0..self.inter_rows() {
+            self.composite_row(v, 0..n, |i| vol[i], |i, val| inter[i] = val);
+        }
+        let mut img = vec![0.0; n * n];
+        for y in 0..n {
+            self.warp_row(y, 0..n, |i| inter[i], |i, val| img[i] = val);
+        }
+        img
+    }
+}
+
+impl Workload for ShearWarp {
+    fn name(&self) -> String {
+        match self.variant {
+            ShearWarpVariant::Original => "shearwarp".into(),
+            ShearWarpVariant::Sweep => "shearwarp/sweep".into(),
+        }
+    }
+
+    fn problem(&self) -> String {
+        format!("{0}x{0}x{0} volume", self.side)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let n = self.side;
+        let rows = self.inter_rows();
+        let variant = self.variant;
+        let chunk = self.chunk.max(1);
+        let app = self.clone();
+
+        let volume = machine.shared_vec::<f32>(n * n * n, Placement::Interleaved);
+        let inter = machine.shared_vec::<f64>(rows * n, Placement::Blocked);
+        let image = machine.shared_vec::<f64>(n * n, Placement::Blocked);
+        let bar = machine.barrier();
+        volume.copy_from_slice(&self.vol());
+
+        let (vol2, int2, img2) = (volume.clone(), inter.clone(), image.clone());
+        let expected = self.reference();
+        let out = image.clone();
+        // Profile-balanced sweep partition, one range per processor.
+        let nprocs = machine.nprocs();
+        let sweep_bounds: std::sync::Arc<Vec<std::ops::Range<usize>>> = {
+            let b = self.balanced_bounds(nprocs);
+            std::sync::Arc::new((0..nprocs).map(|q| b[q]..b[q + 1]).collect())
+        };
+
+        let body = move |ctx: &Ctx| {
+            let p = ctx.id();
+            let np = ctx.nprocs();
+            // Work items are (scanline, column segment) pairs so machines
+            // larger than the scanline count still have parallel slack.
+            let k = app.segments(np);
+            let items = rows * k;
+            let item_cols = |seg: usize| chunk_range(n, k, seg);
+            match variant {
+                ShearWarpVariant::Original => {
+                    // Interleaved chunks of intermediate items.
+                    let mut it = p * chunk;
+                    while it < items {
+                        for item in it..(it + chunk).min(items) {
+                            let (row, seg) = (item / k, item % k);
+                            let work = app.composite_row(
+                                row,
+                                item_cols(seg),
+                                |i| vol2.read(ctx, i),
+                                |i, val| int2.write(ctx, i, val),
+                            );
+                            ctx.compute_flops(work);
+                        }
+                        it += np * chunk;
+                    }
+                    ctx.barrier(bar);
+                    // Warp partitions the *final* image: locality with the
+                    // intermediate image is lost.
+                    for item in chunk_range(n * k, np, p) {
+                        let (y, seg) = (item / k, item % k);
+                        let work = app.warp_row(
+                            y,
+                            item_cols(seg),
+                            |i| int2.read(ctx, i),
+                            |i, val| img2.write(ctx, i, val),
+                        );
+                        ctx.compute_flops(work);
+                    }
+                }
+                ShearWarpVariant::Sweep => {
+                    // Contiguous intermediate partition, sized by profiled
+                    // compositing work (profile computed once, before the
+                    // timed region, as the paper's algorithm does between
+                    // frames)...
+                    let mine = sweep_bounds[p].clone();
+                    let _ = items;
+                    for item in mine.clone() {
+                        let (row, seg) = (item / k, item % k);
+                        let work = app.composite_row(
+                            row,
+                            item_cols(seg),
+                            |i| vol2.read(ctx, i),
+                            |i, val| int2.write(ctx, i, val),
+                        );
+                        ctx.compute_flops(work);
+                    }
+                    ctx.barrier(bar);
+                    // ...and each processor warps exactly the final pixels
+                    // whose inverse-warp samples fall in its own partition.
+                    let mean_shift = app.row_shift(n - 1) / 2;
+                    for item in mine {
+                        let (v, seg) = (item / k, item % k);
+                        if v >= mean_shift && v - mean_shift < n {
+                            let work = app.warp_row(
+                                v - mean_shift,
+                                item_cols(seg),
+                                |i| int2.read(ctx, i),
+                                |i, val| img2.write(ctx, i, val),
+                            );
+                            ctx.compute_flops(work);
+                        }
+                    }
+                }
+            }
+            ctx.barrier(bar);
+        };
+
+        let verify = move || {
+            for (i, want) in expected.iter().enumerate() {
+                let (got, want) = (out.get(i), *want);
+                if (got - want).abs() > 1e-12 {
+                    return Err(format!("shearwarp mismatch at pixel {i}: {got} vs {want}"));
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &ShearWarp, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn warp_assignment_covers_all_final_pixels_once() {
+        let app = ShearWarp::new(32);
+        let rows = app.inter_rows();
+        let n = app.side;
+        for np in [1usize, 3, 8, 13, 128] {
+            let k = app.segments(np);
+            let items = rows * k;
+            let mean_shift = app.row_shift(n - 1) / 2;
+            let mut covered = vec![false; n * n];
+            let bounds = app.balanced_bounds(np);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(bounds[np], items);
+            for p in 0..np {
+                for item in bounds[p]..bounds[p + 1] {
+                    let (v, seg) = (item / k, item % k);
+                    if v >= mean_shift && v - mean_shift < n {
+                        for x in chunk_range(n, k, seg) {
+                            let px = (v - mean_shift) * n + x;
+                            assert!(!covered[px], "pixel {px} warped twice (np={np})");
+                            covered[px] = true;
+                        }
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "gap in warp coverage (np={np})");
+        }
+    }
+
+    #[test]
+    fn original_matches_reference() {
+        for np in [1usize, 4, 6] {
+            run(&ShearWarp::new(16), np);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_reference() {
+        let mut app = ShearWarp::new(16);
+        app.variant = ShearWarpVariant::Sweep;
+        for np in [1usize, 4, 6] {
+            run(&app, np);
+        }
+    }
+
+    #[test]
+    fn sweep_restructuring_cuts_interface_communication() {
+        let mk = |variant| {
+            let mut a = ShearWarp::new(32);
+            a.variant = variant;
+            a
+        };
+        let orig = run(&mk(ShearWarpVariant::Original), 8);
+        let sweep = run(&mk(ShearWarpVariant::Sweep), 8);
+        let remote = |s: &ccnuma_sim::stats::RunStats| {
+            s.total(|p| p.misses_remote_clean + p.misses_remote_dirty)
+        };
+        assert!(
+            remote(&sweep) < remote(&orig),
+            "sweep should reduce remote misses: {} vs {}",
+            remote(&sweep),
+            remote(&orig)
+        );
+    }
+
+    #[test]
+    fn rendered_image_has_structure() {
+        let img = ShearWarp::new(24).reference();
+        let max = img.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.2, "max {max}");
+    }
+}

@@ -1,0 +1,170 @@
+//! A simple red-black SOR solver, used by §7.1 of the paper to corroborate
+//! the Ocean topology-mapping findings on the plainest possible
+//! near-neighbour kernel.
+//!
+//! Rowwise strip partitioning over a single `(dim+2)²` grid; a fixed number
+//! of red/black sweeps. Results are bitwise identical across processor
+//! counts (red-black updates are order-independent within a colour).
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+
+use crate::common::{chunk_range, Job, Workload};
+
+/// Configuration of one SOR run.
+#[derive(Debug, Clone)]
+pub struct Sor {
+    /// Interior grid dimension (the full grid is `(dim+2)²`).
+    pub dim: usize,
+    /// Number of full red+black sweeps.
+    pub sweeps: usize,
+    /// Over-relaxation factor ω.
+    pub omega: f64,
+    /// `true` = manual placement (strips local), `false` = policy.
+    pub manual_placement: bool,
+}
+
+impl Sor {
+    /// A `dim²` SOR with 4 sweeps and ω = 1.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 4`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 4);
+        Sor { dim, sweeps: 4, omega: 1.5, manual_placement: true }
+    }
+
+    /// Fixed boundary condition along the top edge.
+    fn boundary(j: usize, dim: usize) -> f64 {
+        (std::f64::consts::PI * j as f64 / (dim + 1) as f64).sin()
+    }
+
+    /// Sequential reference grid after all sweeps.
+    pub fn reference(&self) -> Vec<f64> {
+        let d = self.dim;
+        let side = d + 2;
+        let mut u = vec![0.0; side * side];
+        for (j, cell) in u.iter_mut().enumerate().take(side) {
+            *cell = Self::boundary(j, d);
+        }
+        for _ in 0..self.sweeps {
+            for color in 0..2 {
+                for i in 1..=d {
+                    for j in 1..=d {
+                        if (i + j) % 2 == color {
+                            let s = u[(i - 1) * side + j]
+                                + u[(i + 1) * side + j]
+                                + u[i * side + j - 1]
+                                + u[i * side + j + 1];
+                            u[i * side + j] =
+                                (1.0 - self.omega) * u[i * side + j] + self.omega * 0.25 * s;
+                        }
+                    }
+                }
+            }
+        }
+        u
+    }
+}
+
+impl Workload for Sor {
+    fn name(&self) -> String {
+        "sor".into()
+    }
+
+    fn problem(&self) -> String {
+        format!("{0}x{0} grid", self.dim + 2)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let d = self.dim;
+        let side = d + 2;
+        let sweeps = self.sweeps;
+        let omega = self.omega;
+        let placement = if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let grid = machine.shared_vec::<f64>(side * side, placement);
+        let bar = machine.barrier();
+        for j in 0..side {
+            grid.set(j, Self::boundary(j, d));
+        }
+
+        let g2 = grid.clone();
+        let expected = self.reference();
+        let out = grid.clone();
+
+        let body = move |ctx: &Ctx| {
+            let rows = chunk_range(d, ctx.nprocs(), ctx.id());
+            for _ in 0..sweeps {
+                for color in 0..2 {
+                    for i in rows.clone().map(|r| r + 1) {
+                        for j in 1..=d {
+                            if (i + j) % 2 == color {
+                                let s = g2.read(ctx, (i - 1) * side + j)
+                                    + g2.read(ctx, (i + 1) * side + j)
+                                    + g2.read(ctx, i * side + j - 1)
+                                    + g2.read(ctx, i * side + j + 1);
+                                let old = g2.read(ctx, i * side + j);
+                                g2.write(ctx, i * side + j, (1.0 - omega) * old + omega * 0.25 * s);
+                                ctx.compute_flops(26);
+                            }
+                        }
+                    }
+                    ctx.barrier(bar);
+                }
+            }
+        };
+
+        let verify = move || {
+            for (i, want) in expected.iter().enumerate() {
+                let (got, want) = (out.get(i), *want);
+                if (got - want).abs() > 1e-12 {
+                    return Err(format!("sor mismatch at {i}: {got} vs {want}"));
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &Sor, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn matches_reference() {
+        for np in [1usize, 3, 8] {
+            run(&Sor::new(24), np);
+        }
+    }
+
+    #[test]
+    fn boundary_heat_diffuses_inward() {
+        let app = Sor::new(16);
+        let u = app.reference();
+        let side = 18;
+        // After sweeps, the first interior row should be warm.
+        let mid = u[side + 9];
+        assert!(mid > 0.05, "interior stayed cold: {mid}");
+    }
+
+    #[test]
+    fn communication_is_strip_boundary_only() {
+        let stats = run(&Sor::new(64), 8);
+        let remote = stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty);
+        let total = stats.total(|p| p.accesses());
+        assert!(remote > 0);
+        assert!((remote as f64) < 0.2 * total as f64, "{remote}/{total}");
+    }
+}

@@ -1,0 +1,373 @@
+//! Water-Nsquared: O(n²) molecular dynamics with the paper's loop-order
+//! restructuring (§5.1).
+//!
+//! Molecules live in a contiguous array, partitioned into blocks of n/p.
+//! Each molecule interacts with the following n/2 molecules (half of all
+//! pairs, circularly). The **original** SPLASH-2 loop nest iterates over
+//! local molecules in the outer loop, touching all n/2 partner molecules in
+//! the inner loop: when those partners exceed the cache, every outer
+//! iteration re-misses on *remote* data, generating artifactual
+//! communication. The **interchanged** loop order touches each remote
+//! partner once and reuses it against all local molecules — temporal
+//! locality moves to the remote data, where misses are expensive.
+//!
+//! Cross-processor force contributions are accumulated in private arrays
+//! and combined in a lock-protected, staggered reduction phase, as the
+//! SPLASH-2 code does.
+
+use std::sync::Arc;
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+use ccnuma_sim::sync::LockRef;
+
+use crate::common::{chunk_range, Job, Workload, XorShift};
+
+/// Loop-nest order of the force phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopOrder {
+    /// Outer loop over local molecules (SPLASH-2 original).
+    Original,
+    /// Outer loop over partner molecules (the paper's restructuring).
+    Interchanged,
+}
+
+/// Configuration of one Water-Nsquared run.
+#[derive(Debug, Clone)]
+pub struct WaterNsq {
+    /// Number of molecules (must be even).
+    pub n_mols: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Loop order variant.
+    pub variant: LoopOrder,
+    /// Seed for initial positions.
+    pub seed: u64,
+}
+
+const DT: f64 = 1e-4;
+/// Flops charged per pair interaction.
+const PAIR_FLOPS: u64 = 20;
+// The `aux` array allocated in `build()` models the SPLASH-2 molecule
+// record (multipole moments, derivatives, …) read for every partner: its
+// 64 B per molecule put the partner working set over cache at the same
+// ratio as the original's ~680 B molecules against a 4 MB cache.
+
+impl WaterNsq {
+    /// An original-loop-order run of `n_mols` molecules for 1 step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mols` is odd or less than 8.
+    pub fn new(n_mols: usize) -> Self {
+        assert!(n_mols >= 8 && n_mols.is_multiple_of(2), "n_mols must be even and ≥ 8");
+        WaterNsq { n_mols, steps: 1, variant: LoopOrder::Original, seed: 0x4A7E6 }
+    }
+
+    /// Deterministic initial positions in a unit-density box.
+    pub fn initial_positions(&self) -> Vec<[f64; 3]> {
+        let mut rng = XorShift::new(self.seed);
+        let l = (self.n_mols as f64).cbrt() * 1.2;
+        (0..self.n_mols)
+            .map(|_| [rng.range_f64(0.0, l), rng.range_f64(0.0, l), rng.range_f64(0.0, l)])
+            .collect()
+    }
+
+    /// Whether the (i, j) pair with partner offset `k` is computed by the
+    /// owner of `i` (avoids double-counting the diametral pair).
+    fn owns_pair(i: usize, k: usize, n: usize) -> bool {
+        k < n / 2 || i < n / 2
+    }
+
+    /// Pairwise force of `a` on `b`'s partner: a softened Lennard-Jones-ish
+    /// interaction, deterministic and smooth.
+    fn pair_force(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        let dx = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+        let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + 0.25;
+        let inv = 1.0 / r2;
+        let mag = inv * inv * (inv - 0.4);
+        [mag * dx[0], mag * dx[1], mag * dx[2]]
+    }
+
+    /// Host reference: runs the same algorithm sequentially (original loop
+    /// order; the physics is order-insensitive up to FP rounding).
+    pub fn reference(&self) -> Vec<[f64; 3]> {
+        let n = self.n_mols;
+        let mut pos = self.initial_positions();
+        let mut vel = vec![[0.0f64; 3]; n];
+        for _ in 0..self.steps {
+            let mut acc = vec![[0.0f64; 3]; n];
+            for i in 0..n {
+                for k in 1..=n / 2 {
+                    if !Self::owns_pair(i, k, n) {
+                        continue;
+                    }
+                    let j = (i + k) % n;
+                    let f = Self::pair_force(pos[i], pos[j]);
+                    for d in 0..3 {
+                        acc[i][d] += f[d];
+                        acc[j][d] -= f[d];
+                    }
+                }
+            }
+            for i in 0..n {
+                for d in 0..3 {
+                    vel[i][d] += acc[i][d] * DT;
+                    pos[i][d] += vel[i][d] * DT;
+                }
+            }
+        }
+        pos
+    }
+}
+
+/// Staggered, lock-protected reduction of private force contributions into
+/// the shared acceleration array (the SPLASH-2 scheme).
+fn reduce_forces(
+    ctx: &Ctx,
+    acc: &ccnuma_sim::shared::SharedVec<[f64; 3]>,
+    local: &[[f64; 3]],
+    locks: &[LockRef],
+    n: usize,
+) {
+    let np = ctx.nprocs();
+    let p = ctx.id();
+    for t in 0..np {
+        let b = (p + t) % np;
+        let range = chunk_range(n, np, b);
+        // Skip blocks we contributed nothing to.
+        let touched = range.clone().any(|i| local[i] != [0.0; 3]);
+        if !touched {
+            continue;
+        }
+        ctx.lock(locks[b]);
+        for i in range {
+            if local[i] != [0.0; 3] {
+                let mut v = acc.read(ctx, i);
+                for d in 0..3 {
+                    v[d] += local[i][d];
+                }
+                acc.write(ctx, i, v);
+                ctx.compute_flops(3);
+            }
+        }
+        ctx.unlock(locks[b]);
+    }
+}
+
+impl Workload for WaterNsq {
+    fn name(&self) -> String {
+        match self.variant {
+            LoopOrder::Original => "water-nsq".into(),
+            LoopOrder::Interchanged => "water-nsq/interchanged".into(),
+        }
+    }
+
+    fn problem(&self) -> String {
+        format!("{} molecules", self.n_mols)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let n = self.n_mols;
+        let steps = self.steps;
+        let variant = self.variant;
+        let np = machine.nprocs();
+
+        let pos = machine.shared_vec::<[f64; 3]>(n, Placement::Blocked);
+        let aux = machine.shared_vec::<[f64; 8]>(n, Placement::Blocked);
+        let vel = machine.shared_vec::<[f64; 3]>(n, Placement::Blocked);
+        let acc = machine.shared_vec::<[f64; 3]>(n, Placement::Blocked);
+        let locks = Arc::new(machine.lock_array(np));
+        let bar = machine.barrier();
+        pos.copy_from_slice(&self.initial_positions());
+
+        let (pos2, vel2, acc2, aux2) = (pos.clone(), vel.clone(), acc.clone(), aux.clone());
+        let locks2 = Arc::clone(&locks);
+        let expected = self.reference();
+        let out = pos.clone();
+
+        let body = move |ctx: &Ctx| {
+            let p = ctx.id();
+            let npr = ctx.nprocs();
+            let my = chunk_range(n, npr, p);
+            for _ in 0..steps {
+                // Zero my block of the shared accelerations.
+                for i in my.clone() {
+                    acc2.write(ctx, i, [0.0; 3]);
+                }
+                ctx.barrier(bar);
+
+                // Force phase into a private accumulation array.
+                let mut local = vec![[0.0f64; 3]; n];
+                match variant {
+                    LoopOrder::Original => {
+                        for i in my.clone() {
+                            let pi = pos2.read(ctx, i);
+                            for k in 1..=n / 2 {
+                                if !WaterNsq::owns_pair(i, k, n) {
+                                    continue;
+                                }
+                                let j = (i + k) % n;
+                                let pj = pos2.read(ctx, j);
+                                let _ = aux2.read(ctx, j);
+                                let f = WaterNsq::pair_force(pi, pj);
+                                for d in 0..3 {
+                                    local[i][d] += f[d];
+                                    local[j][d] -= f[d];
+                                }
+                                ctx.compute_flops(PAIR_FLOPS);
+                            }
+                        }
+                    }
+                    LoopOrder::Interchanged => {
+                        // Outer loop over partners: each molecule j is read
+                        // once and reused against every local i it pairs
+                        // with. Partner indices span (my.start, my.end + n/2).
+                        for jj in my.start + 1..my.end + n / 2 {
+                            let j = jj % n;
+                            let pj = pos2.read(ctx, j);
+                            let _ = aux2.read(ctx, j);
+                            let lo = my.start.max(jj.saturating_sub(n / 2));
+                            let hi = my.end.min(jj);
+                            for i in lo..hi {
+                                let k = jj - i;
+                                if !WaterNsq::owns_pair(i, k, n) {
+                                    continue;
+                                }
+                                let pi = pos2.read(ctx, i);
+                                let f = WaterNsq::pair_force(pi, pj);
+                                for d in 0..3 {
+                                    local[i][d] += f[d];
+                                    local[j][d] -= f[d];
+                                }
+                                ctx.compute_flops(PAIR_FLOPS);
+                            }
+                        }
+                    }
+                }
+                reduce_forces(ctx, &acc2, &local, &locks2, n);
+                ctx.barrier(bar);
+
+                // Update my molecules.
+                for i in my.clone() {
+                    let a = acc2.read(ctx, i);
+                    let mut v = vel2.read(ctx, i);
+                    let mut x = pos2.read(ctx, i);
+                    for d in 0..3 {
+                        v[d] += a[d] * DT;
+                        x[d] += v[d] * DT;
+                    }
+                    vel2.write(ctx, i, v);
+                    pos2.write(ctx, i, x);
+                    ctx.compute_flops(12);
+                }
+                ctx.barrier(bar);
+            }
+        };
+
+        let verify = move || {
+            for (i, want) in expected.iter().enumerate() {
+                let got = out.get(i);
+                let want = *want;
+                for d in 0..3 {
+                    let err = (got[d] - want[d]).abs();
+                    let scale = want[d].abs().max(1.0);
+                    if err > 1e-9 * scale {
+                        return Err(format!(
+                            "water-nsq mismatch at mol {i} dim {d}: {} vs {} (err {err})",
+                            got[d], want[d]
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &WaterNsq, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn pair_ownership_covers_each_pair_once() {
+        let n = 16;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for k in 1..=n / 2 {
+                if WaterNsq::owns_pair(i, k, n) {
+                    let j = (i + k) % n;
+                    let key = (i.min(j), i.max(j));
+                    assert!(seen.insert(key), "pair {key:?} computed twice");
+                }
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn original_matches_reference() {
+        for np in [1usize, 4, 6] {
+            run(&WaterNsq::new(64), np);
+        }
+    }
+
+    #[test]
+    fn interchanged_matches_reference() {
+        let mut app = WaterNsq::new(64);
+        app.variant = LoopOrder::Interchanged;
+        for np in [1usize, 4, 6] {
+            run(&app, np);
+        }
+    }
+
+    #[test]
+    fn multi_step_runs_stay_correct() {
+        let mut app = WaterNsq::new(32);
+        app.steps = 3;
+        app.variant = LoopOrder::Interchanged;
+        run(&app, 4);
+    }
+
+    #[test]
+    fn interchange_improves_remote_reuse_when_partners_exceed_cache() {
+        // 4096 molecules × 24 B ≈ 96 KB of positions; partners (n/2 ≈ 48 KB)
+        // plus locals overflow the 16 KB cache we configure here.
+        let mk = |variant| {
+            let mut a = WaterNsq::new(4096);
+            a.variant = variant;
+            a
+        };
+        let run_small_cache = |app: &WaterNsq| {
+            let mut m = Machine::new(MachineConfig::origin2000_scaled(8, 16 << 10)).unwrap();
+            let job = app.build(&mut m);
+            let body = job.body;
+            let stats = m.run(move |ctx| body(ctx)).unwrap();
+            (job.verify)().unwrap();
+            stats
+        };
+        let orig = run_small_cache(&mk(LoopOrder::Original));
+        let inter = run_small_cache(&mk(LoopOrder::Interchanged));
+        let remote = |s: &ccnuma_sim::stats::RunStats| {
+            s.total(|p| p.misses_remote_clean + p.misses_remote_dirty)
+        };
+        assert!(
+            remote(&inter) < remote(&orig) / 2,
+            "interchange should slash remote misses: {} vs {}",
+            remote(&inter),
+            remote(&orig)
+        );
+        assert!(inter.wall_ns < orig.wall_ns);
+    }
+}

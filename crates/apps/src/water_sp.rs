@@ -1,0 +1,419 @@
+//! Water-Spatial: molecular dynamics with a 3-D cell decomposition.
+//!
+//! The box is divided into unit cells (the interaction cutoff); molecules
+//! interact only with molecules in their own and neighbouring cells.
+//! Processors own contiguous 3-D blocks of cells, so communication is
+//! near-neighbour: only boundary-face cells are read remotely. As the
+//! problem grows, the surface-to-volume ratio — and with it both the
+//! communication-to-computation ratio and the communication *imbalance* —
+//! shrinks, which is how the paper explains Water-Spatial's scaling
+//! (Figure 5).
+//!
+//! Each processor evaluates the *full* neighbour list of its own molecules
+//! (every pair computed from both sides), so force accumulation is
+//! single-writer: no cross-processor reduction or locking is needed.
+//!
+//! Simplification vs SPLASH-2: the cell lists are rebuilt redundantly by
+//! every processor from a snapshot (charged as integer work) rather than
+//! cooperatively with locks; list rebuild is a small fraction of time in
+//! both codes and molecules are pre-sorted by cell so block placement makes
+//! a processor's slab local.
+
+use std::sync::Arc;
+
+use ccnuma_sim::ctx::Ctx;
+use ccnuma_sim::machine::{Machine, Placement};
+
+use crate::common::{chunk_range, Job, Workload, XorShift};
+
+/// Configuration of one Water-Spatial run.
+#[derive(Debug, Clone)]
+pub struct WaterSpatial {
+    /// Number of molecules.
+    pub n_mols: usize,
+    /// Cells per box side (cell size = cutoff = 1.0).
+    pub side: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Seed for initial positions.
+    pub seed: u64,
+}
+
+const DT: f64 = 1e-4;
+const PAIR_FLOPS: u64 = 160;
+
+/// Cell lists: molecule ids sorted by cell, plus per-cell start offsets.
+#[derive(Debug, Clone)]
+struct CellLists {
+    order: Vec<usize>,
+    start: Vec<usize>,
+}
+
+impl WaterSpatial {
+    /// `n_mols` molecules at roughly unit density (side = ⌈∛n⌉, min 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mols` is zero.
+    pub fn new(n_mols: usize) -> Self {
+        assert!(n_mols > 0);
+        let side = ((n_mols as f64).cbrt().ceil() as usize).max(3);
+        WaterSpatial { n_mols, side, steps: 1, seed: 0x3A7 }
+    }
+
+    /// Deterministic initial positions, pre-sorted by cell so that block
+    /// placement gives each processor's slab locally-homed molecules.
+    pub fn initial_positions(&self) -> Vec<[f64; 3]> {
+        let mut rng = XorShift::new(self.seed);
+        let l = self.side as f64;
+        let mut pos: Vec<[f64; 3]> = (0..self.n_mols)
+            .map(|_| {
+                [
+                    rng.range_f64(0.01, l - 0.01),
+                    rng.range_f64(0.01, l - 0.01),
+                    rng.range_f64(0.01, l - 0.01),
+                ]
+            })
+            .collect();
+        let side = self.side;
+        pos.sort_by_key(|p| cell_index(cell_of(*p, side), side));
+        pos
+    }
+
+    /// Host reference: identical algorithm, sequential.
+    pub fn reference(&self) -> Vec<[f64; 3]> {
+        let mut pos = self.initial_positions();
+        let mut vel = vec![[0.0f64; 3]; self.n_mols];
+        let s = self.side;
+        for _ in 0..self.steps {
+            let lists = bin(&pos, s);
+            let mut acc = vec![[0.0f64; 3]; self.n_mols];
+            for cz in 0..s {
+                for c in plane_cells(cz, s) {
+                    for t in lists.start[c]..lists.start[c + 1] {
+                        let i = lists.order[t];
+                        let (a, _) = force_on(i, pos[i], decompose(c, s), s, &lists, |j| pos[j]);
+                        acc[i] = a;
+                    }
+                }
+            }
+            for i in 0..self.n_mols {
+                for d in 0..3 {
+                    vel[i][d] += acc[i][d] * DT;
+                    pos[i][d] += vel[i][d] * DT;
+                }
+            }
+        }
+        pos
+    }
+}
+
+fn cell_of(p: [f64; 3], side: usize) -> (usize, usize, usize) {
+    let s = side as f64;
+    let clamp = |x: f64| ((x.max(0.0).min(s - 1e-9)) as usize).min(side - 1);
+    (clamp(p[0]), clamp(p[1]), clamp(p[2]))
+}
+
+fn cell_index(c: (usize, usize, usize), side: usize) -> usize {
+    c.2 * side * side + c.1 * side + c.0
+}
+
+fn decompose(c: usize, side: usize) -> (usize, usize, usize) {
+    (c % side, (c / side) % side, c / (side * side))
+}
+
+/// Linear cell indices of z-plane `cz`, in deterministic order.
+fn plane_cells(cz: usize, side: usize) -> std::ops::Range<usize> {
+    cz * side * side..(cz + 1) * side * side
+}
+
+/// Factors `nprocs` into a (px, py, pz) grid, near-cubic.
+fn proc_grid_3d(nprocs: usize) -> (usize, usize, usize) {
+    let mut best = (1, 1, nprocs);
+    let mut best_score = usize::MAX;
+    for px in 1..=nprocs {
+        if !nprocs.is_multiple_of(px) {
+            continue;
+        }
+        let rest = nprocs / px;
+        for py in 1..=rest {
+            if !rest.is_multiple_of(py) {
+                continue;
+            }
+            let pz = rest / py;
+            let score = px.max(py).max(pz) - px.min(py).min(pz);
+            if score < best_score {
+                best_score = score;
+                best = (px, py, pz);
+            }
+        }
+    }
+    best
+}
+
+/// The cells owned by processor `p`: a 3-D block (x, y, z ranges).
+fn my_cells(
+    side: usize,
+    nprocs: usize,
+    p: usize,
+) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+    let (px, py, pz) = proc_grid_3d(nprocs);
+    let ix = p % px;
+    let iy = (p / px) % py;
+    let iz = p / (px * py);
+    (chunk_range(side, px, ix), chunk_range(side, py, iy), chunk_range(side, pz, iz))
+}
+
+fn bin(pos: &[[f64; 3]], side: usize) -> CellLists {
+    let ncells = side * side * side;
+    let mut count = vec![0usize; ncells + 1];
+    for p in pos {
+        count[cell_index(cell_of(*p, side), side) + 1] += 1;
+    }
+    for c in 0..ncells {
+        count[c + 1] += count[c];
+    }
+    let start = count.clone();
+    let mut cursor = count;
+    let mut order = vec![0usize; pos.len()];
+    for (i, p) in pos.iter().enumerate() {
+        let c = cell_index(cell_of(*p, side), side);
+        order[cursor[c]] = i;
+        cursor[c] += 1;
+    }
+    CellLists { order, start }
+}
+
+/// Total force on molecule `i` at `pi` in cell `c` from its 27-cell
+/// neighbourhood, reading partner positions through `read_pos` (timed in
+/// the parallel code, direct on the host). Returns (force, pairs examined).
+fn force_on(
+    i: usize,
+    pi: [f64; 3],
+    c: (usize, usize, usize),
+    side: usize,
+    lists: &CellLists,
+    mut read_pos: impl FnMut(usize) -> [f64; 3],
+) -> ([f64; 3], u64) {
+    let mut acc = [0.0f64; 3];
+    let mut pairs = 0;
+    for dz in -1i64..=1 {
+        let nz = c.2 as i64 + dz;
+        if nz < 0 || nz >= side as i64 {
+            continue;
+        }
+        for dy in -1i64..=1 {
+            let ny = c.1 as i64 + dy;
+            if ny < 0 || ny >= side as i64 {
+                continue;
+            }
+            for dx in -1i64..=1 {
+                let nx = c.0 as i64 + dx;
+                if nx < 0 || nx >= side as i64 {
+                    continue;
+                }
+                let nc = cell_index((nx as usize, ny as usize, nz as usize), side);
+                for t in lists.start[nc]..lists.start[nc + 1] {
+                    let j = lists.order[t];
+                    if j == i {
+                        continue;
+                    }
+                    let pj = read_pos(j);
+                    pairs += 1;
+                    let dxv = [pi[0] - pj[0], pi[1] - pj[1], pi[2] - pj[2]];
+                    let r2 = dxv[0] * dxv[0] + dxv[1] * dxv[1] + dxv[2] * dxv[2];
+                    if r2 < 1.0 {
+                        let r2s = r2 + 0.25;
+                        let inv = 1.0 / r2s;
+                        let mag = inv * inv * (inv - 0.4);
+                        for d in 0..3 {
+                            acc[d] += mag * dxv[d];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (acc, pairs)
+}
+
+impl Workload for WaterSpatial {
+    fn name(&self) -> String {
+        "water-sp".into()
+    }
+
+    fn problem(&self) -> String {
+        format!("{} molecules", self.n_mols)
+    }
+
+    fn build(&self, machine: &mut Machine) -> Job {
+        let n = self.n_mols;
+        let side = self.side;
+        let steps = self.steps;
+
+        let pos = machine.shared_vec::<[f64; 3]>(n, Placement::Blocked);
+        let vel = machine.shared_vec::<[f64; 3]>(n, Placement::Blocked);
+        let acc = machine.shared_vec::<[f64; 3]>(n, Placement::Blocked);
+        let bar = machine.barrier();
+        pos.copy_from_slice(&self.initial_positions());
+
+        let (pos2, vel2, acc2) = (pos.clone(), vel.clone(), acc.clone());
+        let expected = self.reference();
+        let out = pos.clone();
+
+        let body = move |ctx: &Ctx| {
+            let p = ctx.id();
+            let np = ctx.nprocs();
+            let (mx, my_r, mz) = my_cells(side, np, p);
+            for _ in 0..steps {
+                // Rebuild cell lists from a consistent snapshot (all
+                // processors are past the previous barrier). Charged as the
+                // per-processor share of the rebuild.
+                let snapshot: Vec<[f64; 3]> = (0..n).map(|i| pos2.get(i)).collect();
+                let lists = Arc::new(bin(&snapshot, side));
+                ctx.compute_ops((2 * n / np.max(1)) as u64 + 64);
+                ctx.barrier(bar);
+
+                // Force phase over my 3-D block of cells.
+                for cz in mz.clone() {
+                    for cy in my_r.clone() {
+                        for cx in mx.clone() {
+                            let c = cell_index((cx, cy, cz), side);
+                            for t in lists.start[c]..lists.start[c + 1] {
+                                let i = lists.order[t];
+                                let pi = pos2.read(ctx, i);
+                                let (a, pairs) =
+                                    force_on(i, pi, (cx, cy, cz), side, &lists, |j| {
+                                        pos2.read(ctx, j)
+                                    });
+                                ctx.compute_flops(pairs * PAIR_FLOPS);
+                                acc2.write(ctx, i, a);
+                            }
+                        }
+                    }
+                }
+                ctx.barrier(bar);
+
+                // Update my molecules.
+                for cz in mz.clone() {
+                    for cy in my_r.clone() {
+                        for cx in mx.clone() {
+                            let c = cell_index((cx, cy, cz), side);
+                            for t in lists.start[c]..lists.start[c + 1] {
+                                let i = lists.order[t];
+                                let a = acc2.read(ctx, i);
+                                let mut v = vel2.read(ctx, i);
+                                let mut x = pos2.read(ctx, i);
+                                for d in 0..3 {
+                                    v[d] += a[d] * DT;
+                                    x[d] += v[d] * DT;
+                                }
+                                vel2.write(ctx, i, v);
+                                pos2.write(ctx, i, x);
+                                ctx.compute_flops(12);
+                            }
+                        }
+                    }
+                }
+                ctx.barrier(bar);
+            }
+        };
+
+        let verify = move || {
+            for (i, want) in expected.iter().enumerate() {
+                let got = out.get(i);
+                let want = *want;
+                for d in 0..3 {
+                    if (got[d] - want[d]).abs() > 1e-12 * want[d].abs().max(1.0) {
+                        return Err(format!(
+                            "water-sp mismatch at mol {i} dim {d}: {} vs {}",
+                            got[d], want[d]
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        };
+        Job::new(body, verify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::config::MachineConfig;
+
+    fn run(app: &WaterSpatial, np: usize) -> ccnuma_sim::stats::RunStats {
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 64 << 10)).unwrap();
+        let job = app.build(&mut m);
+        let body = job.body;
+        let stats = m.run(move |ctx| body(ctx)).unwrap();
+        (job.verify)().unwrap();
+        stats
+    }
+
+    #[test]
+    fn binning_is_consistent() {
+        let app = WaterSpatial::new(200);
+        let pos = app.initial_positions();
+        let lists = bin(&pos, app.side);
+        // Every molecule appears exactly once and in its own cell's span.
+        let mut seen = vec![false; 200];
+        let ncells = app.side.pow(3);
+        for c in 0..ncells {
+            for t in lists.start[c]..lists.start[c + 1] {
+                let i = lists.order[t];
+                assert!(!seen[i]);
+                seen[i] = true;
+                assert_eq!(cell_index(cell_of(pos[i], app.side), app.side), c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn matches_reference_at_many_proc_counts() {
+        for np in [1usize, 3, 8] {
+            run(&WaterSpatial::new(300), np);
+        }
+    }
+
+    #[test]
+    fn multi_step_stays_correct() {
+        let mut app = WaterSpatial::new(150);
+        app.steps = 3;
+        run(&app, 4);
+    }
+
+    #[test]
+    fn communication_is_near_neighbor_only() {
+        // With 8 slabs, only boundary planes are remote; remote misses must
+        // be well below the n-squared regime.
+        let stats = run(&WaterSpatial::new(1000), 8);
+        let remote = stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty);
+        let total = stats.total(|p| p.accesses());
+        assert!(remote > 0);
+        assert!(
+            (remote as f64) < 0.3 * total as f64,
+            "communication should be boundary-only: {remote}/{total}"
+        );
+    }
+
+    #[test]
+    fn larger_problems_reduce_sync_share() {
+        // The Figure-5 effect: growing the problem shrinks the
+        // synchronization (imbalance) share of execution time.
+        let small = run(&WaterSpatial::new(200), 8);
+        let large = run(&WaterSpatial::new(1600), 8);
+        let sync_share = |s: &ccnuma_sim::stats::RunStats| {
+            let (_, _, sync) = s.avg_breakdown_pct();
+            sync
+        };
+        assert!(
+            sync_share(&large) < sync_share(&small),
+            "sync share should fall with size: {} vs {}",
+            sync_share(&large),
+            sync_share(&small)
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion benchmarks of whole (small) application runs on the simulated
+//! machine — one per workload family, guarding end-to-end harness
+//! performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scaling_study::runner::Runner;
+use splash_apps::barnes::Barnes;
+use splash_apps::fft::Fft;
+use splash_apps::ocean::Ocean;
+use splash_apps::radix::Radix;
+use splash_apps::water_nsq::WaterNsq;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("app_run_8p");
+    g.sample_size(10);
+    g.bench_function("fft_2e10", |b| {
+        b.iter(|| Runner::new(16 << 10).run(&Fft::new(10), 8).unwrap())
+    });
+    g.bench_function("ocean_32", |b| {
+        b.iter(|| Runner::new(16 << 10).run(&Ocean::new(32), 8).unwrap())
+    });
+    g.bench_function("radix_8k", |b| {
+        b.iter(|| Runner::new(16 << 10).run(&Radix::new(8 << 10), 8).unwrap())
+    });
+    g.bench_function("barnes_256", |b| {
+        b.iter(|| Runner::new(16 << 10).run(&Barnes::new(256), 8).unwrap())
+    });
+    g.bench_function("water_nsq_128", |b| {
+        b.iter(|| Runner::new(16 << 10).run(&WaterNsq::new(128), 8).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

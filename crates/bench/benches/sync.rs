@@ -1,0 +1,32 @@
+//! Criterion benchmarks of the §6.3 synchronization microprobes: lock and
+//! barrier episodes under LL/SC vs at-memory fetch&op.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ccnuma_sim::config::{BarrierImpl, LockImpl};
+use study_bench::probes::{barrier_probe, lock_probe};
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_probe_16p");
+    g.sample_size(10);
+    for imp in [LockImpl::TicketLlsc, LockImpl::TicketFetchOp] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{imp:?}")), &imp, |b, &i| {
+            b.iter(|| lock_probe(i, 16, 10))
+        });
+    }
+    g.finish();
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_probe_16p");
+    g.sample_size(10);
+    for imp in [BarrierImpl::TournamentLlsc, BarrierImpl::CentralLlsc, BarrierImpl::CentralFetchOp] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{imp:?}")), &imp, |b, &i| {
+            b.iter(|| barrier_probe(i, 16, 10))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locks, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! # study-bench — harnesses regenerating the paper's tables and figures
+//!
+//! The [`figures`] module contains one function per table/figure; the
+//! `repro` binary drives them (`repro all --quick` smoke-runs everything).
+//! [`probes`] holds the raw memory-system microbenchmarks (Table 1, §6.3).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod probes;

@@ -1,0 +1,84 @@
+//! `repro` — regenerate the tables and figures of Jiang & Singh (ISCA'99).
+//!
+//! ```text
+//! repro <experiment> [--quick] [--csv]
+//!
+//! experiments:
+//!   table1 table2 fig2 fig3 fig4 fig5-8 fig9 fig10 table3
+//!   prefetch migration sync mapping nodeshare guidelines all
+//!
+//! --quick   small machines and problems (seconds instead of minutes)
+//! --csv     emit CSV instead of aligned text tables
+//! ```
+
+use scaling_study::experiments::Scale;
+use scaling_study::report::Table;
+use study_bench::figures;
+
+fn print_tables(tables: &[Table], csv: bool) {
+    for t in tables {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+    }
+}
+
+fn run_one(name: &str, scale: Scale, csv: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let mut runner = figures::runner_for(scale);
+    let tables: Vec<Table> = match name {
+        "table1" => vec![figures::table1()],
+        "table2" => vec![figures::table2(&mut runner, scale)?],
+        "fig2" => vec![figures::fig2(&mut runner, scale)?],
+        "fig3" => vec![figures::fig3(&mut runner, scale)?],
+        "fig4" => figures::fig4(&mut runner, scale)?,
+        "fig5-8" | "fig5" | "fig6" | "fig7" | "fig8" => figures::figs5to8(&mut runner, scale)?,
+        "fig9" => vec![figures::fig9(&mut runner, scale)?],
+        "fig10" => vec![figures::fig10(&mut runner, scale)?],
+        "table3" => vec![figures::table3(&mut runner, scale)?],
+        "prefetch" => vec![figures::prefetch(&mut runner, scale)?],
+        "migration" => vec![figures::migration(&mut runner, scale)?],
+        "sync" => figures::sync(&mut runner, scale)?,
+        "mapping" => vec![figures::mapping(&mut runner, scale)?],
+        "nodeshare" => vec![figures::nodeshare(&mut runner, scale)?],
+        "svm" => vec![figures::svm(&mut runner, scale)?],
+        "ablation" => vec![figures::ablation(&mut runner, scale)?],
+        "profile" => figures::profile(&mut runner, scale)?,
+        "guidelines" => vec![figures::guidelines()],
+        other => return Err(format!("unknown experiment {other:?} (try --help)").into()),
+    };
+    print_tables(&tables, csv);
+    Ok(())
+}
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5-8", "fig9", "fig10", "table3", "prefetch",
+    "migration", "sync", "mapping", "nodeshare", "svm", "profile", "ablation", "guidelines",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let names: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if (names.is_empty() && !args.iter().any(|a| a == "--help"))
+        || args.iter().any(|a| a == "--help")
+    {
+        eprintln!("usage: repro <experiment>... [--quick] [--csv]");
+        eprintln!("experiments: {} all", ALL.join(" "));
+        std::process::exit(if names.is_empty() { 2 } else { 0 });
+    }
+    let selected: Vec<&str> = if names.contains(&"all") { ALL.to_vec() } else { names };
+    for name in selected {
+        eprintln!("[repro] running {name} ({scale:?} scale)...");
+        let t0 = std::time::Instant::now();
+        if let Err(e) = run_one(name, scale, csv) {
+            eprintln!("error: {name}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] {name} done in {:.1?}", t0.elapsed());
+    }
+}

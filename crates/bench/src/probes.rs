@@ -1,0 +1,164 @@
+//! Microbenchmark probes against the raw memory system: the Table-1
+//! latency measurements and the §6.3 synchronization-primitive costs.
+
+use ccnuma_sim::config::{BarrierImpl, LockImpl, MachineConfig};
+use ccnuma_sim::latency::LatencyProfile;
+use ccnuma_sim::machine::Machine;
+use ccnuma_sim::memsys::{AccessKind, MemorySystem};
+use ccnuma_sim::time::Ns;
+
+/// Measured restart latencies of one machine profile (a Table-1 row).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyRow {
+    /// Machine name.
+    pub name: &'static str,
+    /// Local (own-node) miss latency.
+    pub local_ns: Ns,
+    /// Remote clean (2-hop) miss latency.
+    pub remote_clean_ns: Ns,
+    /// Remote dirty (3-hop) miss latency.
+    pub remote_dirty_ns: Ns,
+}
+
+impl LatencyRow {
+    /// Remote-clean to local ratio.
+    pub fn clean_ratio(&self) -> f64 {
+        self.remote_clean_ns as f64 / self.local_ns as f64
+    }
+
+    /// Remote-dirty to local ratio.
+    pub fn dirty_ratio(&self) -> f64 {
+        self.remote_dirty_ns as f64 / self.local_ns as f64
+    }
+}
+
+/// Measures back-to-back miss latencies on an idle 8-processor machine
+/// with the given latency profile, as Table 1 of the paper reports them.
+pub fn measure_latencies(profile: LatencyProfile) -> LatencyRow {
+    let name = profile.name;
+    let mut cfg = MachineConfig::origin2000_scaled(8, 64 << 10);
+    cfg.latency = profile;
+    let perm: Vec<usize> = (0..8).collect();
+    let mut mem = MemorySystem::new(&cfg, &perm);
+    // Local: a line homed on the requester's node, not yet cached.
+    mem.place_range(0x10_000, 128, 0);
+    let local = mem.access(0, 0x10_000, AccessKind::Read, 0).latency;
+    // Remote clean: homed on a neighbouring node, uncached.
+    mem.place_range(0x20_000, 128, 1);
+    let clean = mem.access(0, 0x20_000, AccessKind::Read, 1_000_000).latency;
+    // Remote dirty: homed on node 1, modified in node 2's cache.
+    mem.place_range(0x30_000, 128, 1);
+    mem.access(4, 0x30_000, AccessKind::Write, 2_000_000);
+    let dirty = mem.access(0, 0x30_000, AccessKind::Read, 3_000_000).latency;
+    LatencyRow { name, local_ns: local, remote_clean_ns: clean, remote_dirty_ns: dirty }
+}
+
+/// Result of a synchronization microbenchmark (§6.3).
+#[derive(Debug, Clone)]
+pub struct SyncProbe {
+    /// Primitive description.
+    pub name: String,
+    /// Average synchronization-operation overhead per episode (ns).
+    pub op_ns: f64,
+    /// Average wait time per episode (ns) — load imbalance, queueing.
+    pub wait_ns: f64,
+    /// Total run time.
+    pub wall_ns: Ns,
+}
+
+/// Contended-lock microbenchmark: `nprocs` processors each acquire/release
+/// a single lock `iters` times with a tiny critical section.
+pub fn lock_probe(lock_impl: LockImpl, nprocs: usize, iters: usize) -> SyncProbe {
+    let mut cfg = MachineConfig::origin2000_scaled(nprocs, 64 << 10);
+    cfg.lock_impl = lock_impl;
+    let mut m = Machine::new(cfg).unwrap();
+    let l = m.lock();
+    let stats = m
+        .run(move |ctx| {
+            for _ in 0..iters {
+                ctx.lock(l);
+                ctx.compute_ns(20);
+                ctx.unlock(l);
+            }
+        })
+        .unwrap();
+    let episodes = (nprocs * iters) as f64;
+    SyncProbe {
+        name: format!("{lock_impl:?} lock"),
+        op_ns: stats.total(|p| p.sync_op_ns) as f64 / episodes,
+        wait_ns: stats.total(|p| p.sync_wait_ns) as f64 / episodes,
+        wall_ns: stats.wall_ns,
+    }
+}
+
+/// Barrier microbenchmark: `nprocs` processors cross a barrier `iters`
+/// times with balanced tiny work in between.
+pub fn barrier_probe(barrier_impl: BarrierImpl, nprocs: usize, iters: usize) -> SyncProbe {
+    let mut cfg = MachineConfig::origin2000_scaled(nprocs, 64 << 10);
+    cfg.barrier_impl = barrier_impl;
+    let mut m = Machine::new(cfg).unwrap();
+    let b = m.barrier();
+    let stats = m
+        .run(move |ctx| {
+            for _ in 0..iters {
+                ctx.compute_ns(100);
+                ctx.barrier(b);
+            }
+        })
+        .unwrap();
+    let episodes = (nprocs * iters) as f64;
+    SyncProbe {
+        name: format!("{barrier_impl:?} barrier"),
+        op_ns: stats.total(|p| p.sync_op_ns) as f64 / episodes,
+        wait_ns: stats.total(|p| p.sync_wait_ns) as f64 / episodes,
+        wall_ns: stats.wall_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_probe_reproduces_table1_ordering() {
+        let row = measure_latencies(LatencyProfile::origin2000());
+        assert!(row.local_ns >= 338);
+        assert!(row.remote_clean_ns > row.local_ns);
+        assert!(row.remote_dirty_ns > row.remote_clean_ns);
+        // Ratios in the paper's ballpark (2:1 and 3:1, plus hop costs).
+        assert!(row.clean_ratio() > 1.5 && row.clean_ratio() < 3.5, "{}", row.clean_ratio());
+        assert!(row.dirty_ratio() > 2.0 && row.dirty_ratio() < 5.0, "{}", row.dirty_ratio());
+    }
+
+    #[test]
+    fn all_table1_machines_probe_consistently() {
+        for p in LatencyProfile::table1_machines() {
+            let row = measure_latencies(p);
+            assert!(row.local_ns < row.remote_clean_ns, "{}", row.name);
+            assert!(row.remote_clean_ns < row.remote_dirty_ns, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn contended_lock_wait_dominates_op_cost() {
+        // The §6.3 finding: with contention, waiting dwarfs the primitive.
+        let p = lock_probe(LockImpl::TicketLlsc, 8, 20);
+        assert!(p.wait_ns > p.op_ns, "wait {} op {}", p.wait_ns, p.op_ns);
+    }
+
+    #[test]
+    fn fetchop_lock_has_cheaper_ops_than_llsc() {
+        let llsc = lock_probe(LockImpl::TicketLlsc, 8, 20);
+        let fo = lock_probe(LockImpl::TicketFetchOp, 8, 20);
+        assert!(fo.op_ns < llsc.op_ns, "{} vs {}", fo.op_ns, llsc.op_ns);
+    }
+
+    #[test]
+    fn barrier_probes_run_for_all_impls() {
+        for imp in [BarrierImpl::TournamentLlsc, BarrierImpl::CentralLlsc, BarrierImpl::CentralFetchOp] {
+            let p = barrier_probe(imp, 8, 5);
+            assert!(p.wall_ns > 0);
+            assert!(p.op_ns > 0.0);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The experiment catalog: which workloads, at which (scaled) problem
+//! sizes, reproduce each table and figure of the paper.
+//!
+//! Problem sizes are geometrically scaled together with the machine's cache
+//! (64 KB instead of 4 MB, a 1/64 factor) so that working-set/cache ratios
+//! land in the paper's regimes; [`Scale::Quick`] shrinks everything further
+//! for smoke-testing the full pipeline in seconds.
+
+use splash_apps::barnes::{Barnes, TreeBuild};
+use splash_apps::common::Workload;
+use splash_apps::fft::Fft;
+use splash_apps::infer::{Infer, InferVariant};
+use splash_apps::ocean::Ocean;
+use splash_apps::protein::Protein;
+use splash_apps::radix::Radix;
+use splash_apps::raytrace::Raytrace;
+use splash_apps::sample_sort::SampleSort;
+use splash_apps::shearwarp::{ShearWarp, ShearWarpVariant};
+use splash_apps::sor::Sor;
+use splash_apps::volrend::Volrend;
+use splash_apps::water_nsq::{LoopOrder, WaterNsq};
+use splash_apps::water_sp::WaterSpatial;
+
+/// Experiment scale: `Full` reproduces the paper's machine sizes (32–128
+/// processors); `Quick` is a fast smoke configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs on small machines.
+    Quick,
+    /// The paper's processor counts on scaled problem sizes.
+    Full,
+}
+
+impl Scale {
+    /// Processor counts measured at this scale (the paper's Figure 2 axis).
+    pub fn procs(self) -> &'static [usize] {
+        match self {
+            Scale::Quick => &[2, 4, 8],
+            Scale::Full => &[32, 64, 96, 128],
+        }
+    }
+
+    /// The largest processor count at this scale ("the 128-processor
+    /// machine").
+    pub fn max_procs(self) -> usize {
+        *self.procs().last().unwrap()
+    }
+
+    /// Per-processor L2 size of the scaled machine.
+    pub fn cache_bytes(self) -> usize {
+        match self {
+            Scale::Quick => 16 << 10,
+            Scale::Full => 64 << 10,
+        }
+    }
+
+    fn pick(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The applications of Table 2, by a stable identifier.
+pub const APP_IDS: &[&str] = &[
+    "barnes",
+    "infer",
+    "fft",
+    "ocean",
+    "protein",
+    "radix",
+    "raytrace",
+    "shearwarp",
+    "volrend",
+    "water-nsq",
+    "water-sp",
+];
+
+/// The "basic problem size" workload for an application (Table 2's rows,
+/// scaled).
+///
+/// # Panics
+///
+/// Panics on an unknown id (see [`APP_IDS`]).
+pub fn basic(id: &str, s: Scale) -> Box<dyn Workload> {
+    match id {
+        "barnes" => Box::new(Barnes::new(s.pick(256, 1024))),
+        "infer" => {
+            let mut a = Infer::new(s.pick(32, 192));
+            a.table_scale = s.pick(8, 16);
+            Box::new(a)
+        }
+        "fft" => Box::new(Fft::new(s.pick(10, 14) as u32)),
+        "ocean" => Box::new(Ocean::new(s.pick(32, 128))),
+        "protein" => Box::new(Protein::new(s.pick(48, 192))),
+        "radix" => Box::new(Radix::new(s.pick(8 << 10, 128 << 10))),
+        "raytrace" => Box::new(Raytrace::new(s.pick(24, 64))),
+        "shearwarp" => Box::new(ShearWarp::new(s.pick(24, 48))),
+        "volrend" => Box::new(Volrend::new(s.pick(24, 48))),
+        "water-nsq" => Box::new(WaterNsq::new(s.pick(128, 512))),
+        "water-sp" => Box::new(WaterSpatial::new(s.pick(256, 1024))),
+        other => panic!("unknown application id {other:?}"),
+    }
+}
+
+/// All Table-2 basic workloads, in the paper's alphabetical order.
+pub fn all_basic(s: Scale) -> Vec<(&'static str, Box<dyn Workload>)> {
+    APP_IDS.iter().map(|&id| (id, basic(id, s))).collect()
+}
+
+/// The problem-size sweep for an application (Figure 4's x-axis, scaled).
+/// Sizes ascend; the middle entries bracket the basic size.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn sweep(id: &str, s: Scale) -> Vec<Box<dyn Workload>> {
+    match id {
+        "barnes" => sizes(s, &[128, 256, 512], &[512, 1024, 2048, 4096])
+            .map(|n| Box::new(Barnes::new(n)) as Box<dyn Workload>)
+            .collect(),
+        "infer" => sizes(s, &[2, 4, 8], &[8, 16, 32])
+            .map(|k| {
+                let mut a = Infer::new(s.pick(32, 192));
+                a.table_scale = k;
+                Box::new(a) as Box<dyn Workload>
+            })
+            .collect(),
+        "fft" => sizes(s, &[8, 10, 12], &[12, 14, 16])
+            .map(|m| Box::new(Fft::new(m as u32)) as Box<dyn Workload>)
+            .collect(),
+        "ocean" => sizes(s, &[16, 32, 64], &[64, 128, 256])
+            .map(|d| Box::new(Ocean::new(d)) as Box<dyn Workload>)
+            .collect(),
+        "protein" => sizes(s, &[24, 48, 96], &[64, 128, 256])
+            .map(|n| Box::new(Protein::new(n)) as Box<dyn Workload>)
+            .collect(),
+        "radix" => sizes(s, &[4 << 10, 8 << 10, 16 << 10], &[32 << 10, 128 << 10, 512 << 10])
+            .map(|n| Box::new(Radix::new(n)) as Box<dyn Workload>)
+            .collect(),
+        "raytrace" => sizes(s, &[16, 24, 32], &[32, 64, 96])
+            .map(|n| Box::new(Raytrace::new(n)) as Box<dyn Workload>)
+            .collect(),
+        "shearwarp" => sizes(s, &[16, 24, 32], &[32, 48, 64])
+            .map(|n| Box::new(ShearWarp::new(n)) as Box<dyn Workload>)
+            .collect(),
+        "volrend" => sizes(s, &[16, 24, 32], &[32, 48, 64])
+            .map(|n| Box::new(Volrend::new(n)) as Box<dyn Workload>)
+            .collect(),
+        "water-nsq" => sizes(s, &[64, 128, 256], &[256, 512, 1024, 2048])
+            .map(|n| Box::new(WaterNsq::new(n)) as Box<dyn Workload>)
+            .collect(),
+        "water-sp" => sizes(s, &[128, 256, 512], &[512, 1024, 2048, 4096, 8192])
+            .map(|n| Box::new(WaterSpatial::new(n)) as Box<dyn Workload>)
+            .collect(),
+        other => panic!("unknown application id {other:?}"),
+    }
+}
+
+fn sizes<'a>(s: Scale, quick: &'a [usize], full: &'a [usize]) -> impl Iterator<Item = usize> + 'a {
+    match s {
+        Scale::Quick => quick.iter().copied(),
+        Scale::Full => full.iter().copied(),
+    }
+}
+
+/// The restructuring comparisons of Figure 9: for each application, the
+/// original workload and its restructured version(s), at the same problem
+/// size (the basic size unless noted).
+pub fn restructurings(s: Scale) -> Vec<Restructuring> {
+    let mut out = Vec::new();
+
+    let barnes_n = s.pick(256, 4096);
+    out.push(Restructuring {
+        app: "barnes",
+        original: Box::new(Barnes::new(barnes_n)),
+        restructured: vec![
+            named(Box::new(with_barnes(barnes_n, TreeBuild::Merge))),
+            named(Box::new(with_barnes(barnes_n, TreeBuild::Spatial))),
+        ],
+    });
+
+    let sw = s.pick(24, 48);
+    out.push(Restructuring {
+        app: "shearwarp",
+        original: Box::new(ShearWarp::new(sw)),
+        restructured: vec![named(Box::new({
+            let mut a = ShearWarp::new(sw);
+            a.variant = ShearWarpVariant::Sweep;
+            a
+        }))],
+    });
+
+    let wn = s.pick(128, 2048);
+    out.push(Restructuring {
+        app: "water-nsq",
+        original: Box::new(WaterNsq::new(wn)),
+        restructured: vec![named(Box::new({
+            let mut a = WaterNsq::new(wn);
+            a.variant = LoopOrder::Interchanged;
+            a
+        }))],
+    });
+
+    let ic = s.pick(32, 192);
+    let scale = s.pick(8, 16);
+    out.push(Restructuring {
+        app: "infer",
+        original: Box::new({
+            let mut a = Infer::new(ic);
+            a.table_scale = scale;
+            a
+        }),
+        restructured: vec![named(Box::new({
+            let mut a = Infer::new(ic);
+            a.table_scale = scale;
+            a.variant = InferVariant::Static;
+            a
+        }))],
+    });
+
+    let rk = s.pick(8 << 10, 512 << 10);
+    out.push(Restructuring {
+        app: "radix",
+        original: Box::new(Radix::new(rk)),
+        restructured: vec![named(Box::new(SampleSort::new(rk)))],
+    });
+
+    out
+}
+
+fn with_barnes(n: usize, variant: TreeBuild) -> Barnes {
+    let mut a = Barnes::new(n);
+    a.variant = variant;
+    a
+}
+
+fn named(w: Box<dyn Workload>) -> Box<dyn Workload> {
+    w
+}
+
+/// One original-vs-restructured comparison (a panel of Figure 9).
+pub struct Restructuring {
+    /// Application id.
+    pub app: &'static str,
+    /// The original optimized version.
+    pub original: Box<dyn Workload>,
+    /// Restructured version(s), in increasing restructuring depth.
+    pub restructured: Vec<Box<dyn Workload>>,
+}
+
+impl std::fmt::Debug for Restructuring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Restructuring")
+            .field("app", &self.app)
+            .field("original", &self.original.name())
+            .field(
+                "restructured",
+                &self.restructured.iter().map(|w| w.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// A standalone SOR workload for the §7.1 mapping corroboration.
+pub fn sor(s: Scale) -> Sor {
+    Sor::new(s.pick(24, 96))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_has_a_basic_workload() {
+        for &id in APP_IDS {
+            let w = basic(id, Scale::Quick);
+            assert!(!w.name().is_empty());
+            assert!(!w.problem().is_empty());
+        }
+        assert_eq!(APP_IDS.len(), 11, "the paper studies eleven applications");
+    }
+
+    #[test]
+    fn sweeps_ascend_and_have_at_least_three_points() {
+        for &id in APP_IDS {
+            for s in [Scale::Quick, Scale::Full] {
+                let ws = sweep(id, s);
+                assert!(ws.len() >= 3, "{id} sweep too short");
+            }
+        }
+    }
+
+    #[test]
+    fn restructurings_cover_the_papers_five() {
+        let rs = restructurings(Scale::Quick);
+        let apps: Vec<&str> = rs.iter().map(|r| r.app).collect();
+        assert_eq!(apps, ["barnes", "shearwarp", "water-nsq", "infer", "radix"]);
+        // Barnes has two progressively deeper restructurings.
+        assert_eq!(rs[0].restructured.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_id_panics() {
+        basic("nope", Scale::Quick);
+    }
+
+    #[test]
+    fn scales_expose_machine_shape() {
+        assert_eq!(Scale::Full.max_procs(), 128);
+        assert_eq!(Scale::Full.procs(), &[32, 64, 96, 128]);
+        assert!(Scale::Quick.cache_bytes() < Scale::Full.cache_bytes());
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's §5.3 programming guidelines for scalability and performance
+//! portability, encoded as a documented catalog with the applications that
+//! motivated each one.
+
+/// One of the paper's early programming guidelines (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Guideline {
+    /// Partition as statically, and with as much control over locality, as
+    /// possible — even at the cost of available parallelism. Very dynamic
+    /// load-balancing approaches often don't scale.
+    PartitionStatically,
+    /// Load balance is the biggest problem at moderate scale, but at large
+    /// scale (or on clusters) communication — often via the contention it
+    /// causes — becomes the greater bottleneck.
+    CommunicationBeatsBalanceAtScale,
+    /// Separate partitions into large, well-structured chunks; fine-grained
+    /// read-write sharing that is fine at 32 processors breaks down beyond.
+    SeparatePartitions,
+    /// Structure algorithms to be single-writer per datum (or cache line,
+    /// or page): multiple writers mean both communication and — on SVM —
+    /// very expensive synchronization.
+    SingleWriter,
+    /// Beware loss of locality *across* computational phases; trading some
+    /// in-phase load balance or communication to preserve it is often a
+    /// win.
+    CrossPhaseLocality,
+    /// Given a choice, exploit temporal locality on *remote* data rather
+    /// than local on CC-NUMA machines: remote misses are the expensive
+    /// ones.
+    RemoteTemporalLocality,
+    /// Interact well with large system granularities (cache lines, pages),
+    /// even at the cost of inherent algorithm properties.
+    RespectGranularity,
+    /// Reduce the need for task stealing where synchronization is
+    /// expensive.
+    ReduceStealing,
+    /// Structure and distribute data properly across physical memories.
+    DistributeData,
+}
+
+impl Guideline {
+    /// All guidelines, in the paper's order of presentation.
+    pub const ALL: [Guideline; 9] = [
+        Guideline::PartitionStatically,
+        Guideline::CommunicationBeatsBalanceAtScale,
+        Guideline::SeparatePartitions,
+        Guideline::SingleWriter,
+        Guideline::CrossPhaseLocality,
+        Guideline::RemoteTemporalLocality,
+        Guideline::RespectGranularity,
+        Guideline::ReduceStealing,
+        Guideline::DistributeData,
+    ];
+
+    /// One-line description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Guideline::PartitionStatically => {
+                "partition as statically as possible, even sacrificing available parallelism"
+            }
+            Guideline::CommunicationBeatsBalanceAtScale => {
+                "at large scale, communication (contention) outweighs load balance"
+            }
+            Guideline::SeparatePartitions => {
+                "separate computation and data into large well-structured partitions"
+            }
+            Guideline::SingleWriter => "make each datum single-writer within a phase",
+            Guideline::CrossPhaseLocality => {
+                "preserve locality across computational phases"
+            }
+            Guideline::RemoteTemporalLocality => {
+                "prefer temporal locality on remote data over local data"
+            }
+            Guideline::RespectGranularity => {
+                "match partitioning to system granularities (lines, pages)"
+            }
+            Guideline::ReduceStealing => {
+                "reduce task stealing where synchronization is expensive"
+            }
+            Guideline::DistributeData => "distribute data properly across memories",
+        }
+    }
+
+    /// Application ids (see [`crate::experiments::APP_IDS`]) whose
+    /// restructuring in the paper exemplifies this guideline.
+    pub fn exemplars(self) -> &'static [&'static str] {
+        match self {
+            Guideline::PartitionStatically => &["infer", "shearwarp"],
+            Guideline::CommunicationBeatsBalanceAtScale => &["barnes"],
+            Guideline::SeparatePartitions => &["barnes"],
+            Guideline::SingleWriter => &["barnes", "shearwarp"],
+            Guideline::CrossPhaseLocality => &["shearwarp"],
+            Guideline::RemoteTemporalLocality => &["water-nsq"],
+            Guideline::RespectGranularity => &["ocean"],
+            Guideline::ReduceStealing => &["volrend", "raytrace"],
+            Guideline::DistributeData => &["fft", "radix", "ocean"],
+        }
+    }
+}
+
+impl std::fmt::Display for Guideline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::APP_IDS;
+
+    #[test]
+    fn every_guideline_has_known_exemplars() {
+        for g in Guideline::ALL {
+            assert!(!g.description().is_empty());
+            assert!(!g.exemplars().is_empty(), "{g:?}");
+            for app in g.exemplars() {
+                assert!(APP_IDS.contains(app), "{app} not a known application");
+            }
+        }
+    }
+
+    #[test]
+    fn guidelines_are_distinct() {
+        let set: std::collections::HashSet<_> = Guideline::ALL.iter().collect();
+        assert_eq!(set.len(), Guideline::ALL.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! # scaling-study — the methodology of the ISCA'99 scaling paper
+//!
+//! This crate packages the paper's *contribution* as a reusable library:
+//!
+//! * [`metrics`] — speedup, parallel efficiency, and the 60% "scales well"
+//!   threshold used throughout the paper.
+//! * [`runner`] — a measurement harness that runs
+//!   [`Workload`](splash_apps::common::Workload)s on simulated machines,
+//!   verifies their results, and caches sequential baselines.
+//! * [`experiments`] — the catalog mapping every table and figure of the
+//!   paper to concrete workloads at (scaled) problem sizes.
+//! * [`report`] — the plain-text tables and CSV output the `repro` binary
+//!   prints, including per-processor breakdown "continuums" (Figs 5–8).
+//! * [`guidelines`] — §5.3's programming guidelines as a documented
+//!   catalog.
+//!
+//! ```
+//! use scaling_study::runner::Runner;
+//! use splash_apps::fft::Fft;
+//!
+//! let mut runner = Runner::new(64 << 10);
+//! let record = runner.run(&Fft::new(12), 8)?;
+//! assert!(record.speedup() > 1.0);
+//! println!("efficiency: {:.0}%", 100.0 * record.efficiency());
+//! # Ok::<(), scaling_study::runner::StudyError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod guidelines;
+pub mod metrics;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,63 @@
+//! The study's performance metrics: speedup, parallel efficiency and the
+//! paper's 60% "scales well" threshold.
+
+use ccnuma_sim::time::Ns;
+
+/// The paper's threshold for "scaling well": 60% parallel efficiency
+/// (a speedup of 76.8 on 128 processors).
+pub const GOOD_EFFICIENCY: f64 = 0.60;
+
+/// Speedup of a parallel run over the sequential baseline.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(scaling_study::metrics::speedup(1000, 250), 4.0);
+/// ```
+pub fn speedup(seq_ns: Ns, par_ns: Ns) -> f64 {
+    if par_ns == 0 {
+        return 0.0;
+    }
+    seq_ns as f64 / par_ns as f64
+}
+
+/// Parallel efficiency: speedup divided by processor count.
+pub fn efficiency(seq_ns: Ns, par_ns: Ns, nprocs: usize) -> f64 {
+    speedup(seq_ns, par_ns) / nprocs.max(1) as f64
+}
+
+/// Whether a run clears the paper's 60% bar.
+pub fn scales_well(seq_ns: Ns, par_ns: Ns, nprocs: usize) -> bool {
+    efficiency(seq_ns, par_ns, nprocs) >= GOOD_EFFICIENCY
+}
+
+/// Detects superlinear speedup (efficiency > 1), which the paper attributes
+/// to aggregate cache-capacity effects (§2.3).
+pub fn is_superlinear(seq_ns: Ns, par_ns: Ns, nprocs: usize) -> bool {
+    efficiency(seq_ns, par_ns, nprocs) > 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_and_threshold() {
+        assert!((efficiency(1280, 10, 128) - 1.0).abs() < 1e-12);
+        assert!(scales_well(768, 10, 128) && !scales_well(767, 10, 128));
+        // 76.8 speedup on 128 processors is exactly the bar.
+        assert!((GOOD_EFFICIENCY * 128.0 - 76.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(speedup(100, 0), 0.0);
+        assert_eq!(efficiency(0, 10, 0), 0.0);
+    }
+
+    #[test]
+    fn superlinear_detection() {
+        assert!(is_superlinear(2000, 10, 128)); // eff ≈ 1.56
+        assert!(!is_superlinear(1280, 10, 128)); // exactly 1.0
+    }
+}

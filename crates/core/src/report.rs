@@ -1,0 +1,204 @@
+//! Plain-text tables and CSV emission for the experiment harnesses —
+//! mirrors the rows and series the paper reports.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table rendered as RFC-4180-ish CSV (header line included).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:<width$}", c, width = widths[i]));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", sep.join("-|-"))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `"61.3%"`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Renders a per-processor breakdown "continuum" (Figures 5–8 of the
+/// paper) as compact text: processors are bucketed into `buckets` groups
+/// and each group shows its average busy/memory/sync split.
+pub fn breakdown_continuum(stats: &ccnuma_sim::stats::RunStats, buckets: usize) -> Table {
+    let mut t = Table::new(
+        format!("per-processor time breakdown ({} procs)", stats.nprocs()),
+        &["procs", "busy", "memory", "sync"],
+    );
+    let n = stats.procs.len();
+    let buckets = buckets.max(1).min(n.max(1));
+    for b in 0..buckets {
+        let lo = b * n / buckets;
+        let hi = ((b + 1) * n / buckets).max(lo + 1).min(n);
+        let (mut busy, mut mem, mut sync) = (0.0, 0.0, 0.0);
+        for p in &stats.procs[lo..hi] {
+            let (pb, pm, ps) = p.breakdown_pct();
+            busy += pb;
+            mem += pm;
+            sync += ps;
+        }
+        let k = (hi - lo) as f64;
+        t.row(vec![
+            format!("{lo}-{}", hi - 1),
+            format!("{:.1}%", busy / k),
+            format!("{:.1}%", mem / k),
+            format!("{:.1}%", sync / k),
+        ]);
+    }
+    t
+}
+
+/// Renders the per-data-structure profile of a run (the pixie/prof analog
+/// the paper's authors lacked; see
+/// [`ccnuma_sim::profile`]).
+pub fn range_profile_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
+    let mut t = Table::new(
+        "per-data-structure profile",
+        &["structure", "reads", "writes", "hits", "local misses", "remote misses", "stall"],
+    );
+    for r in &stats.ranges {
+        t.row(vec![
+            r.name.clone(),
+            r.reads.to_string(),
+            r.writes.to_string(),
+            r.hits.to_string(),
+            r.misses_local.to_string(),
+            r.misses_remote.to_string(),
+            ccnuma_sim::time::Span(r.stall_ns).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("demo", &["app", "speedup"]);
+        t.row(vec!["fft".into(), "61.10".into()]);
+        t.row(vec!["water-nsq".into(), "9.00".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        // All data lines have the same width.
+        let lens: Vec<usize> =
+            s.lines().skip(1).map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Table::new("t", &["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.613), "61.3%");
+        assert_eq!(f2(1.005), "1.00");
+    }
+
+    #[test]
+    fn continuum_buckets() {
+        use ccnuma_sim::stats::{ProcStats, RunStats};
+        let procs: Vec<ProcStats> = (0..8)
+            .map(|i| ProcStats { busy_ns: 100 - i, mem_ns: i, ..Default::default() })
+            .collect();
+        let rs = RunStats { procs, wall_ns: 100, page_migrations: 0, resources: Default::default(), ranges: Vec::new() };
+        let t = breakdown_continuum(&rs, 4);
+        assert_eq!(t.len(), 4);
+        let t1 = breakdown_continuum(&rs, 100); // clamped to nprocs
+        assert_eq!(t1.len(), 8);
+    }
+}

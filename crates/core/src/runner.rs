@@ -1,0 +1,250 @@
+//! Running workloads on simulated machines with cached sequential
+//! baselines — the measurement harness of the study.
+
+use std::collections::HashMap;
+
+use ccnuma_sim::config::MachineConfig;
+use ccnuma_sim::error::SimError;
+use ccnuma_sim::machine::Machine;
+use ccnuma_sim::stats::RunStats;
+use ccnuma_sim::time::Ns;
+use splash_apps::common::Workload;
+
+use crate::metrics;
+
+/// An error while running a study measurement.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StudyError {
+    /// The simulation failed (configuration, deadlock, panic).
+    Sim(SimError),
+    /// The workload ran but produced a wrong result.
+    Verify(String),
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StudyError::Sim(e) => write!(f, "simulation failed: {e}"),
+            StudyError::Verify(msg) => write!(f, "result verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Sim(e) => Some(e),
+            StudyError::Verify(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for StudyError {
+    fn from(e: SimError) -> Self {
+        StudyError::Sim(e)
+    }
+}
+
+/// One verified measurement.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Workload name (e.g. `"fft"`, `"barnes/merge"`).
+    pub app: String,
+    /// Problem description (e.g. `"2^14 points"`).
+    pub problem: String,
+    /// Processors used.
+    pub nprocs: usize,
+    /// Parallel wall-clock (virtual ns).
+    pub wall_ns: Ns,
+    /// Sequential baseline wall-clock (virtual ns).
+    pub seq_ns: Ns,
+    /// Full per-processor statistics of the parallel run.
+    pub stats: RunStats,
+}
+
+impl RunRecord {
+    /// Speedup over the sequential baseline.
+    pub fn speedup(&self) -> f64 {
+        metrics::speedup(self.seq_ns, self.wall_ns)
+    }
+
+    /// Parallel efficiency (speedup / processors).
+    pub fn efficiency(&self) -> f64 {
+        metrics::efficiency(self.seq_ns, self.wall_ns, self.nprocs)
+    }
+}
+
+/// The measurement harness: builds machines, runs workloads, verifies
+/// results, and caches sequential baselines per (app, problem, machine
+/// fingerprint).
+#[derive(Debug)]
+pub struct Runner {
+    /// Cache size of the scaled machine (see
+    /// [`MachineConfig::origin2000_scaled`]).
+    cache_bytes: usize,
+    baselines: HashMap<(String, String, String), Ns>,
+}
+
+impl Runner {
+    /// A runner whose machines use `cache_bytes` of L2 per processor.
+    pub fn new(cache_bytes: usize) -> Self {
+        Runner { cache_bytes, baselines: HashMap::new() }
+    }
+
+    /// The default scaled machine configuration for `nprocs` processors.
+    pub fn machine_for(&self, nprocs: usize) -> MachineConfig {
+        MachineConfig::origin2000_scaled(nprocs, self.cache_bytes)
+    }
+
+    fn fingerprint(cfg: &MachineConfig) -> String {
+        // The baseline depends on everything that affects a uniprocessor
+        // run: cache geometry, latencies, page policy, cost model.
+        format!(
+            "{}b/{}w/{}l/{}pg/{:?}/{}mem/{}",
+            cfg.cache.size_bytes,
+            cfg.cache.assoc,
+            cfg.cache.line_bytes,
+            cfg.page_bytes,
+            cfg.placement,
+            cfg.mem_per_node_bytes,
+            cfg.latency.name,
+        ) + &format!("/{}ns", cfg.latency.local_ns)
+    }
+
+    /// Runs `workload` on a machine configured by `cfg`, verifying the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StudyError::Sim`] on simulation failure and
+    /// [`StudyError::Verify`] if the computed result is wrong.
+    pub fn run_on(
+        &mut self,
+        workload: &dyn Workload,
+        cfg: MachineConfig,
+    ) -> Result<RunRecord, StudyError> {
+        let seq_ns = self.sequential_ns(workload, &cfg)?;
+        let (wall_ns, stats) = Self::execute(workload, cfg.clone())?;
+        Ok(RunRecord {
+            app: workload.name(),
+            problem: workload.problem(),
+            nprocs: cfg.nprocs,
+            wall_ns,
+            seq_ns,
+            stats,
+        })
+    }
+
+    /// Runs `workload` on the default scaled machine with `nprocs`
+    /// processors.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run_on`].
+    pub fn run(
+        &mut self,
+        workload: &dyn Workload,
+        nprocs: usize,
+    ) -> Result<RunRecord, StudyError> {
+        self.run_on(workload, self.machine_for(nprocs))
+    }
+
+    /// The cached sequential (1-processor) baseline for `workload` on a
+    /// machine like `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run_on`].
+    pub fn sequential_ns(
+        &mut self,
+        workload: &dyn Workload,
+        cfg: &MachineConfig,
+    ) -> Result<Ns, StudyError> {
+        let key = (workload.name(), workload.problem(), Self::fingerprint(cfg));
+        if let Some(&ns) = self.baselines.get(&key) {
+            return Ok(ns);
+        }
+        let mut seq_cfg = cfg.clone();
+        seq_cfg.nprocs = 1;
+        seq_cfg.mapping = ccnuma_sim::mapping::ProcessMapping::Linear;
+        let (ns, _) = Self::execute(workload, seq_cfg)?;
+        self.baselines.insert(key, ns);
+        Ok(ns)
+    }
+
+    fn execute(
+        workload: &dyn Workload,
+        cfg: MachineConfig,
+    ) -> Result<(Ns, RunStats), StudyError> {
+        let mut machine = Machine::new(cfg)?;
+        let job = workload.build(&mut machine);
+        let body = job.body;
+        let stats = machine.run(move |ctx| body(ctx))?;
+        (job.verify)().map_err(StudyError::Verify)?;
+        Ok((stats.wall_ns, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splash_apps::fft::Fft;
+    use splash_apps::sor::Sor;
+
+    #[test]
+    fn run_produces_sane_speedup() {
+        let mut r = Runner::new(64 << 10);
+        let rec = r.run(&Fft::new(14), 8).unwrap();
+        assert!(rec.speedup() > 1.5, "speedup {}", rec.speedup());
+        assert!(rec.efficiency() <= 1.5);
+        assert_eq!(rec.nprocs, 8);
+        assert_eq!(rec.app, "fft");
+    }
+
+    #[test]
+    fn baselines_are_cached() {
+        let mut r = Runner::new(64 << 10);
+        let w = Sor::new(16);
+        let cfg = r.machine_for(4);
+        let a = r.sequential_ns(&w, &cfg).unwrap();
+        let before = r.baselines.len();
+        let b = r.sequential_ns(&w, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(r.baselines.len(), before);
+    }
+
+    #[test]
+    fn different_machines_get_different_baselines() {
+        let mut r = Runner::new(64 << 10);
+        let w = Sor::new(16);
+        let cfg_a = r.machine_for(4);
+        let mut cfg_b = cfg_a.clone();
+        cfg_b.cache = ccnuma_sim::config::CacheConfig::scaled(16 << 10);
+        r.sequential_ns(&w, &cfg_a).unwrap();
+        r.sequential_ns(&w, &cfg_b).unwrap();
+        assert_eq!(r.baselines.len(), 2);
+    }
+
+    #[test]
+    fn verification_failures_surface() {
+        use splash_apps::common::Job;
+        struct Broken;
+        impl Workload for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn problem(&self) -> String {
+                "n/a".into()
+            }
+            fn build(&self, _m: &mut Machine) -> Job {
+                Job::new(|_ctx| {}, || Err("intentionally wrong".into()))
+            }
+        }
+        let mut r = Runner::new(64 << 10);
+        match r.run(&Broken, 2) {
+            Err(StudyError::Verify(msg)) => assert!(msg.contains("intentionally")),
+            other => panic!("expected verify error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Machine configuration.
+//!
+//! [`MachineConfig`] describes one concrete CC-NUMA machine: its size and
+//! node structure, cache geometry, page size and placement policy, latency
+//! profile, interconnect topology, process mapping, and synchronization
+//! primitives. Presets reproduce the paper's machines
+//! ([`MachineConfig::origin2000`]) and experiment variants build on them by
+//! mutating fields.
+
+use crate::error::ConfigError;
+use crate::latency::LatencyProfile;
+use crate::mapping::ProcessMapping;
+use crate::time::Ns;
+use crate::topology::TopologyKind;
+
+/// Maximum number of simulated processors (directory sharer sets are `u128`).
+pub const MAX_PROCS: usize = 128;
+
+/// Geometry of the per-processor second-level cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Set associativity (ways).
+    pub assoc: usize,
+    /// Line (block) size in bytes; also the coherence granularity.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The Origin2000's 4 MB, 2-way, 128-byte-line L2.
+    pub fn origin2000() -> Self {
+        CacheConfig { size_bytes: 4 << 20, assoc: 2, line_bytes: 128 }
+    }
+
+    /// A geometrically scaled-down cache (same associativity and line size)
+    /// used by the experiment harnesses together with scaled problem sizes.
+    pub fn scaled(size_bytes: usize) -> Self {
+        CacheConfig { size_bytes, ..Self::origin2000() }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+}
+
+/// Default home-node policy for pages that were not explicitly placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePlacement {
+    /// A page's home is the node of the first processor to touch it
+    /// (spilling to other nodes when the toucher's memory is full).
+    FirstTouch,
+    /// Pages are distributed round-robin across nodes.
+    RoundRobin,
+}
+
+/// Dynamic page-migration policy (§6.2). When enabled, the simulator keeps
+/// per-page, per-node access counters (as the Origin2000's protocol does)
+/// and migrates a page to a remote node once that node's misses exceed the
+/// home node's by `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationConfig {
+    /// Excess remote-access count that triggers migration.
+    pub threshold: u32,
+    /// Minimum interval between migrations of the same page, in accesses.
+    pub cooldown: u32,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig { threshold: 64, cooldown: 256 }
+    }
+}
+
+/// Lock algorithm + primitive (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockImpl {
+    /// Ticket lock built from LL/SC (the paper's default choice).
+    TicketLlsc,
+    /// Ticket lock built on the Hub's at-memory uncached fetch&op.
+    TicketFetchOp,
+}
+
+/// Barrier algorithm + primitive (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarrierImpl {
+    /// Tournament barrier using LL/SC flags (the paper's default choice).
+    TournamentLlsc,
+    /// Centralized counter barrier using LL/SC (arrivals serialize on one
+    /// cache line).
+    CentralLlsc,
+    /// Centralized counter barrier using at-memory fetch&op.
+    CentralFetchOp,
+}
+
+/// Conversion factors from abstract work units to busy nanoseconds.
+///
+/// Applications charge computation through [`crate::ctx::Ctx::compute_flops`]
+/// and friends; this model converts counts to time so that sequential
+/// execution times land in plausible regimes for a 195 MHz R10000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Nanoseconds per floating-point operation.
+    pub flop_ns: Ns,
+    /// Nanoseconds per integer/pointer operation.
+    pub int_op_ns: Ns,
+    /// Fixed overhead charged per function-call-ish unit of work, used by
+    /// irregular applications for traversal steps.
+    pub step_ns: Ns,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // ~5 cycles per algorithmic flop and ~2 per integer op: calibrated
+        // against the paper's Table-2 sequential times (e.g. FFT 2²⁰ at
+        // 2.63 s ⇒ ≈25 ns per 5·n·log₂n flop), which fold address
+        // arithmetic, loads/stores and pipeline stalls into the counts.
+        CostModel { flop_ns: 25, int_op_ns: 10, step_ns: 30 }
+    }
+}
+
+/// Complete description of a simulated machine.
+///
+/// Construct via a preset and adjust fields:
+///
+/// ```
+/// use ccnuma_sim::config::MachineConfig;
+/// let mut cfg = MachineConfig::origin2000(32);
+/// cfg.prefetch_enabled = true;
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of application processes / simulated processors.
+    pub nprocs: usize,
+    /// Processors per node sharing a Hub (Origin: 2; §7.2 studies 1).
+    pub procs_per_node: usize,
+    /// Nodes attached to each router (Origin: 2).
+    pub nodes_per_router: usize,
+    /// L2 cache geometry.
+    pub cache: CacheConfig,
+    /// Virtual-memory page size in bytes (Origin: 16 KB).
+    pub page_bytes: usize,
+    /// Main memory capacity per node in bytes. First-touch placement spills
+    /// past this limit, reproducing the Ocean superlinearity effect (§4.1).
+    pub mem_per_node_bytes: usize,
+    /// Latency and occupancy parameters.
+    pub latency: LatencyProfile,
+    /// Interconnect shape; `None` selects the Origin default for the size
+    /// (full hypercube up to 16 routers, 8-router metarouter modules above).
+    pub topology: Option<TopologyKind>,
+    /// Assignment of processes to physical processors.
+    pub mapping: ProcessMapping,
+    /// Default placement policy for unplaced pages.
+    pub placement: PagePlacement,
+    /// Dynamic page migration, if enabled.
+    pub migration: Option<MigrationConfig>,
+    /// Lock implementation.
+    pub lock_impl: LockImpl,
+    /// Barrier implementation.
+    pub barrier_impl: BarrierImpl,
+    /// Whether applications should issue software prefetches (§6.1).
+    /// Applications consult this flag; prefetch calls are no-ops when false.
+    pub prefetch_enabled: bool,
+    /// Classify misses into cold / coherence / capacity (the tooling the
+    /// paper's authors lacked). Costs extra host memory per touched line;
+    /// off by default.
+    pub classify_misses: bool,
+    /// Computation cost model.
+    pub cost: CostModel,
+}
+
+impl MachineConfig {
+    /// An SGI Origin2000 with `nprocs` processors and the paper's default
+    /// settings (manual placement falls back to first-touch; ticket lock and
+    /// tournament barrier on LL/SC; no prefetch; no migration).
+    pub fn origin2000(nprocs: usize) -> Self {
+        MachineConfig {
+            nprocs,
+            procs_per_node: 2,
+            nodes_per_router: 2,
+            cache: CacheConfig::origin2000(),
+            page_bytes: 16 << 10,
+            mem_per_node_bytes: 512 << 20,
+            latency: LatencyProfile::origin2000(),
+            topology: None,
+            mapping: ProcessMapping::Linear,
+            placement: PagePlacement::FirstTouch,
+            migration: None,
+            lock_impl: LockImpl::TicketLlsc,
+            barrier_impl: BarrierImpl::TournamentLlsc,
+            prefetch_enabled: false,
+            classify_misses: false,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// A scaled-down Origin2000 for fast experimentation: `cache_bytes` L2,
+    /// 1 KB pages, and the memory system sped up by the square root of the
+    /// cache-scale factor, everything else as [`MachineConfig::origin2000`].
+    ///
+    /// Problem sizes in the experiment harnesses shrink together with the
+    /// cache. For near-neighbour applications, communication scales with
+    /// partition *surface* while computation scales with *volume*, so a
+    /// 1/k cache-and-problem scale inflates communication-to-computation
+    /// by about √k; dividing all latencies by √k restores the paper's
+    /// regimes (synchronization costs scale with them automatically).
+    pub fn origin2000_scaled(nprocs: usize, cache_bytes: usize) -> Self {
+        let full = CacheConfig::origin2000().size_bytes;
+        let k = (full / cache_bytes.max(1)).max(1) as u64;
+        let sqrt_k = (k as f64).sqrt().round().max(1.0) as u64;
+        MachineConfig {
+            cache: CacheConfig::scaled(cache_bytes),
+            page_bytes: 1 << 10,
+            mem_per_node_bytes: cache_bytes * 128,
+            latency: LatencyProfile::origin2000().scaled_by(sqrt_k),
+            ..Self::origin2000(nprocs)
+        }
+    }
+
+    /// A shared-virtual-memory cluster of `nprocs` uniprocessor
+    /// workstations (§5.2 of the paper, machinery of [6]): coherence at
+    /// *page* granularity (the line size equals the page size), remote data
+    /// replicated in main memory (the "cache" is DRAM-sized, so capacity
+    /// evictions of replicated pages are rare), software-handler latencies,
+    /// and very expensive synchronization.
+    pub fn svm_cluster(nprocs: usize) -> Self {
+        MachineConfig {
+            nprocs,
+            procs_per_node: 1,
+            nodes_per_router: 2,
+            cache: CacheConfig { size_bytes: 64 << 20, assoc: 2, line_bytes: 4 << 10 },
+            page_bytes: 4 << 10,
+            mem_per_node_bytes: 256 << 20,
+            latency: LatencyProfile::svm_cluster(),
+            topology: Some(TopologyKind::Ideal),
+            mapping: ProcessMapping::Linear,
+            placement: PagePlacement::FirstTouch,
+            migration: None,
+            lock_impl: LockImpl::TicketLlsc,
+            barrier_impl: BarrierImpl::CentralLlsc,
+            prefetch_enabled: false,
+            classify_misses: false,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nprocs.div_ceil(self.procs_per_node)
+    }
+
+    /// The topology kind in effect (resolving the `None` default).
+    pub fn topology_kind(&self) -> TopologyKind {
+        self.topology.unwrap_or_else(|| {
+            let routers = self.n_nodes().div_ceil(self.nodes_per_router);
+            if routers <= 16 {
+                TopologyKind::FullHypercube
+            } else {
+                TopologyKind::MetaModules { routers_per_module: 8 }
+            }
+        })
+    }
+
+    /// Checks the configuration for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any field is out of range (zero sizes,
+    /// more than [`MAX_PROCS`] processors, non-power-of-two geometry, or an
+    /// invalid process mapping).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nprocs == 0 || self.nprocs > MAX_PROCS {
+            return Err(ConfigError::BadProcCount(self.nprocs));
+        }
+        if self.procs_per_node == 0 || self.nodes_per_router == 0 {
+            return Err(ConfigError::BadNodeShape);
+        }
+        if !self.page_bytes.is_power_of_two() || !self.cache.line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo);
+        }
+        if self.page_bytes < self.cache.line_bytes {
+            return Err(ConfigError::PageSmallerThanLine);
+        }
+        if self.cache.assoc == 0
+            || self.cache.size_bytes == 0
+            || !self.cache.size_bytes.is_multiple_of(self.cache.assoc * self.cache.line_bytes)
+            || !self.cache.n_sets().is_power_of_two()
+        {
+            return Err(ConfigError::BadCacheGeometry);
+        }
+        if self.mem_per_node_bytes < self.page_bytes {
+            return Err(ConfigError::BadMemoryCapacity);
+        }
+        self.mapping
+            .resolve(self.nprocs, self.procs_per_node)
+            .map_err(ConfigError::BadMapping)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_presets_validate() {
+        for p in [1, 2, 17, 32, 64, 96, 128] {
+            MachineConfig::origin2000(p).validate().unwrap();
+            MachineConfig::origin2000_scaled(p, 64 << 10).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn topology_defaults_switch_at_scale() {
+        assert_eq!(MachineConfig::origin2000(64).topology_kind(), TopologyKind::FullHypercube);
+        assert_eq!(
+            MachineConfig::origin2000(128).topology_kind(),
+            TopologyKind::MetaModules { routers_per_module: 8 }
+        );
+        assert_eq!(MachineConfig::origin2000(96).topology_kind(),
+            TopologyKind::MetaModules { routers_per_module: 8 });
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let mut c = MachineConfig::origin2000(0);
+        assert!(c.validate().is_err());
+        c = MachineConfig::origin2000(129);
+        assert!(c.validate().is_err());
+        c = MachineConfig::origin2000(4);
+        c.page_bytes = 100; // not a power of two
+        assert!(c.validate().is_err());
+        c = MachineConfig::origin2000(4);
+        c.page_bytes = 64; // smaller than the 128-byte line
+        assert!(c.validate().is_err());
+        c = MachineConfig::origin2000(4);
+        c.cache.assoc = 0;
+        assert!(c.validate().is_err());
+        c = MachineConfig::origin2000(4);
+        c.cache.size_bytes = 3 << 20; // 3 MB 2-way/128B → 12288 sets, not pow2
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_mapping() {
+        let mut c = MachineConfig::origin2000(4);
+        c.mapping = crate::mapping::ProcessMapping::Explicit(vec![0, 0, 1, 2]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn svm_cluster_preset_validates_and_is_page_grained() {
+        for np in [1, 8, 16] {
+            let cfg = MachineConfig::svm_cluster(np);
+            cfg.validate().unwrap();
+            assert_eq!(cfg.cache.line_bytes, cfg.page_bytes, "SVM coherence is page-grained");
+            assert_eq!(cfg.procs_per_node, 1, "uniprocessor workstations");
+            // Software handlers: orders of magnitude above hardware DSM.
+            assert!(cfg.latency.remote_clean_ns > 50 * LatencyProfile::origin2000().remote_clean_ns);
+        }
+    }
+
+    #[test]
+    fn node_count_rounds_up() {
+        assert_eq!(MachineConfig::origin2000(5).n_nodes(), 3);
+        let mut c = MachineConfig::origin2000(8);
+        c.procs_per_node = 1;
+        assert_eq!(c.n_nodes(), 8);
+    }
+
+    #[test]
+    fn cache_set_count() {
+        assert_eq!(CacheConfig::origin2000().n_sets(), 16384);
+        assert_eq!(CacheConfig::scaled(64 << 10).n_sets(), 256);
+    }
+}

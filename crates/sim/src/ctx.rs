@@ -1,0 +1,254 @@
+//! The per-processor execution context.
+//!
+//! Application bodies receive a [`Ctx`] and express their work through it:
+//! computation is charged with the `compute_*` methods, memory traffic with
+//! [`SharedVec`](crate::shared::SharedVec) accessors (which call back into
+//! [`Ctx::record_read`]/[`Ctx::record_write`]), and coordination with
+//! [`Ctx::barrier`], [`Ctx::lock`]/[`Ctx::unlock`], [`Ctx::fetch_add`] and
+//! semaphores.
+//!
+//! Memory operations are buffered and merged client-side (adjacent
+//! same-kind accesses coalesce) and flushed to the engine in batches; every
+//! synchronization operation flushes first, so ordering across
+//! synchronization points is exact.
+
+use std::cell::{Cell, RefCell};
+
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::config::CostModel;
+use crate::page::Addr;
+use crate::proto::{MemOp, OpKind, Reply, Request};
+use crate::sync::{BarrierRef, FetchCellRef, LockRef, SemRef};
+use crate::time::Ns;
+
+/// How many buffered memory operations trigger an automatic flush.
+const FLUSH_THRESHOLD: usize = 64;
+
+/// The interface a simulated processor exposes to application code.
+///
+/// A `Ctx` is handed to the application body by
+/// [`Machine::run`](crate::machine::Machine::run); one exists per
+/// simulated processor.
+pub struct Ctx {
+    id: usize,
+    nprocs: usize,
+    line_bytes: u64,
+    cost: CostModel,
+    prefetch_enabled: bool,
+    busy: Cell<Ns>,
+    ops: RefCell<Vec<MemOp>>,
+    tx: Sender<(usize, Request)>,
+    rx: Receiver<Reply>,
+}
+
+impl Ctx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        nprocs: usize,
+        line_bytes: u64,
+        cost: CostModel,
+        prefetch_enabled: bool,
+        tx: Sender<(usize, Request)>,
+        rx: Receiver<Reply>,
+    ) -> Self {
+        Ctx {
+            id,
+            nprocs,
+            line_bytes,
+            cost,
+            prefetch_enabled,
+            busy: Cell::new(0),
+            ops: RefCell::new(Vec::with_capacity(FLUSH_THRESHOLD + 1)),
+            tx,
+            rx,
+        }
+    }
+
+    /// This processor's process id, `0..nprocs`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of processes in the run.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Whether the machine configuration enables software prefetch (§6.1).
+    /// Applications typically guard optional prefetch loops on this.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch_enabled
+    }
+
+    /// The cost model, for applications that charge custom work.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    // ---- computation -----------------------------------------------------
+
+    /// Charges `ns` nanoseconds of computation.
+    pub fn compute_ns(&self, ns: Ns) {
+        self.busy.set(self.busy.get() + ns);
+    }
+
+    /// Charges `n` floating-point operations of computation.
+    pub fn compute_flops(&self, n: u64) {
+        self.compute_ns(n * self.cost.flop_ns);
+    }
+
+    /// Charges `n` integer/pointer operations of computation.
+    pub fn compute_ops(&self, n: u64) {
+        self.compute_ns(n * self.cost.int_op_ns);
+    }
+
+    /// Charges `n` traversal/call steps of computation (irregular codes).
+    pub fn compute_steps(&self, n: u64) {
+        self.compute_ns(n * self.cost.step_ns);
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Records a timed read of `bytes` at `addr`. Usually called through
+    /// [`SharedVec`](crate::shared::SharedVec) rather than directly.
+    pub fn record_read(&self, addr: Addr, bytes: u64) {
+        self.record(addr, bytes, OpKind::Read);
+    }
+
+    /// Records a timed write of `bytes` at `addr`.
+    pub fn record_write(&self, addr: Addr, bytes: u64) {
+        self.record(addr, bytes, OpKind::Write);
+    }
+
+    /// Records a software prefetch covering `bytes` at `addr`. No-op when
+    /// prefetch is disabled in the configuration.
+    pub fn record_prefetch(&self, addr: Addr, bytes: u64) {
+        if self.prefetch_enabled {
+            self.record(addr, bytes, OpKind::Prefetch);
+        }
+    }
+
+    fn record(&self, addr: Addr, bytes: u64, kind: OpKind) {
+        debug_assert!(bytes > 0);
+        let mut ops = self.ops.borrow_mut();
+        if let Some(last) = ops.last_mut() {
+            if last.kind == kind {
+                // Coalesce: contiguous extension or same-line repetition.
+                let last_end = last.addr + last.bytes;
+                if addr == last_end {
+                    last.bytes += bytes;
+                    return;
+                }
+                let line = !(self.line_bytes - 1);
+                if addr >= last.addr
+                    && (addr + bytes - 1) & line == (last_end - 1) & line
+                    && addr & line >= last.addr & line
+                {
+                    last.bytes = (addr + bytes).max(last_end) - last.addr;
+                    return;
+                }
+            }
+        }
+        ops.push(MemOp { addr, bytes, kind });
+        if ops.len() >= FLUSH_THRESHOLD {
+            drop(ops);
+            self.flush();
+        }
+    }
+
+    fn take_pending(&self) -> (Ns, Vec<MemOp>) {
+        (self.busy.replace(0), std::mem::take(&mut *self.ops.borrow_mut()))
+    }
+
+    fn send(&self, req: Request) -> Reply {
+        if self.tx.send((self.id, req)).is_err() {
+            std::panic::panic_any(crate::proto::EngineGone);
+        }
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => std::panic::panic_any(crate::proto::EngineGone),
+        }
+    }
+
+    /// Flushes buffered computation and memory operations to the engine,
+    /// advancing this processor's virtual clock. Called automatically by
+    /// every synchronization operation and when the buffer fills.
+    pub fn flush(&self) {
+        let (busy, ops) = self.take_pending();
+        if busy == 0 && ops.is_empty() {
+            return;
+        }
+        self.send(Request::Ops { busy, ops });
+    }
+
+    // ---- synchronization ---------------------------------------------------
+
+    /// Waits until every processor has arrived at barrier `b`.
+    pub fn barrier(&self, b: BarrierRef) {
+        let (busy, ops) = self.take_pending();
+        self.send(Request::Barrier { busy, ops, id: b.0 as usize });
+    }
+
+    /// Acquires lock `l`, blocking in virtual time while it is held.
+    pub fn lock(&self, l: LockRef) {
+        let (busy, ops) = self.take_pending();
+        self.send(Request::Lock { busy, ops, id: l.0 as usize });
+    }
+
+    /// Releases lock `l`.
+    ///
+    /// # Panics
+    ///
+    /// The simulation fails if the calling processor does not hold `l`.
+    pub fn unlock(&self, l: LockRef) {
+        let (busy, ops) = self.take_pending();
+        self.send(Request::Unlock { busy, ops, id: l.0 as usize });
+    }
+
+    /// Runs `f` with lock `l` held.
+    pub fn with_lock<R>(&self, l: LockRef, f: impl FnOnce() -> R) -> R {
+        self.lock(l);
+        let r = f();
+        self.unlock(l);
+        r
+    }
+
+    /// Atomically adds `delta` to fetch cell `c`, returning the previous
+    /// value. The cost model follows the configured lock primitive (LL/SC
+    /// read-modify-write or at-memory fetch&op).
+    pub fn fetch_add(&self, c: FetchCellRef, delta: i64) -> i64 {
+        let (busy, ops) = self.take_pending();
+        self.send(Request::FetchAdd { busy, ops, id: c.0 as usize, delta }).value
+    }
+
+    /// Decrements semaphore `s`, blocking in virtual time while it is zero.
+    pub fn sem_wait(&self, s: SemRef) {
+        let (busy, ops) = self.take_pending();
+        self.send(Request::SemWait { busy, ops, id: s.0 as usize });
+    }
+
+    /// Increments semaphore `s` by `n`, waking blocked waiters.
+    pub fn sem_post(&self, s: SemRef, n: u32) {
+        let (busy, ops) = self.take_pending();
+        self.send(Request::SemPost { busy, ops, id: s.0 as usize, n });
+    }
+
+    /// Called by the runtime when the body returns.
+    pub(crate) fn finish(&self) {
+        let (busy, ops) = self.take_pending();
+        let _ = self.tx.send((self.id, Request::Finish { busy, ops }));
+    }
+
+    /// Called by the runtime when the body panics.
+    pub(crate) fn report_panic(&self, msg: String) {
+        let _ = self.tx.send((self.id, Request::Panic(msg)));
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("id", &self.id).field("nprocs", &self.nprocs).finish()
+    }
+}

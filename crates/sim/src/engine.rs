@@ -1,0 +1,418 @@
+//! The conservative discrete-event execution engine.
+//!
+//! One OS thread runs each simulated processor's application body. The
+//! engine advances virtual time by processing thread requests in virtual
+//! time order: a request is only processed once every unblocked thread has
+//! submitted its next request (so no earlier-in-virtual-time work can still
+//! appear), which makes runs deterministic regardless of host scheduling.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::config::{BarrierImpl, LockImpl, MachineConfig};
+use crate::error::SimError;
+use crate::memsys::{AccessClass, AccessKind, MemorySystem, MissOrigin, Outcome};
+use crate::profile::Profiler;
+use crate::page::Addr;
+use crate::proto::{MemOp, OpKind, Reply, Request};
+use crate::stats::{ProcStats, RunStats};
+use crate::sync::{BarrierState, LockState, SemState};
+use crate::time::Ns;
+
+/// An atomic fetch&add cell.
+pub(crate) struct FetchCell {
+    pub addr: Addr,
+    pub value: i64,
+}
+
+/// All synchronization object state for one run.
+pub(crate) struct SyncTables {
+    pub locks: Vec<LockState>,
+    pub barriers: Vec<BarrierState>,
+    pub sems: Vec<SemState>,
+    pub cells: Vec<FetchCell>,
+}
+
+struct ProcRuntime {
+    clock: Ns,
+    stats: ProcStats,
+    pending: Option<Request>,
+    /// Thread is executing application code (we owe nothing, it owes a request).
+    running: bool,
+    /// Human-readable reason while parked on a sync object.
+    parked_on: Option<String>,
+    done: bool,
+}
+
+pub(crate) struct Engine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    sync: SyncTables,
+    procs: Vec<ProcRuntime>,
+    heap: BinaryHeap<Reverse<(Ns, usize)>>,
+    reply_tx: Vec<Sender<Reply>>,
+    req_rx: Receiver<(usize, Request)>,
+    done_count: usize,
+    log2p: u32,
+    profiler: Profiler,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        cfg: MachineConfig,
+        mem: MemorySystem,
+        sync: SyncTables,
+        reply_tx: Vec<Sender<Reply>>,
+        req_rx: Receiver<(usize, Request)>,
+        profiler: Profiler,
+    ) -> Self {
+        let n = cfg.nprocs;
+        Engine {
+            log2p: (n.max(2) as u32).next_power_of_two().trailing_zeros(),
+            cfg,
+            mem,
+            sync,
+            procs: (0..n)
+                .map(|_| ProcRuntime {
+                    clock: 0,
+                    stats: ProcStats::default(),
+                    pending: None,
+                    running: true,
+                    parked_on: None,
+                    done: false,
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            reply_tx,
+            req_rx,
+            done_count: 0,
+            profiler,
+        }
+    }
+
+    /// Runs the event loop to completion.
+    pub(crate) fn run(mut self) -> Result<RunStats, SimError> {
+        let n = self.procs.len();
+        loop {
+            // Drain already-arrived requests without blocking. An error
+            // (empty or disconnected) just means nothing more has arrived;
+            // disconnection is fine — final requests are already queued.
+            while let Ok((p, req)) = self.req_rx.try_recv() {
+                self.accept(p, req)?;
+            }
+            if self.done_count == n {
+                break;
+            }
+            // Frontier: the earliest virtual time at which a still-running
+            // thread could submit new work.
+            let frontier = self
+                .procs
+                .iter()
+                .filter(|p| p.running && !p.done)
+                .map(|p| p.clock)
+                .min();
+            // Strict inequality: a running processor whose clock equals the
+            // heap minimum could still submit a request at that same time
+            // with a smaller processor id, and the (time, pid) tie must be
+            // broken by the heap, not by host thread timing — otherwise
+            // runs would not be bit-deterministic.
+            let can_pop = match (self.heap.peek(), frontier) {
+                (Some(&Reverse((t, _))), Some(f)) => t < f,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if can_pop {
+                let Reverse((_, p)) = self.heap.pop().expect("peeked");
+                self.process(p)?;
+            } else if frontier.is_some() {
+                // Block until a running thread submits.
+                match self.req_rx.recv() {
+                    Ok((p, req)) => self.accept(p, req)?,
+                    Err(_) => {
+                        return Err(SimError::AppPanic(
+                            "an application thread exited without finishing".into(),
+                        ))
+                    }
+                }
+            } else {
+                // Nothing runnable, nothing pending: deadlock.
+                let blocked: Vec<String> = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| {
+                        p.parked_on.as_ref().map(|r| format!("proc {i} on {r}"))
+                    })
+                    .collect();
+                return Err(SimError::Deadlock(blocked.join(", ")));
+            }
+        }
+        let wall = self.procs.iter().map(|p| p.stats.finish_ns).max().unwrap_or(0);
+        Ok(RunStats {
+            procs: self.procs.into_iter().map(|p| p.stats).collect(),
+            wall_ns: wall,
+            page_migrations: self.mem.page_migrations(),
+            resources: self.mem.contention.summary(),
+            ranges: self.profiler.into_profiles(),
+        })
+    }
+
+    fn accept(&mut self, p: usize, req: Request) -> Result<(), SimError> {
+        if let Request::Panic(msg) = req {
+            return Err(SimError::AppPanic(msg));
+        }
+        debug_assert!(self.procs[p].pending.is_none(), "proc {p} double-submitted");
+        self.procs[p].running = false;
+        self.procs[p].pending = Some(req);
+        self.heap.push(Reverse((self.procs[p].clock, p)));
+        Ok(())
+    }
+
+    fn reply(&mut self, p: usize, value: i64) {
+        self.procs[p].running = true;
+        self.procs[p].parked_on = None;
+        // A send failure means the thread died; the engine will notice via
+        // the request channel.
+        let _ = self.reply_tx[p].send(Reply { value });
+    }
+
+    fn apply_outcome(stats: &mut ProcStats, clock: &mut Ns, kind: AccessKind, o: &Outcome) {
+        match kind {
+            AccessKind::Read => stats.reads += 1,
+            AccessKind::Write => stats.writes += 1,
+        }
+        match o.class {
+            AccessClass::Hit => stats.hits += 1,
+            AccessClass::LocalMiss => stats.misses_local += 1,
+            AccessClass::RemoteClean => stats.misses_remote_clean += 1,
+            AccessClass::RemoteDirty => stats.misses_remote_dirty += 1,
+            AccessClass::Upgrade => stats.upgrades += 1,
+        }
+        stats.mem_ns += o.latency;
+        if o.home_local {
+            stats.mem_local_ns += o.latency;
+        } else {
+            stats.mem_remote_ns += o.latency;
+        }
+        stats.invals_sent += u64::from(o.invals);
+        stats.writebacks += u64::from(o.writeback);
+        stats.prefetch_late += u64::from(o.late_prefetch);
+        match o.miss_origin {
+            Some(MissOrigin::Cold) => stats.misses_cold += 1,
+            Some(MissOrigin::Coherence) => stats.misses_coherence += 1,
+            Some(MissOrigin::Capacity) => stats.misses_capacity += 1,
+            None => {}
+        }
+        *clock += o.latency;
+    }
+
+    fn apply_ops(&mut self, p: usize, busy: Ns, ops: &[MemOp]) {
+        let rt = &mut self.procs[p];
+        rt.stats.busy_ns += busy;
+        rt.clock += busy;
+        let line_bytes = self.mem.line_bytes();
+        for op in ops {
+            let first = op.addr / line_bytes;
+            let last = (op.addr + op.bytes - 1) / line_bytes;
+            for line in first..=last {
+                let addr = line * line_bytes;
+                match op.kind {
+                    OpKind::Read => {
+                        let o = self.mem.access(p, addr, AccessKind::Read, self.procs[p].clock);
+                        if !self.profiler.is_empty() {
+                            self.profiler.attribute(addr, AccessKind::Read, &o);
+                        }
+                        let rt = &mut self.procs[p];
+                        Self::apply_outcome(&mut rt.stats, &mut rt.clock, AccessKind::Read, &o);
+                    }
+                    OpKind::Write => {
+                        let o = self.mem.access(p, addr, AccessKind::Write, self.procs[p].clock);
+                        if !self.profiler.is_empty() {
+                            self.profiler.attribute(addr, AccessKind::Write, &o);
+                        }
+                        let rt = &mut self.procs[p];
+                        Self::apply_outcome(&mut rt.stats, &mut rt.clock, AccessKind::Write, &o);
+                    }
+                    OpKind::Prefetch => {
+                        let (issue, _fill) = self.mem.prefetch(p, addr, self.procs[p].clock);
+                        let rt = &mut self.procs[p];
+                        rt.stats.prefetches += 1;
+                        rt.stats.busy_ns += issue;
+                        rt.clock += issue;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cost of an atomic RMW on `addr` under the configured lock primitive.
+    fn rmw_cost(&mut self, p: usize, addr: Addr, now: Ns) -> Ns {
+        match self.cfg.lock_impl {
+            LockImpl::TicketLlsc => self.mem.llsc_rmw(p, addr, now).latency,
+            LockImpl::TicketFetchOp => self.mem.fetchop(p, addr, now),
+        }
+    }
+
+    fn process(&mut self, p: usize) -> Result<(), SimError> {
+        let req = self.procs[p].pending.take().expect("heap entry without pending request");
+        match req {
+            Request::Ops { busy, ops } => {
+                self.apply_ops(p, busy, &ops);
+                self.reply(p, 0);
+            }
+            Request::Finish { busy, ops } => {
+                self.apply_ops(p, busy, &ops);
+                let rt = &mut self.procs[p];
+                rt.stats.finish_ns = rt.clock;
+                rt.done = true;
+                rt.running = false;
+                self.done_count += 1;
+            }
+            Request::Lock { busy, ops, id } => {
+                self.apply_ops(p, busy, &ops);
+                let addr = self.sync.locks[id].addr;
+                let now = self.procs[p].clock;
+                let cost = self.rmw_cost(p, addr, now);
+                let rt = &mut self.procs[p];
+                rt.stats.sync_op_ns += cost;
+                rt.stats.atomics += 1;
+                rt.clock += cost;
+                let t = rt.clock;
+                if self.sync.locks[id].acquire_or_enqueue(p, t) {
+                    self.procs[p].stats.lock_acquires += 1;
+                    self.reply(p, 0);
+                } else {
+                    self.procs[p].parked_on = Some(format!("lock {id}"));
+                }
+            }
+            Request::Unlock { busy, ops, id } => {
+                self.apply_ops(p, busy, &ops);
+                let addr = self.sync.locks[id].addr;
+                let now = self.procs[p].clock;
+                // Releasing writes the lock word; usually a cache hit for
+                // the holder under LL/SC, an at-memory op under fetch&op.
+                let cost = match self.cfg.lock_impl {
+                    LockImpl::TicketLlsc => {
+                        self.mem.access(p, addr, AccessKind::Write, now).latency
+                    }
+                    LockImpl::TicketFetchOp => self.mem.fetchop(p, addr, now),
+                };
+                self.procs[p].stats.sync_op_ns += cost;
+                self.procs[p].clock += cost;
+                let release_t = self.procs[p].clock;
+                if let Some((w, arrived)) = self.sync.locks[id].release(p) {
+                    // The release can complete before the waiter's acquire
+                    // attempt has (they overlap in virtual time); the grant
+                    // happens at whichever is later.
+                    let grant_t = release_t.max(arrived);
+                    // Hand off: the new holder pulls the lock line over.
+                    let handoff = self.rmw_cost(w, addr, grant_t);
+                    let rt = &mut self.procs[w];
+                    rt.stats.sync_wait_ns += grant_t - arrived;
+                    rt.stats.sync_op_ns += handoff;
+                    rt.stats.lock_acquires += 1;
+                    rt.clock = grant_t + handoff;
+                    self.reply(w, 0);
+                }
+                self.reply(p, 0);
+            }
+            Request::Barrier { busy, ops, id } => {
+                self.apply_ops(p, busy, &ops);
+                let addr = self.sync.barriers[id].addr;
+                let now = self.procs[p].clock;
+                let arrive_cost = match self.cfg.barrier_impl {
+                    BarrierImpl::TournamentLlsc => {
+                        // log₂P stages of flag updates, mostly remote.
+                        Ns::from(self.log2p)
+                            * (self.cfg.latency.llsc_extra_ns
+                                + self.cfg.latency.remote_clean_ns / 2)
+                    }
+                    BarrierImpl::CentralLlsc => self.mem.llsc_rmw(p, addr, now).latency,
+                    BarrierImpl::CentralFetchOp => self.mem.fetchop(p, addr, now),
+                };
+                let rt = &mut self.procs[p];
+                rt.stats.sync_op_ns += arrive_cost;
+                rt.clock += arrive_cost;
+                let t = rt.clock;
+                if let Some(mut arrivals) = self.sync.barriers[id].arrive(p, t) {
+                    let release_t = arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t);
+                    arrivals.sort_unstable();
+                    for (w, arrived) in arrivals {
+                        let wake_cost = match self.cfg.barrier_impl {
+                            BarrierImpl::TournamentLlsc => {
+                                Ns::from(self.log2p) * self.cfg.latency.link_ns
+                            }
+                            BarrierImpl::CentralLlsc => self
+                                .mem
+                                .access(w, addr, AccessKind::Read, release_t)
+                                .latency,
+                            BarrierImpl::CentralFetchOp => self.mem.fetchop(w, addr, release_t),
+                        };
+                        let rt = &mut self.procs[w];
+                        rt.stats.sync_wait_ns += release_t.saturating_sub(arrived);
+                        rt.stats.sync_op_ns += wake_cost;
+                        rt.stats.barriers += 1;
+                        rt.clock = release_t + wake_cost;
+                        self.reply(w, 0);
+                    }
+                } else {
+                    self.procs[p].parked_on = Some(format!("barrier {id}"));
+                }
+            }
+            Request::FetchAdd { busy, ops, id, delta } => {
+                self.apply_ops(p, busy, &ops);
+                let addr = self.sync.cells[id].addr;
+                let now = self.procs[p].clock;
+                let cost = self.rmw_cost(p, addr, now);
+                let rt = &mut self.procs[p];
+                rt.stats.sync_op_ns += cost;
+                rt.stats.atomics += 1;
+                rt.clock += cost;
+                let prev = self.sync.cells[id].value;
+                self.sync.cells[id].value += delta;
+                self.reply(p, prev);
+            }
+            Request::SemWait { busy, ops, id } => {
+                self.apply_ops(p, busy, &ops);
+                let addr = self.sync.sems[id].addr;
+                let now = self.procs[p].clock;
+                let cost = self.rmw_cost(p, addr, now);
+                let rt = &mut self.procs[p];
+                rt.stats.sync_op_ns += cost;
+                rt.stats.atomics += 1;
+                rt.clock += cost;
+                let t = rt.clock;
+                if self.sync.sems[id].wait_or_enqueue(p, t) {
+                    self.reply(p, 0);
+                } else {
+                    self.procs[p].parked_on = Some(format!("semaphore {id}"));
+                }
+            }
+            Request::SemPost { busy, ops, id, n } => {
+                self.apply_ops(p, busy, &ops);
+                let addr = self.sync.sems[id].addr;
+                let now = self.procs[p].clock;
+                let cost = self.rmw_cost(p, addr, now);
+                let rt = &mut self.procs[p];
+                rt.stats.sync_op_ns += cost;
+                rt.stats.atomics += 1;
+                rt.clock += cost;
+                let t = rt.clock;
+                for (w, arrived) in self.sync.sems[id].post(n) {
+                    let grant_t = t.max(arrived);
+                    let wake = self.mem.access(w, addr, AccessKind::Read, grant_t).latency;
+                    let rt = &mut self.procs[w];
+                    rt.stats.sync_wait_ns += grant_t - arrived;
+                    rt.stats.sync_op_ns += wake;
+                    rt.clock = grant_t + wake;
+                    self.reply(w, 0);
+                }
+                self.reply(p, 0);
+            }
+            Request::Panic(_) => unreachable!("handled in accept"),
+        }
+        Ok(())
+    }
+}

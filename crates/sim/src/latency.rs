@@ -1,0 +1,279 @@
+//! Latency profiles for cache-coherent NUMA machines.
+//!
+//! The paper's Table 1 compares restart latencies (processor request to
+//! response back at the processor) on five contemporary CC-NUMA systems.
+//! [`LatencyProfile`] captures those numbers plus the secondary parameters
+//! the simulator needs (per-hop link cost, resource occupancies, cache hit
+//! time, synchronization operation costs).
+//!
+//! The presets reproduce Table 1:
+//!
+//! | Machine              | Local | Remote clean | Remote dirty |
+//! |----------------------|-------|--------------|--------------|
+//! | SGI Origin2000       | 338   | 656          | 892          |
+//! | Convex Exemplar X    | 450   | 1315         | 1955         |
+//! | DG NUMALiiNE         | 240   | 2400         | 3400         |
+//! | HAL S1               | 240   | 1065         | 1365         |
+//! | Sequent NUMA-Q       | 240   | 2500         | (n/a → 3000) |
+
+use crate::time::Ns;
+
+/// Restart latencies and occupancy parameters of a CC-NUMA memory system.
+///
+/// The three headline latencies are *uncontended* and assume the
+/// nominal-distance remote node that Table 1 of the paper measured; the
+/// simulator adds [`LatencyProfile::link_ns`] per extra router hop,
+/// [`LatencyProfile::metarouter_ns`] when a transaction crosses between
+/// hypercube modules, and queueing delays from resource occupancies.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_sim::latency::LatencyProfile;
+/// let p = LatencyProfile::origin2000();
+/// assert_eq!(p.remote_clean_ns / p.local_ns, 1); // ratio ~2:1, integer div 1
+/// assert!(p.remote_dirty_ns > p.remote_clean_ns);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyProfile {
+    /// Human-readable machine name (used in reports).
+    pub name: &'static str,
+    /// Secondary-cache hit time charged to the processor per line touched.
+    pub l2_hit_ns: Ns,
+    /// Local memory restart latency (line in home memory on own node).
+    pub local_ns: Ns,
+    /// Remote restart latency when the home copy is clean (2-hop).
+    pub remote_clean_ns: Ns,
+    /// Remote restart latency when a third node holds the line dirty (3-hop).
+    pub remote_dirty_ns: Ns,
+    /// Additional latency per router-to-router hop beyond the nominal
+    /// distance baked into the headline latencies.
+    pub link_ns: Ns,
+    /// Additional latency for crossing a metarouter between hypercube
+    /// modules (only machines built from modules pay this).
+    pub metarouter_ns: Ns,
+    /// Occupancy of a node's Hub (memory/coherence controller) per
+    /// transaction it handles. The Hub is shared by the processors of a node,
+    /// so this is the §7.2 contention knob.
+    pub hub_occ_ns: Ns,
+    /// Occupancy of a node's memory bank per access it services.
+    pub mem_occ_ns: Ns,
+    /// Occupancy of a router per transaction forwarded through it.
+    pub router_occ_ns: Ns,
+    /// Occupancy of a metarouter per transaction forwarded through it.
+    pub metarouter_occ_ns: Ns,
+    /// Cost of sending one invalidation to one sharer (charged serially at
+    /// the home Hub; acknowledgements are collapsed into this figure).
+    pub inval_ns: Ns,
+    /// Cost of an LL/SC read-modify-write *beyond* the underlying line
+    /// access (retry window, branch).
+    pub llsc_extra_ns: Ns,
+    /// Cost of an uncached at-memory fetch&op (total, request to response,
+    /// when local; remote adds the usual network terms).
+    pub fetchop_ns: Ns,
+    /// Processor-side cost of issuing one (non-blocking) prefetch.
+    pub prefetch_issue_ns: Ns,
+    /// Cost of migrating one page between nodes (copy + directory fixup +
+    /// TLB shootdown), charged as occupancy on both memories.
+    pub page_migrate_ns: Ns,
+}
+
+impl LatencyProfile {
+    /// SGI Origin2000 (the paper's case-study machine).
+    pub fn origin2000() -> Self {
+        LatencyProfile {
+            name: "Origin2000",
+            l2_hit_ns: 0,
+            local_ns: 338,
+            remote_clean_ns: 656,
+            remote_dirty_ns: 892,
+            link_ns: 50,
+            metarouter_ns: 100,
+            hub_occ_ns: 40,
+            mem_occ_ns: 50,
+            router_occ_ns: 15,
+            metarouter_occ_ns: 20,
+            inval_ns: 30,
+            llsc_extra_ns: 40,
+            fetchop_ns: 250,
+            prefetch_issue_ns: 10,
+            page_migrate_ns: 20_000,
+        }
+    }
+
+    /// Convex Exemplar X.
+    pub fn exemplar_x() -> Self {
+        LatencyProfile {
+            name: "Convex Exemplar X",
+            local_ns: 450,
+            remote_clean_ns: 1315,
+            remote_dirty_ns: 1955,
+            link_ns: 90,
+            hub_occ_ns: 70,
+            mem_occ_ns: 80,
+            ..Self::origin2000()
+        }
+    }
+
+    /// Data General NUMALiiNE.
+    pub fn numaliine() -> Self {
+        LatencyProfile {
+            name: "DG NUMALiiNE",
+            local_ns: 240,
+            remote_clean_ns: 2400,
+            remote_dirty_ns: 3400,
+            link_ns: 180,
+            hub_occ_ns: 120,
+            mem_occ_ns: 90,
+            ..Self::origin2000()
+        }
+    }
+
+    /// HAL S1.
+    pub fn hal_s1() -> Self {
+        LatencyProfile {
+            name: "HAL S1",
+            local_ns: 240,
+            remote_clean_ns: 1065,
+            remote_dirty_ns: 1365,
+            link_ns: 80,
+            hub_occ_ns: 60,
+            mem_occ_ns: 60,
+            ..Self::origin2000()
+        }
+    }
+
+    /// Sequent NUMA-Q. Table 1 lists no remote-dirty figure; we extrapolate
+    /// one from the clean latency using the machine's protocol overheads.
+    pub fn numa_q() -> Self {
+        LatencyProfile {
+            name: "Sequent NUMA-Q",
+            local_ns: 240,
+            remote_clean_ns: 2500,
+            remote_dirty_ns: 3000,
+            link_ns: 150,
+            hub_occ_ns: 110,
+            mem_occ_ns: 90,
+            ..Self::origin2000()
+        }
+    }
+
+    /// A profile with every latency and occupancy divided by `div`
+    /// (floored at 1 ns). Used by the scaled experiment machines: problem
+    /// sizes shrink by the cache-scale factor, so communication-to-
+    /// computation and synchronization-to-computation ratios only stay in
+    /// the paper's regimes if the memory system speeds up by roughly the
+    /// square root of that factor (surface-to-volume scaling).
+    pub fn scaled_by(&self, div: u64) -> LatencyProfile {
+        let d = |x: Ns| (x / div).max(1);
+        LatencyProfile {
+            name: self.name,
+            l2_hit_ns: self.l2_hit_ns / div,
+            local_ns: d(self.local_ns),
+            remote_clean_ns: d(self.remote_clean_ns),
+            remote_dirty_ns: d(self.remote_dirty_ns),
+            link_ns: d(self.link_ns),
+            metarouter_ns: d(self.metarouter_ns),
+            hub_occ_ns: d(self.hub_occ_ns),
+            mem_occ_ns: d(self.mem_occ_ns),
+            router_occ_ns: d(self.router_occ_ns),
+            metarouter_occ_ns: d(self.metarouter_occ_ns),
+            inval_ns: d(self.inval_ns),
+            llsc_extra_ns: d(self.llsc_extra_ns),
+            fetchop_ns: d(self.fetchop_ns),
+            prefetch_issue_ns: d(self.prefetch_issue_ns),
+            page_migrate_ns: d(self.page_migrate_ns),
+        }
+    }
+
+    /// A mid-1990s shared-virtual-memory (SVM) cluster of workstations,
+    /// as in the paper's §5.2 performance-portability comparison [6]:
+    /// coherence is managed by *software* page-fault handlers over a
+    /// commodity network, so "misses" cost tens of microseconds and
+    /// synchronization (which triggers protocol messages) is enormously
+    /// more expensive than on hardware DSM.
+    pub fn svm_cluster() -> Self {
+        LatencyProfile {
+            name: "SVM cluster",
+            l2_hit_ns: 0,
+            local_ns: 400,
+            remote_clean_ns: 60_000,
+            remote_dirty_ns: 90_000,
+            link_ns: 1_000,
+            metarouter_ns: 0,
+            hub_occ_ns: 5_000,
+            mem_occ_ns: 2_000,
+            router_occ_ns: 500,
+            metarouter_occ_ns: 0,
+            inval_ns: 8_000,
+            llsc_extra_ns: 30_000,
+            fetchop_ns: 45_000,
+            prefetch_issue_ns: 100,
+            page_migrate_ns: 200_000,
+        }
+    }
+
+    /// All Table-1 machines, in the paper's row order.
+    pub fn table1_machines() -> Vec<LatencyProfile> {
+        vec![
+            Self::origin2000(),
+            Self::exemplar_x(),
+            Self::numaliine(),
+            Self::hal_s1(),
+            Self::numa_q(),
+        ]
+    }
+
+    /// Remote-to-local latency ratio for a clean remote line, as in Table 1.
+    pub fn clean_ratio(&self) -> f64 {
+        self.remote_clean_ns as f64 / self.local_ns as f64
+    }
+
+    /// Remote-to-local latency ratio for a dirty remote line, as in Table 1.
+    pub fn dirty_ratio(&self) -> f64 {
+        self.remote_dirty_ns as f64 / self.local_ns as f64
+    }
+}
+
+impl Default for LatencyProfile {
+    fn default() -> Self {
+        Self::origin2000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_matches_table1() {
+        let p = LatencyProfile::origin2000();
+        assert_eq!((p.local_ns, p.remote_clean_ns, p.remote_dirty_ns), (338, 656, 892));
+        // Table 1 reports ratios of 2:1 and 3:1 (rounded).
+        assert_eq!(p.clean_ratio().round() as u64, 2);
+        assert_eq!(p.dirty_ratio().round() as u64, 3);
+    }
+
+    #[test]
+    fn numaliine_has_10_to_1_clean_ratio() {
+        let p = LatencyProfile::numaliine();
+        assert_eq!(p.clean_ratio().round() as u64, 10);
+        assert_eq!(p.dirty_ratio().round() as u64, 14);
+    }
+
+    #[test]
+    fn table1_has_five_machines_in_order() {
+        let m = LatencyProfile::table1_machines();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m[0].name, "Origin2000");
+        assert_eq!(m[4].name, "Sequent NUMA-Q");
+    }
+
+    #[test]
+    fn dirty_always_slower_than_clean_than_local() {
+        for p in LatencyProfile::table1_machines() {
+            assert!(p.local_ns < p.remote_clean_ns, "{}", p.name);
+            assert!(p.remote_clean_ns < p.remote_dirty_ns, "{}", p.name);
+        }
+    }
+}

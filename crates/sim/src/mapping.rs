@@ -1,0 +1,146 @@
+//! Mapping of application processes onto physical processors.
+//!
+//! Section 7.1 of the paper studies how the assignment of processes to the
+//! network topology affects performance (linear vs random vs near-neighbor
+//! pair-aware mappings). A [`ProcessMapping`] is resolved against a machine
+//! shape into a permutation `process id → physical processor slot`.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Strategy for placing process *i* onto a physical processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub enum ProcessMapping {
+    /// Process *i* runs on processor *i* (the machine's default).
+    #[default]
+    Linear,
+    /// A seeded random permutation of processes over processors.
+    Random {
+        /// Seed for the permutation; equal seeds give equal mappings.
+        seed: u64,
+    },
+    /// An explicit permutation: `perm[i]` is the physical slot of process
+    /// *i*. Must be a permutation of `0..nprocs`.
+    Explicit(Vec<usize>),
+    /// Keeps process pairs `(2i, 2i+1)` on the same node, but places the
+    /// pairs onto nodes in a seeded random order. Used in §7.1 to separate
+    /// "which processes share a node" from "where nodes sit in the network".
+    RandomPairs {
+        /// Seed for the pair permutation.
+        seed: u64,
+    },
+}
+
+
+impl ProcessMapping {
+    /// Resolves the mapping into a permutation for `nprocs` processes on a
+    /// machine with `procs_per_node` processors per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if an [`ProcessMapping::Explicit`] vector is not a
+    /// permutation of `0..nprocs`, or if `RandomPairs` is used with an odd
+    /// `nprocs` or `procs_per_node != 2`.
+    pub fn resolve(&self, nprocs: usize, procs_per_node: usize) -> Result<Vec<usize>, String> {
+        match self {
+            ProcessMapping::Linear => Ok((0..nprocs).collect()),
+            ProcessMapping::Random { seed } => {
+                let mut perm: Vec<usize> = (0..nprocs).collect();
+                perm.shuffle(&mut SmallRng::seed_from_u64(*seed));
+                Ok(perm)
+            }
+            ProcessMapping::Explicit(perm) => {
+                if perm.len() != nprocs {
+                    return Err(format!(
+                        "explicit mapping has {} entries for {} processes",
+                        perm.len(),
+                        nprocs
+                    ));
+                }
+                let mut seen = vec![false; nprocs];
+                for &s in perm {
+                    if s >= nprocs || seen[s] {
+                        return Err(format!("explicit mapping is not a permutation at slot {s}"));
+                    }
+                    seen[s] = true;
+                }
+                Ok(perm.clone())
+            }
+            ProcessMapping::RandomPairs { seed } => {
+                if procs_per_node != 2 {
+                    return Err("RandomPairs requires 2 processors per node".into());
+                }
+                if !nprocs.is_multiple_of(2) {
+                    return Err("RandomPairs requires an even process count".into());
+                }
+                let npairs = nprocs / 2;
+                let mut pair_order: Vec<usize> = (0..npairs).collect();
+                pair_order.shuffle(&mut SmallRng::seed_from_u64(*seed));
+                let mut perm = vec![0; nprocs];
+                for (node, &pair) in pair_order.iter().enumerate() {
+                    perm[2 * pair] = 2 * node;
+                    perm[2 * pair + 1] = 2 * node + 1;
+                }
+                Ok(perm)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(perm: &[usize]) -> bool {
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return false;
+            }
+            seen[p] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(ProcessMapping::Linear.resolve(4, 2).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_permutation_and_seed_deterministic() {
+        let a = ProcessMapping::Random { seed: 7 }.resolve(128, 2).unwrap();
+        let b = ProcessMapping::Random { seed: 7 }.resolve(128, 2).unwrap();
+        let c = ProcessMapping::Random { seed: 8 }.resolve(128, 2).unwrap();
+        assert!(is_permutation(&a));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn explicit_validates() {
+        assert!(ProcessMapping::Explicit(vec![1, 0]).resolve(2, 2).is_ok());
+        assert!(ProcessMapping::Explicit(vec![1, 1]).resolve(2, 2).is_err());
+        assert!(ProcessMapping::Explicit(vec![0]).resolve(2, 2).is_err());
+        assert!(ProcessMapping::Explicit(vec![0, 5]).resolve(2, 2).is_err());
+    }
+
+    #[test]
+    fn random_pairs_keeps_pairs_on_nodes() {
+        let perm = ProcessMapping::RandomPairs { seed: 3 }.resolve(32, 2).unwrap();
+        assert!(is_permutation(&perm));
+        for i in 0..16 {
+            // Processes 2i and 2i+1 land on the same node (slots 2k, 2k+1).
+            assert_eq!(perm[2 * i] / 2, perm[2 * i + 1] / 2);
+            assert_eq!(perm[2 * i] % 2, 0);
+        }
+    }
+
+    #[test]
+    fn random_pairs_rejects_bad_shapes() {
+        assert!(ProcessMapping::RandomPairs { seed: 0 }.resolve(32, 1).is_err());
+        assert!(ProcessMapping::RandomPairs { seed: 0 }.resolve(31, 2).is_err());
+    }
+}

@@ -1,0 +1,737 @@
+//! The memory system: caches + directory + pages + topology + contention.
+//!
+//! [`MemorySystem::access`] services one line-granular load or store by a
+//! processor, walking the full CC-NUMA protocol path: L2 lookup, victim
+//! writeback, directory lookup at the page's home node, sharer invalidation
+//! or dirty-owner intervention, and occupancy-based queueing at every Hub,
+//! memory bank, router and metarouter the transaction touches.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cache::{Cache, LineState};
+use crate::config::MachineConfig;
+use crate::contend::Contention;
+use crate::directory::{DirEntry, DirState};
+use crate::latency::LatencyProfile;
+use crate::page::{Addr, MigrationEvent, PageTable};
+use crate::time::Ns;
+use crate::topology::Topology;
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// How an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Satisfied in the processor's own cache.
+    Hit,
+    /// Miss satisfied by the local node's memory.
+    LocalMiss,
+    /// Miss satisfied by a remote home with a clean copy (2-hop).
+    RemoteClean,
+    /// Miss requiring intervention at a dirty owner (3-hop).
+    RemoteDirty,
+    /// Write upgrade of a Shared line (no data transfer).
+    Upgrade,
+}
+
+/// Why a miss happened (tracked only when
+/// [`MachineConfig::classify_misses`](crate::config::MachineConfig::classify_misses)
+/// is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissOrigin {
+    /// First access to this line by this processor.
+    Cold,
+    /// The line was invalidated by another processor's write.
+    Coherence,
+    /// The line was previously cached here and evicted (capacity/conflict).
+    Capacity,
+}
+
+/// Everything the engine needs to account for one serviced access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// Stall time charged to the processor.
+    pub latency: Ns,
+    /// Protocol classification.
+    pub class: AccessClass,
+    /// Whether the home node was the requester's node (splits memory stall
+    /// into local vs remote, which the real machine could not).
+    pub home_local: bool,
+    /// Invalidations sent to other caches.
+    pub invals: u32,
+    /// Whether a dirty victim was written back.
+    pub writeback: bool,
+    /// Whether the access hit a prefetched line still in flight.
+    pub late_prefetch: bool,
+    /// Whether the access triggered a page migration.
+    pub migrated: bool,
+    /// Miss classification, when enabled and the access missed.
+    pub miss_origin: Option<MissOrigin>,
+}
+
+/// The machine's memory system.
+pub struct MemorySystem {
+    line_shift: u32,
+    lat: LatencyProfile,
+    topo: Topology,
+    pages: PageTable,
+    caches: Vec<Cache>,
+    dir: HashMap<u64, DirEntry>,
+    /// Contended resources (public so the engine can also charge
+    /// synchronization traffic through them).
+    pub contention: Contention,
+    /// Physical node of each process (after mapping resolution).
+    proc_node: Vec<usize>,
+    /// Per-processor classification state: lines ever cached, and lines
+    /// lost to invalidation. `None` when classification is disabled.
+    classify: Option<Vec<ClassifyState>>,
+}
+
+#[derive(Debug, Default)]
+struct ClassifyState {
+    ever_cached: HashSet<u64>,
+    invalidated: HashSet<u64>,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for a validated configuration and a resolved
+    /// process→slot permutation.
+    pub fn new(cfg: &MachineConfig, perm: &[usize]) -> Self {
+        let n_nodes = cfg.n_nodes();
+        let topo = Topology::new(cfg.topology_kind(), n_nodes, cfg.nodes_per_router);
+        let contention = Contention::new(n_nodes, topo.n_routers(), topo.n_metarouters().max(1));
+        let proc_node: Vec<usize> = perm.iter().map(|&slot| slot / cfg.procs_per_node).collect();
+        MemorySystem {
+            line_shift: cfg.cache.line_bytes.trailing_zeros(),
+            lat: cfg.latency.clone(),
+            topo,
+            pages: PageTable::new(
+                cfg.page_bytes,
+                n_nodes,
+                cfg.mem_per_node_bytes,
+                cfg.placement,
+                cfg.migration,
+            ),
+            caches: (0..cfg.nprocs).map(|_| Cache::new(cfg.cache)).collect(),
+            dir: HashMap::new(),
+            contention,
+            proc_node,
+            classify: cfg
+                .classify_misses
+                .then(|| (0..cfg.nprocs).map(|_| ClassifyState::default()).collect()),
+        }
+    }
+
+    /// The physical node process `p` runs on.
+    #[inline]
+    pub fn node_of(&self, p: usize) -> usize {
+        self.proc_node[p]
+    }
+
+    /// The line address of `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_shift
+    }
+
+    /// Explicitly places an address range on a node (manual distribution).
+    pub fn place_range(&mut self, base: Addr, len: u64, node: usize) {
+        self.pages.place_range(base, len, node);
+    }
+
+    /// Pages migrated so far.
+    pub fn page_migrations(&self) -> u64 {
+        self.pages.migrations()
+    }
+
+    /// Immutable view of the page table (for inspection in tests/reports).
+    pub fn pages(&self) -> &PageTable {
+        &self.pages
+    }
+
+    /// Charges one network leg `from → to` starting at `now + so_far`,
+    /// returning the leg's latency contribution (hop costs + queueing).
+    fn leg(&mut self, from_node: usize, to_node: usize, now: Ns, so_far: Ns) -> Ns {
+        let route = self.topo.route(from_node, to_node);
+        if route.hops == 0 && route.src_router == route.dst_router {
+            return 0;
+        }
+        let mut add = self.lat.link_ns * route.hops as Ns;
+        let mut t = now + so_far;
+        add += self.contention.routers[route.src_router].acquire(t, self.lat.router_occ_ns);
+        t = now + so_far + add;
+        if let Some(m) = route.metarouter {
+            add += self.lat.metarouter_ns
+                + self.contention.metarouters[m].acquire(t, self.lat.metarouter_occ_ns);
+            t = now + so_far + add;
+        }
+        if route.dst_router != route.src_router {
+            add += self.contention.routers[route.dst_router].acquire(t, self.lat.router_occ_ns);
+        }
+        add
+    }
+
+    /// Services one line-granular access by processor `p` at virtual time
+    /// `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn access(&mut self, p: usize, addr: Addr, kind: AccessKind, now: Ns) -> Outcome {
+        let line = self.line_of(addr);
+        let req_node = self.proc_node[p];
+
+        // --- Cache lookup ---------------------------------------------
+        if let Some((state, inflight)) = self.caches[p].lookup(line, now) {
+            match (kind, state) {
+                (AccessKind::Read, _)
+                | (AccessKind::Write, LineState::Exclusive)
+                | (AccessKind::Write, LineState::Modified) => {
+                    if kind == AccessKind::Write && state != LineState::Modified {
+                        self.caches[p].set_modified(line);
+                    }
+                    return Outcome {
+                        latency: self.lat.l2_hit_ns + inflight,
+                        class: AccessClass::Hit,
+                        home_local: true,
+                        invals: 0,
+                        writeback: false,
+                        late_prefetch: inflight > 0,
+                        migrated: false,
+                        miss_origin: None,
+                    };
+                }
+                (AccessKind::Write, LineState::Shared) => {
+                    // Upgrade: ownership request to the home, invalidating
+                    // other sharers; no data transfer.
+                    return self.upgrade(p, line, req_node, now, inflight);
+                }
+            }
+        }
+
+        // --- Miss ------------------------------------------------------
+        self.service_miss(p, line, req_node, kind, now)
+    }
+
+    fn upgrade(&mut self, p: usize, line: u64, req_node: usize, now: Ns, inflight: Ns) -> Outcome {
+        let addr = line << self.line_shift;
+        let home = self.pages.home_of(addr, req_node);
+        let home_local = home == req_node;
+        let mut extra = inflight;
+        extra += self.contention.hubs[req_node].acquire(now, self.lat.hub_occ_ns);
+        if !home_local {
+            extra += self.leg(req_node, home, now, extra);
+        }
+        extra += self.contention.hubs[home].acquire(now + extra, self.lat.hub_occ_ns);
+        let base = if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns } / 2;
+
+        let entry = self
+            .dir
+            .get_mut(&line)
+            .expect("upgrade on a Shared line requires a directory entry");
+        let others: Vec<usize> = entry.other_sharers(p).collect();
+        entry.set_owner(p);
+        let invals = others.len() as u32;
+        let mut t = now + extra + base;
+        for q in others {
+            let qn = self.proc_node[q];
+            self.caches[q].invalidate(line);
+            if let Some(cs) = self.classify.as_mut() {
+                cs[q].invalidated.insert(line);
+            }
+            self.contention.hubs[qn].occupy(t, self.lat.inval_ns);
+            t += self.lat.inval_ns;
+        }
+        let latency = base + extra + self.lat.inval_ns * invals as Ns;
+        self.caches[p].set_modified(line);
+        Outcome {
+            latency,
+            class: AccessClass::Upgrade,
+            home_local,
+            invals,
+            writeback: false,
+            late_prefetch: inflight > 0,
+            migrated: false,
+            miss_origin: None,
+        }
+    }
+
+    fn service_miss(
+        &mut self,
+        p: usize,
+        line: u64,
+        req_node: usize,
+        kind: AccessKind,
+        now: Ns,
+    ) -> Outcome {
+        let miss_origin = self.classify.as_mut().map(|cs| {
+            let st = &mut cs[p];
+            if st.invalidated.remove(&line) {
+                MissOrigin::Coherence
+            } else if st.ever_cached.contains(&line) {
+                MissOrigin::Capacity
+            } else {
+                st.ever_cached.insert(line);
+                MissOrigin::Cold
+            }
+        });
+        let addr = line << self.line_shift;
+        let home = self.pages.home_of(addr, req_node);
+        let migrated =
+            matches!(self.pages.note_miss(addr, req_node), MigrationEvent::Migrated(old, new) if {
+                // The copy itself occupies both memories; the triggering
+                // access is still serviced by the old home.
+                self.contention.mems[old].occupy(now, self.lat.page_migrate_ns);
+                self.contention.mems[new].occupy(now, self.lat.page_migrate_ns);
+                true
+            });
+        let home_local = home == req_node;
+
+        let mut extra: Ns = 0;
+        // The requester's Hub sees every miss — including local capacity
+        // misses, which is exactly the §7.2 contention story.
+        extra += self.contention.hubs[req_node].acquire(now, self.lat.hub_occ_ns);
+        if !home_local {
+            extra += self.leg(req_node, home, now, extra);
+        }
+        extra += self.contention.hubs[home].acquire(now + extra, self.lat.hub_occ_ns);
+        extra += self.contention.mems[home].acquire(now + extra, self.lat.mem_occ_ns);
+
+        // Directory transaction.
+        let entry = self.dir.entry(line).or_default();
+        let state = entry.state();
+        let (mut base, class, invals, owner) = match (kind, state) {
+            (AccessKind::Read, DirState::Uncached) | (AccessKind::Write, DirState::Uncached) => {
+                let class = if home_local { AccessClass::LocalMiss } else { AccessClass::RemoteClean };
+                (if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns }, class, 0u32, None)
+            }
+            (AccessKind::Read, DirState::Shared) => {
+                let class = if home_local { AccessClass::LocalMiss } else { AccessClass::RemoteClean };
+                (if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns }, class, 0, None)
+            }
+            (AccessKind::Write, DirState::Shared) => {
+                let n = entry.n_other_sharers(p);
+                let class = if home_local { AccessClass::LocalMiss } else { AccessClass::RemoteClean };
+                (if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns }, class, n, None)
+            }
+            (_, DirState::Exclusive(q)) => {
+                // 3-hop: home forwards to the dirty owner, which supplies
+                // the data. The clean-home part plus the intervention
+                // premium reconstructs the Table-1 remote-dirty latency.
+                let home_part = if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns };
+                let premium = self.lat.remote_dirty_ns - self.lat.remote_clean_ns;
+                (home_part + premium, AccessClass::RemoteDirty, 0, Some(q))
+            }
+        };
+
+        // Update directory + peer caches.
+        match (kind, state) {
+            (AccessKind::Read, DirState::Uncached) => entry.set_owner(p), // granted E
+            (AccessKind::Read, DirState::Shared) => entry.add_sharer(p),
+            (AccessKind::Write, DirState::Uncached) => entry.set_owner(p),
+            (AccessKind::Write, DirState::Shared) => {
+                let others: Vec<usize> = entry.other_sharers(p).collect();
+                entry.set_owner(p);
+                let mut t = now + extra + base;
+                for q in &others {
+                    let qn = self.proc_node[*q];
+                    self.caches[*q].invalidate(line);
+                    if let Some(cs) = self.classify.as_mut() {
+                        cs[*q].invalidated.insert(line);
+                    }
+                    self.contention.hubs[qn].occupy(t, self.lat.inval_ns);
+                    t += self.lat.inval_ns;
+                }
+                base += self.lat.inval_ns * invals as Ns;
+            }
+            (AccessKind::Read, DirState::Exclusive(q)) => {
+                entry.owner = None;
+                entry.sharers = (1u128 << p) | (1u128 << q);
+            }
+            (AccessKind::Write, DirState::Exclusive(_)) => entry.set_owner(p),
+        }
+
+        // Dirty-owner intervention leg.
+        if let Some(q) = owner {
+            let qn = self.proc_node[q];
+            extra += self.leg(home, qn, now, extra + base);
+            extra +=
+                self.contention.hubs[qn].acquire(now + extra + base, self.lat.hub_occ_ns);
+            match kind {
+                AccessKind::Read => self.caches[q].downgrade(line),
+                AccessKind::Write => {
+                    self.caches[q].invalidate(line);
+                    if let Some(cs) = self.classify.as_mut() {
+                        cs[q].invalidated.insert(line);
+                    }
+                }
+            }
+        }
+
+        // Install in the requester's cache, handling the victim. Reads are
+        // granted Exclusive only when no other cache holds the line.
+        let new_state = match (kind, state) {
+            (AccessKind::Write, _) => LineState::Modified,
+            (AccessKind::Read, DirState::Uncached) => LineState::Exclusive,
+            (AccessKind::Read, _) => LineState::Shared,
+        };
+        let writeback = self.install(p, line, new_state, req_node, now + extra + base);
+
+        Outcome {
+            latency: base + extra,
+            class,
+            home_local,
+            invals,
+            writeback,
+            late_prefetch: false,
+            migrated,
+            miss_origin,
+        }
+    }
+
+    /// Installs a line, writing back or silently dropping the victim.
+    fn install(&mut self, p: usize, line: u64, state: LineState, req_node: usize, t: Ns) -> bool {
+        let evicted = self.caches[p].insert(line, state, 0);
+        let Some(ev) = evicted else { return false };
+        let victim_addr = ev.line << self.line_shift;
+        let victim_home = self.pages.home_of(victim_addr, req_node);
+        match ev.state {
+            LineState::Modified => {
+                // Buffered writeback: the processor does not stall, but the
+                // traffic occupies its Hub and the victim's home memory.
+                self.contention.hubs[req_node].occupy(t, self.lat.hub_occ_ns);
+                self.contention.hubs[victim_home].occupy(t, self.lat.hub_occ_ns);
+                self.contention.mems[victim_home].occupy(t, self.lat.mem_occ_ns);
+                if let Some(e) = self.dir.get_mut(&ev.line) {
+                    e.clear_owner();
+                    if e.is_empty() {
+                        self.dir.remove(&ev.line);
+                    }
+                }
+                true
+            }
+            LineState::Exclusive => {
+                if let Some(e) = self.dir.get_mut(&ev.line) {
+                    e.clear_owner();
+                    if e.is_empty() {
+                        self.dir.remove(&ev.line);
+                    }
+                }
+                false
+            }
+            LineState::Shared => {
+                if let Some(e) = self.dir.get_mut(&ev.line) {
+                    e.remove_sharer(p);
+                    if e.is_empty() {
+                        self.dir.remove(&ev.line);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Issues a non-binding software prefetch of `addr`'s line for a future
+    /// read. Returns `(issue_cost, fill_latency)`: the processor stalls only
+    /// for the issue cost; the line becomes usable `fill_latency` after
+    /// `now`. Prefetching an already-cached line costs only the issue.
+    pub fn prefetch(&mut self, p: usize, addr: Addr, now: Ns) -> (Ns, Ns) {
+        let line = self.line_of(addr);
+        if self.caches[p].state_of(line).is_some() {
+            return (self.lat.prefetch_issue_ns, 0);
+        }
+        let req_node = self.proc_node[p];
+        let outcome = self.service_miss(p, line, req_node, AccessKind::Read, now);
+        // Re-stamp the installed line with its in-flight completion time,
+        // preserving the state the protocol granted.
+        let state = self.caches[p].state_of(line).unwrap_or(LineState::Shared);
+        self.caches[p].insert(line, state, now + outcome.latency);
+        (self.lat.prefetch_issue_ns, outcome.latency)
+    }
+
+    /// An uncached, at-memory fetch&op on `addr` (§6.3). Does not interact
+    /// with any cache; serializes at the home node's memory.
+    pub fn fetchop(&mut self, p: usize, addr: Addr, now: Ns) -> Ns {
+        let req_node = self.proc_node[p];
+        let home = self.pages.home_of(addr, req_node);
+        let mut extra: Ns = 0;
+        extra += self.contention.hubs[req_node].acquire(now, self.lat.hub_occ_ns);
+        if home != req_node {
+            extra += self.leg(req_node, home, now, extra);
+        }
+        extra += self.contention.hubs[home].acquire(now + extra, self.lat.hub_occ_ns);
+        extra += self.contention.mems[home].acquire(now + extra, self.lat.mem_occ_ns);
+        let base = if home == req_node {
+            self.lat.fetchop_ns
+        } else {
+            self.lat.fetchop_ns + (self.lat.remote_clean_ns - self.lat.local_ns)
+        };
+        base + extra
+    }
+
+    /// An LL/SC read-modify-write: a write access plus the LL/SC window.
+    pub fn llsc_rmw(&mut self, p: usize, addr: Addr, now: Ns) -> Outcome {
+        let mut o = self.access(p, addr, AccessKind::Write, now);
+        o.latency += self.lat.llsc_extra_ns;
+        o
+    }
+
+    /// Exhaustively cross-checks the directory against every cache — the
+    /// protocol's safety invariants:
+    ///
+    /// 1. a line with an exclusive owner has no other cached copy, and the
+    ///    owner's copy is Exclusive or Modified;
+    /// 2. a line in the Shared directory state has no Modified/Exclusive
+    ///    copy anywhere, and every cached copy is recorded as a sharer;
+    /// 3. every resident cache line has a matching directory entry.
+    ///
+    /// Intended for tests and debugging (it walks every cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate_coherence(&self) -> Result<(), String> {
+        use crate::directory::DirState;
+        for (&line, entry) in &self.dir {
+            match entry.state() {
+                DirState::Exclusive(q) => {
+                    for (p, c) in self.caches.iter().enumerate() {
+                        match c.state_of(line) {
+                            Some(LineState::Modified | LineState::Exclusive) if p == q => {}
+                            Some(s) if p == q => {
+                                return Err(format!(
+                                    "line {line:#x}: owner {q} holds {s:?}, expected E/M"
+                                ))
+                            }
+                            Some(s) => {
+                                return Err(format!(
+                                    "line {line:#x}: exclusive at {q} but proc {p} holds {s:?}"
+                                ))
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                DirState::Shared => {
+                    for (p, c) in self.caches.iter().enumerate() {
+                        match c.state_of(line) {
+                            Some(LineState::Shared) => {
+                                if entry.sharers & (1u128 << p) == 0 {
+                                    return Err(format!(
+                                        "line {line:#x}: proc {p} holds S but is not a sharer"
+                                    ));
+                                }
+                            }
+                            Some(s) => {
+                                return Err(format!(
+                                    "line {line:#x}: dir Shared but proc {p} holds {s:?}"
+                                ))
+                            }
+                            None => {}
+                        }
+                    }
+                }
+                DirState::Uncached => {
+                    for (p, c) in self.caches.iter().enumerate() {
+                        if let Some(s) = c.state_of(line) {
+                            return Err(format!(
+                                "line {line:#x}: dir Uncached but proc {p} holds {s:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (p, c) in self.caches.iter().enumerate() {
+            for (line, state) in c.resident_lines() {
+                if !self.dir.contains_key(&line) {
+                    return Err(format!(
+                        "line {line:#x}: proc {p} holds {state:?} with no directory entry"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn memsys(nprocs: usize) -> MemorySystem {
+        let mut cfg = MachineConfig::origin2000_scaled(nprocs, 64 << 10);
+        // Use the real Origin latencies so assertions match Table 1.
+        cfg.latency = crate::latency::LatencyProfile::origin2000();
+        let perm: Vec<usize> = (0..nprocs).collect();
+        MemorySystem::new(&cfg, &perm)
+    }
+
+    #[test]
+    fn local_cold_miss_then_hit() {
+        let mut m = memsys(2);
+        // Proc 0 first-touches → page homes on node 0 → local miss.
+        let o = m.access(0, 0x1000, AccessKind::Read, 0);
+        assert_eq!(o.class, AccessClass::LocalMiss);
+        assert!(o.home_local);
+        assert!(o.latency >= 338);
+        let o = m.access(0, 0x1000, AccessKind::Read, 1000);
+        assert_eq!(o.class, AccessClass::Hit);
+        assert_eq!(o.latency, 0); // l2_hit_ns = 0 on the Origin profile
+    }
+
+    #[test]
+    fn remote_clean_costs_more_than_local() {
+        let mut m = memsys(4);
+        // Proc 0 (node 0) touches, installing home on node 0; proc 2
+        // (node 1) reads the same line → remote clean (0 holds it E →
+        // actually Exclusive → dirty path). Use a second line that proc 0
+        // touched and evicted... simpler: proc 0 touches line A; proc 2
+        // touches line B homed on node 1 first, then reads A.
+        let o0 = m.access(0, 0x1000, AccessKind::Read, 0);
+        // Proc 0 got the line Exclusive, so proc 2's read is a 3-hop.
+        let o2 = m.access(2, 0x1000, AccessKind::Read, 10_000);
+        assert_eq!(o2.class, AccessClass::RemoteDirty);
+        assert!(o2.latency > o0.latency);
+        // After the intervention both are sharers; a third reader on node 0
+        // gets a *local* clean miss.
+        let o1 = m.access(1, 0x1000, AccessKind::Read, 20_000);
+        assert_eq!(o1.class, AccessClass::LocalMiss);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut m = memsys(4);
+        m.access(0, 0x2000, AccessKind::Read, 0);
+        m.access(2, 0x2000, AccessKind::Read, 1_000); // dirty fetch → both Shared
+        m.access(3, 0x2000, AccessKind::Read, 2_000);
+        // Now 0, 2, 3 share. Proc 1 writes: 3 invalidations.
+        let o = m.access(1, 0x2000, AccessKind::Write, 3_000);
+        assert_eq!(o.invals, 3);
+        // Proc 2 rereads → miss (its copy was invalidated), dirty at proc 1.
+        let o = m.access(2, 0x2000, AccessKind::Read, 4_000);
+        assert_eq!(o.class, AccessClass::RemoteDirty);
+    }
+
+    #[test]
+    fn write_hit_on_shared_is_upgrade() {
+        let mut m = memsys(2);
+        m.access(0, 0x3000, AccessKind::Read, 0);
+        m.access(1, 0x3000, AccessKind::Read, 1_000); // E at 0 → both S
+        let o = m.access(0, 0x3000, AccessKind::Write, 2_000);
+        assert_eq!(o.class, AccessClass::Upgrade);
+        assert_eq!(o.invals, 1);
+        // Subsequent write is a pure hit.
+        let o = m.access(0, 0x3000, AccessKind::Write, 3_000);
+        assert_eq!(o.class, AccessClass::Hit);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        // Tiny cache: 64KB, 2-way, 128B lines → 256 sets. Two writes to the
+        // same set at stride 256*128 plus a third evicts a dirty victim.
+        let mut m = memsys(1);
+        let stride = 256 * 128u64;
+        m.access(0, 0x0, AccessKind::Write, 0);
+        m.access(0, stride, AccessKind::Write, 100);
+        let o = m.access(0, 2 * stride, AccessKind::Write, 200);
+        assert!(o.writeback);
+        // The written-back line misses again (it was dropped from cache).
+        let o = m.access(0, 0x0, AccessKind::Read, 300);
+        assert_ne!(o.class, AccessClass::Hit);
+    }
+
+    #[test]
+    fn contention_inflates_latency() {
+        let mut m = memsys(2);
+        // Proc 0 and proc 1 share node 0's Hub. Slam the Hub with proc 1
+        // traffic, then measure proc 0's miss at the same instant.
+        let quiet = m.access(0, 0x10_0000, AccessKind::Read, 0).latency;
+        for i in 0..64u64 {
+            m.access(1, 0x20_0000 + i * 4096, AccessKind::Read, 1_000_000);
+        }
+        let contended = m.access(0, 0x30_0000, AccessKind::Read, 1_000_000).latency;
+        assert!(contended > quiet, "contended {contended} quiet {quiet}");
+    }
+
+    #[test]
+    fn prefetch_hides_latency() {
+        let mut m = memsys(4); // 2 nodes
+        // Home the line on node 1 so the prefetch is remote.
+        m.place_range(0x4000, 128, 1);
+        let (issue, fill) = m.prefetch(0, 0x4000, 0);
+        assert!(issue < 50);
+        assert!(fill > 300);
+        // Demand access long after the fill completes: free hit.
+        let o = m.access(0, 0x4000, AccessKind::Read, fill + 1_000);
+        assert_eq!(o.class, AccessClass::Hit);
+        assert_eq!(o.latency, 0);
+        // A too-early demand access pays the residual (late prefetch).
+        let (_, fill2) = m.prefetch(0, 0x8000, 0);
+        assert!(fill2 > 0);
+        let o = m.access(0, 0x8000, AccessKind::Read, 10);
+        assert!(o.late_prefetch);
+        assert!(o.latency > 0 && o.latency < fill2);
+    }
+
+    #[test]
+    fn fetchop_is_cheaper_than_llsc_pingpong() {
+        let mut m = memsys(4);
+        let addr = 0x9000;
+        m.place_range(addr, 128, 0);
+        // Alternate fetch&ops from two procs: constant cost, no ping-pong.
+        let f1 = m.fetchop(0, addr, 0);
+        let f2 = m.fetchop(2, addr, 10_000);
+        // LL/SC from alternating procs ping-pongs the line (dirty misses).
+        let l1 = m.llsc_rmw(0, 0xa000, 20_000).latency;
+        let l2 = m.llsc_rmw(2, 0xa000, 30_000).latency;
+        let l3 = m.llsc_rmw(0, 0xa000, 40_000).latency;
+        assert!(f1 < l1);
+        assert!(f2 < l2 && f2 < l3);
+    }
+
+    #[test]
+    fn migration_moves_page_home() {
+        let mut cfg = MachineConfig::origin2000_scaled(4, 64 << 10);
+        cfg.migration = Some(crate::config::MigrationConfig { threshold: 4, cooldown: 0 });
+        let perm: Vec<usize> = (0..4).collect();
+        let mut m = MemorySystem::new(&cfg, &perm);
+        m.place_range(0, 1 << 10, 0);
+        // Proc 2 (node 1) hammers different lines of the page (all misses).
+        for i in 0..8 {
+            m.access(2, i * 128, AccessKind::Read, i * 10_000);
+        }
+        assert!(m.page_migrations() >= 1);
+        // A fresh line of that page is now local to node 1.
+        let o = m.access(2, 7 * 128 + 0x80, AccessKind::Read, 1_000_000);
+        let _ = o;
+        assert_eq!(m.pages().pages_per_node()[1] >= 1, true);
+    }
+
+    #[test]
+    fn read_after_shared_becomes_shared_not_exclusive() {
+        let mut m = memsys(4);
+        m.access(0, 0x5000, AccessKind::Read, 0);
+        m.access(2, 0x5000, AccessKind::Read, 1_000);
+        m.access(3, 0x5000, AccessKind::Read, 2_000);
+        // Proc 3's copy must be Shared: a write by proc 3 must be an
+        // upgrade (invalidating 2 others), not a silent hit.
+        let o = m.access(3, 0x5000, AccessKind::Write, 3_000);
+        assert_eq!(o.class, AccessClass::Upgrade);
+        assert_eq!(o.invals, 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Data-structure-level profiling — the tooling the paper wished the
+//! Origin2000 had (§8: "the greatest missing feature of the machine is the
+//! lack of tools to look more deeply into the machine's execution and
+//! memory system").
+//!
+//! Label shared allocations with
+//! [`Machine::shared_vec_labeled`](crate::machine::Machine::shared_vec_labeled)
+//! and the run's [`RunStats`](crate::stats::RunStats) will carry a
+//! per-label breakdown of accesses, miss classes, and stall time — the
+//! information the authors had to reconstruct with `pixie`/`prof` and
+//! hand analysis (e.g. attributing Barnes-Hut's 128-processor memory time
+//! to the tree-build phase's cell arrays).
+
+use crate::memsys::{AccessClass, AccessKind, Outcome};
+use crate::page::Addr;
+use crate::time::Ns;
+
+/// Per-label access statistics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RangeProfile {
+    /// The label given at allocation.
+    pub name: String,
+    /// Line-granular reads.
+    pub reads: u64,
+    /// Line-granular writes.
+    pub writes: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Misses served by the requester's own node.
+    pub misses_local: u64,
+    /// Misses served remotely (clean + dirty + upgrades).
+    pub misses_remote: u64,
+    /// Total stall time attributed to this label.
+    pub stall_ns: Ns,
+}
+
+impl RangeProfile {
+    /// All misses.
+    pub fn misses(&self) -> u64 {
+        self.misses_local + self.misses_remote
+    }
+}
+
+/// Attributes accesses to labelled address ranges.
+#[derive(Debug, Default)]
+pub(crate) struct Profiler {
+    /// Sorted, non-overlapping (base, end, profile index).
+    ranges: Vec<(Addr, Addr, usize)>,
+    profiles: Vec<RangeProfile>,
+}
+
+impl Profiler {
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Registers `[base, base + bytes)` under `name`. Ranges come from the
+    /// machine's bump allocator, so they never overlap.
+    pub fn register(&mut self, name: &str, base: Addr, bytes: u64) {
+        let idx = self.profiles.len();
+        self.profiles.push(RangeProfile { name: name.to_string(), ..Default::default() });
+        let pos = self.ranges.partition_point(|&(b, _, _)| b < base);
+        self.ranges.insert(pos, (base, base + bytes, idx));
+    }
+
+    /// Attributes one serviced access.
+    pub fn attribute(&mut self, addr: Addr, kind: AccessKind, outcome: &Outcome) {
+        let pos = self.ranges.partition_point(|&(b, _, _)| b <= addr);
+        if pos == 0 {
+            return;
+        }
+        let (base, end, idx) = self.ranges[pos - 1];
+        debug_assert!(addr >= base);
+        if addr >= end {
+            return;
+        }
+        let p = &mut self.profiles[idx];
+        match kind {
+            AccessKind::Read => p.reads += 1,
+            AccessKind::Write => p.writes += 1,
+        }
+        match outcome.class {
+            AccessClass::Hit => p.hits += 1,
+            AccessClass::LocalMiss => p.misses_local += 1,
+            AccessClass::RemoteClean | AccessClass::RemoteDirty | AccessClass::Upgrade => {
+                if outcome.home_local {
+                    p.misses_local += 1;
+                } else {
+                    p.misses_remote += 1;
+                }
+            }
+        }
+        p.stall_ns += outcome.latency;
+    }
+
+    /// Consumes the profiler, returning the per-label statistics in
+    /// registration order.
+    pub fn into_profiles(self) -> Vec<RangeProfile> {
+        self.profiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(class: AccessClass, latency: Ns, home_local: bool) -> Outcome {
+        Outcome {
+            latency,
+            class,
+            home_local,
+            invals: 0,
+            writeback: false,
+            late_prefetch: false,
+            migrated: false,
+            miss_origin: None,
+        }
+    }
+
+    #[test]
+    fn attribution_respects_range_bounds() {
+        let mut p = Profiler::default();
+        p.register("a", 1000, 100);
+        p.register("b", 2000, 100);
+        p.attribute(1000, AccessKind::Read, &outcome(AccessClass::Hit, 0, true));
+        p.attribute(1099, AccessKind::Write, &outcome(AccessClass::LocalMiss, 42, true));
+        p.attribute(1100, AccessKind::Read, &outcome(AccessClass::Hit, 0, true)); // gap
+        p.attribute(2050, AccessKind::Read, &outcome(AccessClass::RemoteClean, 80, false));
+        p.attribute(500, AccessKind::Read, &outcome(AccessClass::Hit, 0, true)); // before all
+        let profs = p.into_profiles();
+        assert_eq!(profs[0].reads, 1);
+        assert_eq!(profs[0].writes, 1);
+        assert_eq!(profs[0].hits, 1);
+        assert_eq!(profs[0].misses_local, 1);
+        assert_eq!(profs[0].stall_ns, 42);
+        assert_eq!(profs[1].misses_remote, 1);
+        assert_eq!(profs[1].stall_ns, 80);
+    }
+
+    #[test]
+    fn upgrades_count_by_home_locality() {
+        let mut p = Profiler::default();
+        p.register("x", 0, 1000);
+        p.attribute(0, AccessKind::Write, &outcome(AccessClass::Upgrade, 30, true));
+        p.attribute(1, AccessKind::Write, &outcome(AccessClass::Upgrade, 60, false));
+        let profs = p.into_profiles();
+        assert_eq!(profs[0].misses_local, 1);
+        assert_eq!(profs[0].misses_remote, 1);
+        assert_eq!(profs[0].misses(), 2);
+    }
+
+    #[test]
+    fn registration_out_of_order_still_sorts() {
+        let mut p = Profiler::default();
+        p.register("high", 5000, 10);
+        p.register("low", 100, 10);
+        p.attribute(5005, AccessKind::Read, &outcome(AccessClass::Hit, 0, true));
+        p.attribute(105, AccessKind::Read, &outcome(AccessClass::Hit, 0, true));
+        let profs = p.into_profiles();
+        assert_eq!(profs[0].name, "high");
+        assert_eq!(profs[0].hits, 1);
+        assert_eq!(profs[1].hits, 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Engine ↔ processor-thread protocol (crate internal).
+//!
+//! Application threads communicate with the engine through rendezvous
+//! channels: each engine-visible action is a [`Request`]; the engine
+//! unblocks the thread with a [`Reply`] once the action completes in
+//! virtual time.
+
+use crate::page::Addr;
+use crate::time::Ns;
+
+/// Kind of a buffered memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    Read,
+    Write,
+    Prefetch,
+}
+
+/// One buffered memory operation (possibly spanning multiple lines).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemOp {
+    pub addr: Addr,
+    pub bytes: u64,
+    pub kind: OpKind,
+}
+
+/// A request from an application thread to the engine. Every variant
+/// carries the busy time accumulated since the previous request and the
+/// buffered memory operations to apply first.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// Flush buffered work only.
+    Ops { busy: Ns, ops: Vec<MemOp> },
+    /// Arrive at a barrier.
+    Barrier { busy: Ns, ops: Vec<MemOp>, id: usize },
+    /// Acquire a lock (blocks until granted).
+    Lock { busy: Ns, ops: Vec<MemOp>, id: usize },
+    /// Release a lock.
+    Unlock { busy: Ns, ops: Vec<MemOp>, id: usize },
+    /// Atomic fetch-and-add on a fetch cell; the reply carries the prior value.
+    FetchAdd { busy: Ns, ops: Vec<MemOp>, id: usize, delta: i64 },
+    /// Decrement a semaphore, blocking while it is zero.
+    SemWait { busy: Ns, ops: Vec<MemOp>, id: usize },
+    /// Increment a semaphore by `n`, waking blocked waiters.
+    SemPost { busy: Ns, ops: Vec<MemOp>, id: usize, n: u32 },
+    /// The application body returned.
+    Finish { busy: Ns, ops: Vec<MemOp> },
+    /// The application body panicked; the engine aborts the run.
+    Panic(String),
+}
+
+/// Engine reply unblocking a thread. `value` is meaningful only for
+/// [`Request::FetchAdd`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Reply {
+    pub value: i64,
+}
+
+/// Sentinel panic payload used to silently unwind application threads when
+/// the engine has already terminated (deadlock or a peer's panic). The
+/// quiet panic hook suppresses its default backtrace output.
+pub(crate) struct EngineGone;

@@ -1,0 +1,196 @@
+//! Execution statistics: the per-processor Busy / Memory / Synchronization
+//! breakdown that drives every figure in the paper, plus event counters.
+
+use crate::contend::ResourceTotals;
+use crate::time::Ns;
+
+/// Counters and time accumulators for one simulated processor.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Time spent computing.
+    pub busy_ns: Ns,
+    /// Stall time on cache misses (local + remote; the paper's "Memory").
+    pub mem_ns: Ns,
+    /// Of `mem_ns`, stall on accesses whose home was the local node.
+    pub mem_local_ns: Ns,
+    /// Of `mem_ns`, stall on remote accesses (what the Origin couldn't
+    /// separate; §8 calls this the machine's greatest missing feature).
+    pub mem_remote_ns: Ns,
+    /// Waiting at synchronization events (lock queues, barrier arrival skew).
+    pub sync_wait_ns: Ns,
+    /// Overhead of synchronization operations themselves.
+    pub sync_op_ns: Ns,
+    /// Virtual time at which this processor finished.
+    pub finish_ns: Ns,
+
+    /// Reads issued (line-granular).
+    pub reads: u64,
+    /// Writes issued (line-granular).
+    pub writes: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Misses satisfied by the local node's memory.
+    pub misses_local: u64,
+    /// Misses satisfied by a remote home with a clean copy (2-hop).
+    pub misses_remote_clean: u64,
+    /// Misses requiring intervention at a dirty third node (3-hop).
+    pub misses_remote_dirty: u64,
+    /// Write upgrades of Shared lines.
+    pub upgrades: u64,
+    /// Invalidations this processor's writes sent to other caches.
+    pub invals_sent: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// Demand accesses that found their line still in flight from a
+    /// prefetch (late prefetch: partial benefit).
+    pub prefetch_late: u64,
+    /// Lock acquisitions.
+    pub lock_acquires: u64,
+    /// Barrier episodes participated in.
+    pub barriers: u64,
+    /// fetch&op / atomic read-modify-writes performed.
+    pub atomics: u64,
+    /// Misses to lines this processor never cached before
+    /// (only counted when `classify_misses` is enabled).
+    pub misses_cold: u64,
+    /// Misses caused by another processor's invalidation (ditto).
+    pub misses_coherence: u64,
+    /// Misses to lines this processor once cached and then evicted —
+    /// capacity/conflict misses (ditto).
+    pub misses_capacity: u64,
+}
+
+impl ProcStats {
+    /// Total synchronization time (wait + operation overhead).
+    pub fn sync_ns(&self) -> Ns {
+        self.sync_wait_ns + self.sync_op_ns
+    }
+
+    /// Total accounted time (busy + memory + sync).
+    pub fn total_ns(&self) -> Ns {
+        self.busy_ns + self.mem_ns + self.sync_ns()
+    }
+
+    /// Total line-granular accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// All misses.
+    pub fn misses(&self) -> u64 {
+        self.misses_local + self.misses_remote_clean + self.misses_remote_dirty
+    }
+
+    /// The (busy, memory, sync) shares of this processor's time, in percent.
+    /// Returns zeros for an idle processor.
+    pub fn breakdown_pct(&self) -> (f64, f64, f64) {
+        let total = self.total_ns() as f64;
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.busy_ns as f64 / total,
+            100.0 * self.mem_ns as f64 / total,
+            100.0 * self.sync_ns() as f64 / total,
+        )
+    }
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-processor statistics, indexed by process id.
+    pub procs: Vec<ProcStats>,
+    /// Wall-clock of the run: the latest processor finish time.
+    pub wall_ns: Ns,
+    /// Pages migrated by the dynamic migration policy.
+    pub page_migrations: u64,
+    /// Aggregate occupancy/wait per resource class:
+    /// hubs, memories, routers, metarouters.
+    pub resources: [ResourceTotals; 4],
+    /// Per-label profiles for allocations made with
+    /// [`Machine::shared_vec_labeled`](crate::machine::Machine::shared_vec_labeled)
+    /// (empty when nothing was labelled).
+    pub ranges: Vec<crate::profile::RangeProfile>,
+}
+
+impl RunStats {
+    /// Number of processors in the run.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Machine-wide average breakdown in percent (busy, memory, sync),
+    /// averaging each processor's shares as the paper's Figure 3 does.
+    pub fn avg_breakdown_pct(&self) -> (f64, f64, f64) {
+        let n = self.procs.len().max(1) as f64;
+        let (mut b, mut m, mut s) = (0.0, 0.0, 0.0);
+        for p in &self.procs {
+            let (pb, pm, ps) = p.breakdown_pct();
+            b += pb;
+            m += pm;
+            s += ps;
+        }
+        (b / n, m / n, s / n)
+    }
+
+    /// Sums a counter over all processors.
+    pub fn total<F: Fn(&ProcStats) -> u64>(&self, f: F) -> u64 {
+        self.procs.iter().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc(busy: Ns, mem: Ns, sync: Ns) -> ProcStats {
+        ProcStats { busy_ns: busy, mem_ns: mem, sync_wait_ns: sync, ..Default::default() }
+    }
+
+    #[test]
+    fn breakdown_sums_to_100() {
+        let p = proc(50, 30, 20);
+        let (b, m, s) = p.breakdown_pct();
+        assert!((b + m + s - 100.0).abs() < 1e-9);
+        assert_eq!(b, 50.0);
+    }
+
+    #[test]
+    fn idle_proc_breakdown_is_zero() {
+        assert_eq!(ProcStats::default().breakdown_pct(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn avg_breakdown_averages_shares_not_times() {
+        // One proc all-busy of 10ns, one proc all-sync of 1000ns: average of
+        // *shares* is 50/0/50 regardless of magnitudes.
+        let rs = RunStats {
+            procs: vec![proc(10, 0, 0), proc(0, 0, 1000)],
+            wall_ns: 1000,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: Vec::new(),
+        };
+        let (b, m, s) = rs.avg_breakdown_pct();
+        assert_eq!((b, m, s), (50.0, 0.0, 50.0));
+    }
+
+    #[test]
+    fn totals_sum_counters() {
+        let mut a = ProcStats::default();
+        a.reads = 3;
+        let mut b = ProcStats::default();
+        b.reads = 4;
+        let rs = RunStats {
+            procs: vec![a, b],
+            wall_ns: 0,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: Vec::new(),
+        };
+        assert_eq!(rs.total(|p| p.reads), 7);
+    }
+}

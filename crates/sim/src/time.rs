@@ -1,0 +1,132 @@
+//! Virtual time for the simulator.
+//!
+//! All simulated time is kept in **nanoseconds** as a plain [`Ns`] integer.
+//! The reference processor is the 195 MHz MIPS R10000 of the SGI Origin2000,
+//! giving the cycle length in [`NS_PER_CYCLE_R10K`]. Helper conversions are
+//! provided so that application cost models can be written in cycles or in
+//! abstract operation counts.
+
+/// Virtual nanoseconds. The simulator's base time unit.
+pub type Ns = u64;
+
+/// Cycle time of a 195 MHz R10000 in nanoseconds (rounded to the nearest
+/// integer nanosecond: 1e9 / 195e6 ≈ 5.13 ns → 5 ns).
+///
+/// The rounding is deliberate: the simulator works in integer nanoseconds and
+/// all published Origin2000 latencies in the paper are given in nanoseconds.
+pub const NS_PER_CYCLE_R10K: Ns = 5;
+
+/// Converts processor cycles to nanoseconds at the reference clock.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_sim::time::{cycles_to_ns, NS_PER_CYCLE_R10K};
+/// assert_eq!(cycles_to_ns(10), 10 * NS_PER_CYCLE_R10K);
+/// ```
+#[inline]
+pub fn cycles_to_ns(cycles: u64) -> Ns {
+    cycles * NS_PER_CYCLE_R10K
+}
+
+/// Converts nanoseconds to whole processor cycles at the reference clock
+/// (truncating).
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_sim::time::ns_to_cycles;
+/// assert_eq!(ns_to_cycles(51), 10);
+/// ```
+#[inline]
+pub fn ns_to_cycles(ns: Ns) -> u64 {
+    ns / NS_PER_CYCLE_R10K
+}
+
+/// A span of virtual time with saturating arithmetic, used when aggregating
+/// per-processor breakdowns so that pathological inputs can never overflow.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span(pub Ns);
+
+impl Span {
+    /// The zero-length span.
+    pub const ZERO: Span = Span(0);
+
+    /// Creates a span of `ns` nanoseconds.
+    #[inline]
+    pub fn new(ns: Ns) -> Self {
+        Span(ns)
+    }
+
+    /// The length of the span in nanoseconds.
+    #[inline]
+    pub fn ns(self) -> Ns {
+        self.0
+    }
+
+    /// Saturating addition of two spans.
+    #[inline]
+    pub fn saturating_add(self, other: Span) -> Span {
+        Span(self.0.saturating_add(other.0))
+    }
+}
+
+impl std::ops::Add for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Span {
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_roundtrip() {
+        for c in [0u64, 1, 7, 1000, 1_000_000] {
+            assert_eq!(ns_to_cycles(cycles_to_ns(c)), c);
+        }
+    }
+
+    #[test]
+    fn span_add_is_saturating() {
+        let a = Span(u64::MAX - 1);
+        let b = Span(10);
+        assert_eq!(a.saturating_add(b), Span(u64::MAX));
+    }
+
+    #[test]
+    fn span_display_scales_units() {
+        assert_eq!(Span(12).to_string(), "12ns");
+        assert_eq!(Span(1_500).to_string(), "1.500us");
+        assert_eq!(Span(2_500_000).to_string(), "2.500ms");
+        assert_eq!(Span(3_000_000_000).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn span_ordering() {
+        assert!(Span(1) < Span(2));
+        assert_eq!(Span::ZERO, Span::new(0));
+    }
+}

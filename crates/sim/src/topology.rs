@@ -1,0 +1,257 @@
+//! Interconnect topology: hypercubes of routers, optionally joined by
+//! metarouters.
+//!
+//! The Origin2000 connects *routers*, not nodes: each node's Hub attaches to
+//! a router, and each router serves two nodes (four processors). Machines up
+//! to 64 processors use a full hypercube of routers; the 128-processor
+//! machine of the paper is four 32-processor hypercube modules (8 routers
+//! each) whose corresponding routers are joined through eight shared
+//! metarouters (Figure 1 of the paper).
+
+/// The shape of the router network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// A single hypercube of routers (dimension = ⌈log₂ #routers⌉).
+    /// This is the 32/64-processor Origin2000 configuration.
+    FullHypercube,
+    /// Hypercube modules of `routers_per_module` routers joined by
+    /// metarouters: router *i* of every module connects to metarouter *i*.
+    /// The paper's 128-processor machine is `routers_per_module = 8`.
+    MetaModules {
+        /// Routers per hypercube module (must be a power of two).
+        routers_per_module: usize,
+    },
+    /// An idealised uniform network: every remote pair is the nominal
+    /// distance apart and no metarouters exist. Useful as a control when
+    /// isolating topology effects (§7.1).
+    Ideal,
+}
+
+/// A resolved route between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Router-to-router hops beyond entering the source router
+    /// (0 when both nodes share a router or are the same node).
+    pub hops: u32,
+    /// Router attached to the source node.
+    pub src_router: usize,
+    /// Router attached to the destination node.
+    pub dst_router: usize,
+    /// The metarouter traversed, if the route crosses modules.
+    pub metarouter: Option<usize>,
+}
+
+impl Route {
+    /// A route that never leaves the node (or the Hub).
+    pub fn local(router: usize) -> Self {
+        Route { hops: 0, src_router: router, dst_router: router, metarouter: None }
+    }
+}
+
+/// The router network of a machine.
+///
+/// # Examples
+///
+/// ```
+/// use ccnuma_sim::topology::{Topology, TopologyKind};
+/// // 128 processors, 2 per node, 2 nodes per router → 32 routers,
+/// // 4 modules of 8 connected by metarouters.
+/// let t = Topology::new(TopologyKind::MetaModules { routers_per_module: 8 }, 64, 2);
+/// let r = t.route(0, 63);
+/// assert!(r.metarouter.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    kind: TopologyKind,
+    n_nodes: usize,
+    nodes_per_router: usize,
+    n_routers: usize,
+}
+
+impl Topology {
+    /// Builds a topology for `n_nodes` nodes with `nodes_per_router` nodes
+    /// attached to each router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` or `nodes_per_router` is zero, or if
+    /// `MetaModules::routers_per_module` is not a power of two.
+    pub fn new(kind: TopologyKind, n_nodes: usize, nodes_per_router: usize) -> Self {
+        assert!(n_nodes > 0, "topology requires at least one node");
+        assert!(nodes_per_router > 0, "nodes_per_router must be positive");
+        if let TopologyKind::MetaModules { routers_per_module } = kind {
+            assert!(
+                routers_per_module.is_power_of_two(),
+                "routers_per_module must be a power of two, got {routers_per_module}"
+            );
+        }
+        let n_routers = n_nodes.div_ceil(nodes_per_router);
+        Topology { kind, n_nodes, nodes_per_router, n_routers }
+    }
+
+    /// The network kind.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of routers in the network.
+    pub fn n_routers(&self) -> usize {
+        self.n_routers
+    }
+
+    /// Number of nodes attached to the network.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The router a node's Hub attaches to.
+    pub fn router_of(&self, node: usize) -> usize {
+        debug_assert!(node < self.n_nodes);
+        node / self.nodes_per_router
+    }
+
+    /// Number of metarouters (0 unless the kind is [`TopologyKind::MetaModules`]
+    /// and more than one module exists).
+    pub fn n_metarouters(&self) -> usize {
+        match self.kind {
+            TopologyKind::MetaModules { routers_per_module }
+                if self.n_routers > routers_per_module =>
+            {
+                routers_per_module
+            }
+            _ => 0,
+        }
+    }
+
+    /// Resolves the route between two nodes.
+    pub fn route(&self, src_node: usize, dst_node: usize) -> Route {
+        let src_router = self.router_of(src_node);
+        let dst_router = self.router_of(dst_node);
+        if src_router == dst_router {
+            return Route { hops: 0, src_router, dst_router, metarouter: None };
+        }
+        match self.kind {
+            TopologyKind::Ideal => {
+                Route { hops: 1, src_router, dst_router, metarouter: None }
+            }
+            TopologyKind::FullHypercube => Route {
+                hops: (src_router ^ dst_router).count_ones(),
+                src_router,
+                dst_router,
+                metarouter: None,
+            },
+            TopologyKind::MetaModules { routers_per_module } => {
+                let (sm, si) = (src_router / routers_per_module, src_router % routers_per_module);
+                let (dm, di) = (dst_router / routers_per_module, dst_router % routers_per_module);
+                if sm == dm {
+                    Route {
+                        hops: (si ^ di).count_ones(),
+                        src_router,
+                        dst_router,
+                        metarouter: None,
+                    }
+                } else {
+                    // Travel within the source module to the router aligned
+                    // with the destination's index, cross its metarouter,
+                    // and arrive at the destination router. Crossing the
+                    // metarouter counts as two link traversals.
+                    Route {
+                        hops: (si ^ di).count_ones() + 2,
+                        src_router,
+                        dst_router,
+                        metarouter: Some(di),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum router-to-router distance in the network (network diameter).
+    pub fn diameter(&self) -> u32 {
+        let mut max = 0;
+        for a in 0..self.n_nodes {
+            for b in 0..self.n_nodes {
+                max = max.max(self.route(a, b).hops);
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypercube(nodes: usize) -> Topology {
+        Topology::new(TopologyKind::FullHypercube, nodes, 2)
+    }
+
+    #[test]
+    fn same_node_and_same_router_are_zero_hops() {
+        let t = hypercube(32);
+        assert_eq!(t.route(5, 5).hops, 0);
+        // Nodes 0 and 1 share router 0.
+        assert_eq!(t.route(0, 1).hops, 0);
+        assert_eq!(t.router_of(0), t.router_of(1));
+    }
+
+    #[test]
+    fn hypercube_hops_are_popcount() {
+        let t = hypercube(32); // 16 routers, 4-cube
+        // Node 0 (router 0) to node 30 (router 15): xor 0b1111 → 4 hops.
+        assert_eq!(t.route(0, 30).hops, 4);
+        assert_eq!(t.route(0, 2).hops, 1); // router 0 → 1
+    }
+
+    #[test]
+    fn hypercube_diameter_matches_dimension() {
+        // 64 nodes / 2 per router = 32 routers = 5-cube.
+        assert_eq!(hypercube(64).diameter(), 5);
+        assert_eq!(hypercube(8).diameter(), 2);
+    }
+
+    #[test]
+    fn metamodules_cross_module_uses_metarouter() {
+        // 128 procs → 64 nodes → 32 routers → 4 modules of 8.
+        let t = Topology::new(TopologyKind::MetaModules { routers_per_module: 8 }, 64, 2);
+        assert_eq!(t.n_metarouters(), 8);
+        // Node 0 (module 0, router 0) ↔ node 16 (router 8 → module 1, index 0).
+        let r = t.route(0, 16);
+        assert_eq!(r.metarouter, Some(0));
+        assert_eq!(r.hops, 2); // aligned routers: straight through the metarouter
+        // Intra-module routes never cross a metarouter.
+        let r = t.route(0, 14); // routers 0 and 7 in module 0
+        assert_eq!(r.metarouter, None);
+        assert_eq!(r.hops, 3);
+    }
+
+    #[test]
+    fn metamodules_single_module_degenerates_to_hypercube() {
+        let t = Topology::new(TopologyKind::MetaModules { routers_per_module: 8 }, 16, 2);
+        assert_eq!(t.n_metarouters(), 0);
+        assert_eq!(t.route(0, 14).metarouter, None);
+    }
+
+    #[test]
+    fn ideal_is_uniform_single_hop() {
+        let t = Topology::new(TopologyKind::Ideal, 64, 2);
+        assert_eq!(t.route(0, 63).hops, 1);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn route_is_symmetric_in_hops() {
+        let t = Topology::new(TopologyKind::MetaModules { routers_per_module: 8 }, 64, 2);
+        for a in (0..64).step_by(7) {
+            for b in (0..64).step_by(5) {
+                assert_eq!(t.route(a, b).hops, t.route(b, a).hops, "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_module_size_panics() {
+        Topology::new(TopologyKind::MetaModules { routers_per_module: 6 }, 64, 2);
+    }
+}

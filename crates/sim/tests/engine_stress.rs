@@ -1,0 +1,108 @@
+//! Property-based stress tests of the execution engine: randomly generated
+//! well-formed programs must terminate, account time consistently, and be
+//! deterministic.
+
+use proptest::prelude::*;
+
+use ccnuma_sim::config::MachineConfig;
+use ccnuma_sim::machine::{Machine, Placement};
+
+/// One step of a generated program.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Compute(u16),
+    ReadBlock(u8),
+    WriteBlock(u8),
+    Barrier,
+    Lock(u8),
+    FetchAdd,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u16..2000).prop_map(Step::Compute),
+        any::<u8>().prop_map(Step::ReadBlock),
+        any::<u8>().prop_map(Step::WriteBlock),
+        Just(Step::Barrier),
+        (0u8..4).prop_map(Step::Lock),
+        Just(Step::FetchAdd),
+    ]
+}
+
+fn run_program(steps: &[Step], nprocs: usize) -> (u64, u64, i64) {
+    let mut m = Machine::new(MachineConfig::origin2000_scaled(nprocs, 16 << 10)).unwrap();
+    let data = m.shared_vec::<u64>(64 * 64, Placement::Interleaved);
+    let bar = m.barrier();
+    let locks = m.lock_array(4);
+    let cell = m.fetch_cell(0);
+    let steps: Vec<Step> = steps.to_vec();
+    let d = data.clone();
+    let stats = m
+        .run(move |ctx| {
+            for &s in &steps {
+                match s {
+                    Step::Compute(ns) => ctx.compute_ns(u64::from(ns)),
+                    Step::ReadBlock(b) => {
+                        let base = (b as usize % 64) * 64;
+                        let mut acc = 0;
+                        for i in base..base + 64 {
+                            acc += d.read(ctx, i);
+                        }
+                        ctx.compute_ops(acc % 2);
+                    }
+                    Step::WriteBlock(b) => {
+                        // Write my processor's private slice of the block so
+                        // the program is data-race-free by construction.
+                        let base = (b as usize % 64) * 64;
+                        let lo = base + ctx.id() * (64 / ctx.nprocs());
+                        for i in lo..lo + 64 / ctx.nprocs() {
+                            d.write(ctx, i, i as u64);
+                        }
+                    }
+                    Step::Barrier => ctx.barrier(bar),
+                    Step::Lock(l) => {
+                        ctx.lock(locks[l as usize % 4]);
+                        ctx.compute_ns(25);
+                        ctx.unlock(locks[l as usize % 4]);
+                    }
+                    Step::FetchAdd => {
+                        ctx.fetch_add(cell, 1);
+                    }
+                }
+            }
+        })
+        .unwrap();
+    // Accounting identity: every processor's accounted time equals its
+    // finish time (nothing is lost or double counted).
+    for (i, p) in stats.procs.iter().enumerate() {
+        assert_eq!(p.total_ns(), p.finish_ns, "accounting mismatch on proc {i}");
+    }
+    let cell_total = {
+        // fetch_add count = nprocs × (#FetchAdd steps); read back via stats.
+        stats.total(|p| p.atomics) as i64
+    };
+    (stats.wall_ns, stats.total(|p| p.accesses()), cell_total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_programs_terminate_and_account_consistently(
+        steps in prop::collection::vec(step_strategy(), 1..25),
+        nprocs in 1usize..9,
+    ) {
+        let (wall, accesses, _) = run_program(&steps, nprocs);
+        prop_assert!(wall > 0 || accesses == 0);
+    }
+
+    #[test]
+    fn generated_programs_are_deterministic(
+        steps in prop::collection::vec(step_strategy(), 1..15),
+        nprocs in 2usize..6,
+    ) {
+        let a = run_program(&steps, nprocs);
+        let b = run_program(&steps, nprocs);
+        prop_assert_eq!(a, b);
+    }
+}

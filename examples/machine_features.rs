@@ -1,0 +1,74 @@
+//! Explore the machine-feature questions of §6 and §7 on one kernel:
+//! software prefetch, page placement and migration, synchronization
+//! primitives, and process-to-topology mapping, all on FFT.
+//!
+//! ```text
+//! cargo run --release --example machine_features
+//! ```
+
+use ccnuma_repro::ccnuma_sim::config::{
+    BarrierImpl, LockImpl, MigrationConfig, PagePlacement,
+};
+use ccnuma_repro::ccnuma_sim::mapping::ProcessMapping;
+use ccnuma_repro::ccnuma_sim::time::Span;
+use ccnuma_repro::scaling_study::report::Table;
+use ccnuma_repro::scaling_study::runner::Runner;
+use ccnuma_repro::splash_apps::fft::Fft;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let np = 16;
+    let mut runner = Runner::new(16 << 10);
+    let app = Fft::new(12);
+    let mut auto = app.clone();
+    auto.manual_placement = false;
+
+    let mut t = Table::new(
+        format!("FFT 2^12 on {np} processors under machine-feature variations"),
+        &["variation", "wall time", "vs baseline"],
+    );
+    let base = runner.run(&app, np)?;
+    let row = |label: &str, wall: u64| {
+        let rel = 100.0 * (wall as f64 / base.wall_ns as f64 - 1.0);
+        vec![label.to_string(), Span(wall).to_string(), format!("{rel:+.1}%")]
+    };
+    t.row(row("baseline (manual placement, linear mapping)", base.wall_ns));
+
+    // §6.1 — software prefetch of remote transpose patches.
+    let mut cfg = runner.machine_for(np);
+    cfg.prefetch_enabled = true;
+    let r = runner.run_on(&app, cfg)?;
+    t.row(row("+ software prefetch", r.wall_ns));
+
+    // §6.2 — round-robin placement, with and without dynamic migration.
+    let mut cfg = runner.machine_for(np);
+    cfg.placement = PagePlacement::RoundRobin;
+    let r = runner.run_on(&auto, cfg.clone())?;
+    t.row(row("round-robin placement (no manual distribution)", r.wall_ns));
+    cfg.migration = Some(MigrationConfig::default());
+    let r = runner.run_on(&auto, cfg)?;
+    t.row(row("round-robin + dynamic page migration", r.wall_ns));
+
+    // §6.3 — at-memory fetch&op synchronization primitives.
+    let mut cfg = runner.machine_for(np);
+    cfg.lock_impl = LockImpl::TicketFetchOp;
+    cfg.barrier_impl = BarrierImpl::CentralFetchOp;
+    let r = runner.run_on(&app, cfg)?;
+    t.row(row("fetch&op locks and barriers", r.wall_ns));
+
+    // §7.1 — random process-to-topology mapping.
+    let mut cfg = runner.machine_for(np);
+    cfg.mapping = ProcessMapping::Random { seed: 11 };
+    let r = runner.run_on(&app, cfg)?;
+    t.row(row("random process mapping", r.wall_ns));
+
+    // §7.2 — one processor per node (no Hub sharing).
+    let mut cfg = runner.machine_for(np);
+    cfg.procs_per_node = 1;
+    cfg.mem_per_node_bytes /= 2;
+    let r = runner.run_on(&app, cfg)?;
+    t.row(row("one processor per node", r.wall_ns));
+
+    println!("{t}");
+    println!("(see `repro prefetch|migration|sync|mapping|nodeshare` for the full studies)");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Reproduce a slice of the paper's core result for one application:
+//! sweep processor counts and problem sizes for Ocean and print the
+//! speedup / parallel-efficiency curves (the shape of Figures 2 and 4).
+//!
+//! ```text
+//! cargo run --release --example scaling_curve [app]
+//! ```
+//!
+//! `app` is any of the eleven application ids (default `ocean`).
+
+use ccnuma_repro::scaling_study::experiments::{basic, sweep, Scale, APP_IDS};
+use ccnuma_repro::scaling_study::metrics::GOOD_EFFICIENCY;
+use ccnuma_repro::scaling_study::report::Table;
+use ccnuma_repro::scaling_study::runner::Runner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "ocean".into());
+    assert!(APP_IDS.contains(&id.as_str()), "unknown app {id}; one of {APP_IDS:?}");
+    let scale = Scale::Quick;
+    let mut runner = Runner::new(scale.cache_bytes());
+
+    // Speedup across processor counts at the basic size.
+    let w = basic(&id, scale);
+    let mut t = Table::new(
+        format!("{id}: speedup at basic size ({})", w.problem()),
+        &["procs", "speedup", "efficiency", "scales well?"],
+    );
+    for &np in scale.procs() {
+        let rec = runner.run(w.as_ref(), np)?;
+        t.row(vec![
+            np.to_string(),
+            format!("{:.2}", rec.speedup()),
+            format!("{:.1}%", 100.0 * rec.efficiency()),
+            if rec.efficiency() >= GOOD_EFFICIENCY { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{t}");
+
+    // Efficiency across problem sizes at the largest machine.
+    let np = scale.max_procs();
+    let mut t = Table::new(
+        format!("{id}: efficiency vs problem size at {np} processors"),
+        &["problem", "efficiency", "busy", "memory", "sync"],
+    );
+    for w in sweep(&id, scale) {
+        let rec = runner.run(w.as_ref(), np)?;
+        let (b, m, s) = rec.stats.avg_breakdown_pct();
+        t.row(vec![
+            w.problem(),
+            format!("{:.1}%", 100.0 * rec.efficiency()),
+            format!("{b:.0}%"),
+            format!("{m:.0}%"),
+            format!("{s:.0}%"),
+        ]);
+    }
+    println!("{t}");
+    println!("(run with --release and see `repro fig2`/`repro fig4` for the full study)");
+    Ok(())
+}

@@ -1,0 +1,1 @@
+pub use ccnuma_sim; pub use splash_apps; pub use scaling_study;

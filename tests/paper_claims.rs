@@ -1,0 +1,286 @@
+//! Integration tests asserting the paper's qualitative claims end-to-end,
+//! at test-friendly scale: each test runs real applications on the
+//! simulator through the study harness and checks the *direction* of the
+//! published effect.
+
+use ccnuma_repro::ccnuma_sim::config::{MachineConfig, PagePlacement};
+use ccnuma_repro::ccnuma_sim::latency::LatencyProfile;
+use ccnuma_repro::scaling_study::runner::Runner;
+use ccnuma_repro::splash_apps::barnes::{Barnes, TreeBuild};
+use ccnuma_repro::splash_apps::fft::Fft;
+use ccnuma_repro::splash_apps::radix::Radix;
+use ccnuma_repro::splash_apps::raytrace::Raytrace;
+use ccnuma_repro::splash_apps::sample_sort::SampleSort;
+use ccnuma_repro::splash_apps::shearwarp::{ShearWarp, ShearWarpVariant};
+use ccnuma_repro::splash_apps::water_nsq::{LoopOrder, WaterNsq};
+use ccnuma_repro::splash_apps::water_sp::WaterSpatial;
+
+fn runner() -> Runner {
+    Runner::new(16 << 10)
+}
+
+#[test]
+fn speedups_grow_then_saturate_with_processors() {
+    // The paper's Figure 2 shape: decent speedup at small scale, flattening
+    // (not endlessly growing) at larger scale for a fixed problem.
+    let mut r = runner();
+    let app = WaterSpatial::new(512);
+    let s4 = r.run(&app, 4).unwrap().speedup();
+    let s16 = r.run(&app, 16).unwrap().speedup();
+    assert!(s4 > 2.0, "4p speedup {s4}");
+    assert!(s16 > s4, "more processors should help here: {s16} vs {s4}");
+    assert!(s16 < 16.0, "sublinear at scale: {s16}");
+}
+
+#[test]
+fn bigger_problems_scale_better() {
+    // Figure 4's dominant trend: efficiency rises with problem size.
+    let mut r = runner();
+    let small = r.run(&WaterSpatial::new(200), 16).unwrap().efficiency();
+    let large = r.run(&WaterSpatial::new(1600), 16).unwrap().efficiency();
+    assert!(large > small, "efficiency should rise with size: {large} vs {small}");
+}
+
+#[test]
+fn merge_tree_build_beats_locked_at_scale() {
+    // §5.1: the MergeTree restructuring reduces tree-build communication
+    // and locking.
+    let mut r = runner();
+    let locked = Barnes::new(1024);
+    let mut merge = Barnes::new(1024);
+    merge.variant = TreeBuild::Merge;
+    let rl = r.run(&locked, 16).unwrap();
+    let rm = r.run(&merge, 16).unwrap();
+    assert!(
+        rm.speedup() >= rl.speedup() * 0.98,
+        "merge {} should be at least competitive with locked {}",
+        rm.speedup(),
+        rl.speedup()
+    );
+    assert!(
+        rm.stats.total(|p| p.lock_acquires) < rl.stats.total(|p| p.lock_acquires) / 2,
+        "merge must lock far less"
+    );
+}
+
+#[test]
+fn loop_interchange_rescues_water_nsq_for_large_problems() {
+    // §5.1: once partner molecules exceed the cache, the original loop
+    // order generates artifactual communication; interchange fixes it.
+    let mut r = runner();
+    let orig = WaterNsq::new(2048);
+    let mut inter = WaterNsq::new(2048);
+    inter.variant = LoopOrder::Interchanged;
+    let ro = r.run(&orig, 16).unwrap();
+    let ri = r.run(&inter, 16).unwrap();
+    let remote = |rec: &ccnuma_repro::scaling_study::runner::RunRecord| {
+        rec.stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty)
+    };
+    assert!(remote(&ri) * 2 < remote(&ro), "{} vs {}", remote(&ri), remote(&ro));
+    assert!(ri.speedup() > ro.speedup());
+}
+
+#[test]
+fn sweep_shearwarp_improves_cross_phase_locality() {
+    // §5.1: the restructured Shear-Warp keeps the compositing→warp
+    // interface processor-local.
+    let mut r = runner();
+    let orig = ShearWarp::new(32);
+    let mut sweep = ShearWarp::new(32);
+    sweep.variant = ShearWarpVariant::Sweep;
+    let ro = r.run(&orig, 8).unwrap();
+    let rs = r.run(&sweep, 8).unwrap();
+    let remote = |rec: &ccnuma_repro::scaling_study::runner::RunRecord| {
+        rec.stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty)
+    };
+    assert!(remote(&rs) < remote(&ro), "{} vs {}", remote(&rs), remote(&ro));
+}
+
+#[test]
+fn sample_sort_tames_radix_write_traffic() {
+    // §5.1: Sample sort replaces scattered remote writes with stride-one
+    // remote reads; invalidation/ownership traffic collapses.
+    let mut r = runner();
+    let radix = Radix::new(32 << 10);
+    let sample = SampleSort::new(32 << 10);
+    let rr = r.run(&radix, 16).unwrap();
+    let rs = r.run(&sample, 16).unwrap();
+    let wtraffic = |rec: &ccnuma_repro::scaling_study::runner::RunRecord| {
+        rec.stats.total(|p| p.invals_sent + p.upgrades + p.writebacks)
+    };
+    assert!(wtraffic(&rs) < wtraffic(&rr), "{} vs {}", wtraffic(&rs), wtraffic(&rr));
+}
+
+#[test]
+fn prefetch_helps_fft_more_at_scale() {
+    // §6.1: prefetch gains grow with machine size (more communication to
+    // hide).
+    let mut r = runner();
+    let gain_at = |r: &mut Runner, np: usize| {
+        let app = Fft::new(12);
+        let mut off = r.machine_for(np);
+        off.prefetch_enabled = false;
+        let woff = r.run_on(&app, off).unwrap().wall_ns;
+        let mut on = r.machine_for(np);
+        on.prefetch_enabled = true;
+        let won = r.run_on(&app, on).unwrap().wall_ns;
+        1.0 - won as f64 / woff as f64
+    };
+    let g16 = gain_at(&mut r, 16);
+    assert!(g16 > 0.0, "prefetch should help FFT at 16p: {g16}");
+}
+
+#[test]
+fn manual_placement_beats_round_robin_when_capacity_bound() {
+    // Table 3's regime: per-processor data exceeding the cache, measured on
+    // the full-latency machine.
+    let mut r = runner();
+    let manual = Fft::new(14);
+    let mut auto = manual.clone();
+    auto.manual_placement = false;
+    let mut cfg = r.machine_for(8);
+    cfg.latency = LatencyProfile::origin2000();
+    let rm = r.run_on(&manual, cfg.clone()).unwrap();
+    let mut cfg_rr = cfg;
+    cfg_rr.placement = PagePlacement::RoundRobin;
+    let ra = r.run_on(&auto, cfg_rr).unwrap();
+    assert!(
+        rm.wall_ns < ra.wall_ns,
+        "manual {} should beat round-robin {}",
+        rm.wall_ns,
+        ra.wall_ns
+    );
+}
+
+#[test]
+fn one_processor_per_node_relieves_hub_contention_for_big_problems() {
+    // §7.2: with large problems, capacity misses contend with communication
+    // at the shared Hub; one processor per node performs better.
+    let mut r = runner();
+    let app = SampleSort::new(64 << 10);
+    let two = r.run(&app, 16).unwrap();
+    let mut cfg = r.machine_for(16);
+    cfg.procs_per_node = 1;
+    cfg.mem_per_node_bytes /= 2;
+    let one = r.run_on(&app, cfg).unwrap();
+    // The effect can be modest at this scale, but must not reverse badly.
+    assert!(
+        (one.wall_ns as f64) < 1.10 * two.wall_ns as f64,
+        "1ppn {} should be ≈ or better than 2ppn {}",
+        one.wall_ns,
+        two.wall_ns
+    );
+}
+
+#[test]
+fn all_eleven_applications_run_and_verify_at_quick_scale() {
+    use ccnuma_repro::scaling_study::experiments::{all_basic, Scale};
+    let mut r = Runner::new(Scale::Quick.cache_bytes());
+    for (id, w) in all_basic(Scale::Quick) {
+        let rec = r.run(w.as_ref(), 4).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert!(rec.wall_ns > 0, "{id}");
+    }
+}
+
+#[test]
+fn superlinearity_is_possible_and_detected() {
+    // §2.3/§4: aggregate cache capacity can produce superlinear speedups.
+    // A working set that thrashes one cache but fits 16 shows the effect.
+    let mut r = runner(); // 16 KB caches
+    let app = Fft::new(12); // 64 KB of data
+    let rec = r.run(&app, 16).unwrap();
+    // Not asserting superlinear (contention may offset it), but the
+    // machinery must agree with the metric helper.
+    let sup = ccnuma_repro::scaling_study::metrics::is_superlinear(
+        rec.seq_ns,
+        rec.wall_ns,
+        rec.nprocs,
+    );
+    assert_eq!(sup, rec.efficiency() > 1.0);
+}
+
+#[test]
+fn machine_config_presets_cover_paper_sizes() {
+    for np in [32, 64, 96, 128] {
+        let cfg = MachineConfig::origin2000(np);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.n_nodes(), np / 2);
+    }
+}
+
+#[test]
+fn every_application_accounts_time_exactly() {
+    // Engine invariant, checked through real workloads: each processor's
+    // busy + memory + sync equals its finish time — nothing lost, nothing
+    // double-counted.
+    use ccnuma_repro::scaling_study::experiments::{all_basic, Scale};
+    let mut r = Runner::new(Scale::Quick.cache_bytes());
+    for (id, w) in all_basic(Scale::Quick) {
+        let rec = r.run(w.as_ref(), 5).unwrap_or_else(|e| panic!("{id}: {e}"));
+        for (i, p) in rec.stats.procs.iter().enumerate() {
+            assert_eq!(
+                p.total_ns(),
+                p.finish_ns,
+                "{id}: accounting mismatch on proc {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn miss_classification_separates_app_behaviors() {
+    // Radix's permutation is coherence-traffic heavy; a purely local
+    // streaming kernel is capacity/cold only.
+    let mut cfg = MachineConfig::origin2000_scaled(8, 16 << 10);
+    cfg.classify_misses = true;
+    let mut m = ccnuma_repro::ccnuma_sim::machine::Machine::new(cfg).unwrap();
+    let radix = Radix::new(16 << 10);
+    let job = ccnuma_repro::splash_apps::common::Workload::build(&radix, &mut m);
+    let body = job.body;
+    let stats = m.run(move |ctx| body(ctx)).unwrap();
+    (job.verify)().unwrap();
+    assert!(stats.total(|p| p.misses_coherence) > 0, "radix must show coherence misses");
+    assert!(stats.total(|p| p.misses_cold) > 0);
+}
+
+#[test]
+fn stats_lock_is_catastrophic_on_svm_but_mild_on_hardware() {
+    // §5.2: removing Raytrace's per-ray statistics lock improved SVM 23×
+    // but the Origin only ~4% — locks are where software protocol activity
+    // happens on SVM.
+    let mut r = runner();
+    let mut locked = Raytrace::new(24);
+    locked.per_ray_stats_lock = true;
+    let plain = Raytrace::new(24);
+    let mut svm = MachineConfig::svm_cluster(8);
+    svm.latency = svm.latency.scaled_by(8);
+    let svm_locked = r.run_on(&locked, svm.clone()).unwrap();
+    let svm_plain = r.run_on(&plain, svm).unwrap();
+    let hw_locked = r.run(&locked, 8).unwrap();
+    let hw_plain = r.run(&plain, 8).unwrap();
+    let svm_gain = svm_plain.speedup() / svm_locked.speedup();
+    let hw_gain = hw_plain.speedup() / hw_locked.speedup();
+    assert!(
+        svm_gain > 2.0 * hw_gain,
+        "lock removal must matter far more on SVM: {svm_gain:.1}x vs {hw_gain:.1}x"
+    );
+}
+
+#[test]
+fn water_nsq_loop_order_is_irrelevant_on_svm() {
+    // §5.2: remote molecules replicate in main memory on SVM, so the
+    // capacity-driven loop interchange buys nothing there.
+    let mut r = runner();
+    let orig = WaterNsq::new(512);
+    let mut inter = WaterNsq::new(512);
+    inter.variant = LoopOrder::Interchanged;
+    let mut svm = MachineConfig::svm_cluster(8);
+    svm.latency = svm.latency.scaled_by(8);
+    let a = r.run_on(&orig, svm.clone()).unwrap();
+    let b = r.run_on(&inter, svm).unwrap();
+    let ratio = a.wall_ns as f64 / b.wall_ns as f64;
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "loop order should not matter on SVM: ratio {ratio:.3}"
+    );
+}
