@@ -100,7 +100,13 @@ impl Barnes {
     /// Panics if `n_bodies < 8`.
     pub fn new(n_bodies: usize) -> Self {
         assert!(n_bodies >= 8);
-        Barnes { n_bodies, theta: 0.6, steps: 1, variant: TreeBuild::Locked, seed: 0xB0D1E5 }
+        Barnes {
+            n_bodies,
+            theta: 0.6,
+            steps: 1,
+            variant: TreeBuild::Locked,
+            seed: 0xB0D1E5,
+        }
     }
 
     /// Morton-sorted deterministic bodies: two Plummer-ish clusters.
@@ -110,7 +116,11 @@ impl Barnes {
         let mut pos = Vec::with_capacity(self.n_bodies);
         let mut mass = Vec::with_capacity(self.n_bodies);
         for i in 0..self.n_bodies {
-            let center = if i % 2 == 0 { [0.3, 0.3, 0.3] } else { [0.7, 0.7, 0.65] };
+            let center = if i % 2 == 0 {
+                [0.3, 0.3, 0.3]
+            } else {
+                [0.7, 0.7, 0.65]
+            };
             let spread = 0.18;
             let mut p = [0.0; 3];
             for (d, v) in p.iter_mut().enumerate() {
@@ -136,7 +146,11 @@ impl Barnes {
                 if i == j {
                     continue;
                 }
-                let d = [pos[j][0] - pos[i][0], pos[j][1] - pos[i][1], pos[j][2] - pos[i][2]];
+                let d = [
+                    pos[j][0] - pos[i][0],
+                    pos[j][1] - pos[i][1],
+                    pos[j][2] - pos[i][2],
+                ];
                 let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS2;
                 let inv = mass[j] / (r2 * r2.sqrt());
                 for k in 0..3 {
@@ -240,7 +254,13 @@ impl HostTree {
     }
 
     fn alloc(&mut self, center: [f64; 3], half: f64) -> usize {
-        self.cells.push(HostCell { children: [EMPTY; 8], center, half, com: [0.0; 3], mass: 0.0 });
+        self.cells.push(HostCell {
+            children: [EMPTY; 8],
+            center,
+            half,
+            com: [0.0; 3],
+            mass: 0.0,
+        });
         self.cells.len() - 1
     }
 
@@ -256,7 +276,8 @@ impl HostTree {
                 Slot::Node(k) => node = k,
                 Slot::Body(b2) => {
                     // Split: push b2 down until the two bodies separate.
-                    let mut center = child_center(self.cells[node].center, self.cells[node].half, q);
+                    let mut center =
+                        child_center(self.cells[node].center, self.cells[node].half, q);
                     let mut half = self.cells[node].half / 2.0;
                     let top = self.alloc(center, half);
                     let mut cur = top;
@@ -342,8 +363,7 @@ impl HostTree {
                                 pos[b][1] - pos[i][1],
                                 pos[b][2] - pos[i][2],
                             ];
-                            let r2 =
-                                d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS2;
+                            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS2;
                             let inv = mass[b] / (r2 * r2.sqrt());
                             for k in 0..3 {
                                 acc[k] += inv * d[k];
@@ -382,8 +402,13 @@ impl SharedTree {
 
     /// Writes a freshly allocated node's geometry and clears its children.
     fn init_node(&self, ctx: &Ctx, node: usize, center: [f64; 3], half: f64) {
-        assert!(node < self.capacity, "tree node pool exhausted ({} nodes)", self.capacity);
-        self.geom.write(ctx, node, [center[0], center[1], center[2], half]);
+        assert!(
+            node < self.capacity,
+            "tree node pool exhausted ({} nodes)",
+            self.capacity
+        );
+        self.geom
+            .write(ctx, node, [center[0], center[1], center[2], half]);
         for q in 0..8 {
             self.children.write(ctx, node * 8 + q, EMPTY);
         }
@@ -736,11 +761,7 @@ impl Workload for Barnes {
                 capacity * 8,
                 Placement::Blocked,
             ),
-            geom: machine.shared_vec_labeled::<[f64; 4]>(
-                "tree/geom",
-                capacity,
-                Placement::Blocked,
-            ),
+            geom: machine.shared_vec_labeled::<[f64; 4]>("tree/geom", capacity, Placement::Blocked),
             com: machine.shared_vec_labeled::<[f64; 4]>("tree/com", capacity, Placement::Blocked),
             capacity,
         };
@@ -795,6 +816,7 @@ impl Workload for Barnes {
                 ctx.barrier(bar);
 
                 // --- Build ------------------------------------------------
+                ctx.phase("tree-build");
                 let mut alloc = |ctx: &Ctx| ctx.fetch_add(next_node, 1) as usize;
                 match variant {
                     TreeBuild::Locked => {
@@ -846,12 +868,7 @@ impl Workload for Barnes {
                                     let (c, h) = tree2.geom_of(ctx, cell);
                                     for q in 0..8 {
                                         let k = alloc(ctx);
-                                        tree2.init_node(
-                                            ctx,
-                                            k,
-                                            child_center(c, h, q),
-                                            h / 2.0,
-                                        );
+                                        tree2.init_node(ctx, k, child_center(c, h, q), h / 2.0);
                                         tree2.children.write(ctx, cell * 8 + q, enc_node(k));
                                         next.push(k);
                                     }
@@ -877,11 +894,9 @@ impl Workload for Barnes {
                         // the communication the Spatial build pays).
                         for s in my_spaces.clone() {
                             for q in 0..npr {
-                                let cnt =
-                                    bucket_cnt2.read(ctx, q * n_spaces + s) as usize;
+                                let cnt = bucket_cnt2.read(ctx, q * n_spaces + s) as usize;
                                 for slot in 0..cnt {
-                                    let b = bucket2
-                                        .read(ctx, (q * n_spaces + s) * cap_pp + slot)
+                                    let b = bucket2.read(ctx, (q * n_spaces + s) * cap_pp + slot)
                                         as usize;
                                     insert_private(
                                         ctx,
@@ -899,6 +914,7 @@ impl Workload for Barnes {
                 ctx.barrier(bar);
 
                 // --- Centres of mass -------------------------------------
+                ctx.phase("center-of-mass");
                 // Depth-2 subtrees are assigned round-robin; processor 0
                 // finishes the top levels.
                 let mut depth2 = Vec::new();
@@ -923,6 +939,7 @@ impl Workload for Barnes {
                 ctx.barrier(bar);
 
                 // --- Forces & update -------------------------------------
+                ctx.phase("force-calc");
                 for b in my.clone() {
                     let a = acc_on_shared(ctx, &tree2, b, &pos2, &mass2, theta);
                     let mut v = vel2.read(ctx, b);
@@ -1058,9 +1075,15 @@ mod tests {
         let direct = Barnes::direct_acc(&pos, &mass);
         let bh = app.host_bh_acc(&pos, &mass);
         for i in 0..pos.len() {
-            let num: f64 = (0..3).map(|d| (bh[i][d] - direct[i][d]).powi(2)).sum::<f64>();
+            let num: f64 = (0..3)
+                .map(|d| (bh[i][d] - direct[i][d]).powi(2))
+                .sum::<f64>();
             let den: f64 = (0..3).map(|d| direct[i][d].powi(2)).sum::<f64>().max(1e-12);
-            assert!((num / den).sqrt() < 0.35, "body {i} err {}", (num / den).sqrt());
+            assert!(
+                (num / den).sqrt() < 0.35,
+                "body {i} err {}",
+                (num / den).sqrt()
+            );
         }
     }
 
@@ -1100,8 +1123,18 @@ mod tests {
         let merged = run(&mk(TreeBuild::Merge), 8);
         let spatial = run(&mk(TreeBuild::Spatial), 8);
         let locks = |s: &ccnuma_sim::stats::RunStats| s.total(|p| p.lock_acquires);
-        assert!(locks(&merged) < locks(&locked), "{} vs {}", locks(&merged), locks(&locked));
-        assert!(locks(&spatial) < locks(&locked) / 4, "{} vs {}", locks(&spatial), locks(&locked));
+        assert!(
+            locks(&merged) < locks(&locked),
+            "{} vs {}",
+            locks(&merged),
+            locks(&locked)
+        );
+        assert!(
+            locks(&spatial) < locks(&locked) / 4,
+            "{} vs {}",
+            locks(&spatial),
+            locks(&locked)
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl Job {
         body: impl Fn(&Ctx) + Send + Sync + 'static,
         verify: impl FnOnce() -> Result<(), String> + Send + 'static,
     ) -> Self {
-        Job { body: Arc::new(body), verify: Box::new(verify) }
+        Job {
+            body: Arc::new(body),
+            verify: Box::new(verify),
+        }
     }
 
     /// A job whose result needs no verification (e.g. microbenchmarks).
@@ -75,17 +78,26 @@ impl Cx {
 
     /// Complex multiplication.
     pub fn mul(self, o: Cx) -> Cx {
-        Cx { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        Cx {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
 
     /// Complex addition.
     pub fn add(self, o: Cx) -> Cx {
-        Cx { re: self.re + o.re, im: self.im + o.im }
+        Cx {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     /// Complex subtraction.
     pub fn sub(self, o: Cx) -> Cx {
-        Cx { re: self.re - o.re, im: self.im - o.im }
+        Cx {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 
     /// Squared magnitude.
@@ -95,7 +107,10 @@ impl Cx {
 
     /// `e^{iθ}`.
     pub fn cis(theta: f64) -> Cx {
-        Cx { re: theta.cos(), im: theta.sin() }
+        Cx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 }
 
@@ -129,7 +144,9 @@ pub struct XorShift {
 impl XorShift {
     /// Creates a generator; `seed` is mixed so 0 is fine.
     pub fn new(seed: u64) -> Self {
-        XorShift { state: seed.wrapping_mul(0x9E3779B97F4A7C15).max(1) | 1 }
+        XorShift {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15).max(1) | 1,
+        }
     }
 
     /// Next raw 64-bit value.

@@ -57,7 +57,10 @@ impl Fft {
     ///
     /// Panics if `log2n` is odd or less than 4.
     pub fn new(log2n: u32) -> Self {
-        assert!(log2n >= 4 && log2n.is_multiple_of(2), "log2n must be even and ≥ 4");
+        assert!(
+            log2n >= 4 && log2n.is_multiple_of(2),
+            "log2n must be even and ≥ 4"
+        );
         Fft {
             log2n,
             transpose: TransposeKind::Explicit,
@@ -80,7 +83,9 @@ impl Fft {
     /// Generates the deterministic input signal.
     pub fn input(&self) -> Vec<Cx> {
         let mut rng = XorShift::new(self.seed);
-        (0..self.n()).map(|_| Cx::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0))).collect()
+        (0..self.n())
+            .map(|_| Cx::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .collect()
     }
 
     /// The host-side reference DFT of the input (iterative radix-2 FFT).
@@ -173,8 +178,11 @@ impl Workload for Fft {
     fn build(&self, machine: &mut Machine) -> Job {
         let n = self.n();
         let m = self.m();
-        let placement =
-            if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let placement = if self.manual_placement {
+            Placement::Blocked
+        } else {
+            Placement::Policy
+        };
         let a = machine.shared_vec::<Cx>(n, placement);
         let b = machine.shared_vec::<Cx>(n, placement);
         let bar = machine.barrier();
@@ -222,9 +230,8 @@ impl Workload for Fft {
                         fft_inplace(&mut buf);
                         ctx.compute_flops(row_fft_flops(m));
                         for (k, v) in buf.iter().enumerate() {
-                            let tw = Cx::cis(
-                                -2.0 * std::f64::consts::PI * (c * k) as f64 / n as f64,
-                            );
+                            let tw =
+                                Cx::cis(-2.0 * std::f64::consts::PI * (c * k) as f64 / n as f64);
                             b2.write(ctx, c * m + k, v.mul(tw));
                         }
                         ctx.compute_flops(8 * m as u64);
@@ -273,9 +280,8 @@ impl Workload for Fft {
                         fft_inplace(&mut buf);
                         ctx.compute_flops(row_fft_flops(m));
                         for (k, v) in buf.iter().enumerate() {
-                            let tw = Cx::cis(
-                                -2.0 * std::f64::consts::PI * (c * k) as f64 / n as f64,
-                            );
+                            let tw =
+                                Cx::cis(-2.0 * std::f64::consts::PI * (c * k) as f64 / n as f64);
                             b2.write(ctx, c * m + k, v.mul(tw));
                         }
                         ctx.compute_flops(8 * m as u64);
@@ -300,7 +306,15 @@ impl Workload for Fft {
             // Step 6: final transpose a → b restores natural order.
             for k in 0..np {
                 let src_p = (p + offset + k) % np;
-                transpose_patch(ctx, &a2, &b2, m, chunk_range(m, np, src_p), my_rows.clone(), None);
+                transpose_patch(
+                    ctx,
+                    &a2,
+                    &b2,
+                    m,
+                    chunk_range(m, np, src_p),
+                    my_rows.clone(),
+                    None,
+                );
             }
             ctx.barrier(bar);
         };
@@ -333,16 +347,19 @@ mod tests {
     fn fft_inplace_matches_naive_dft() {
         let mut rng = XorShift::new(1);
         let n = 64;
-        let input: Vec<Cx> =
-            (0..n).map(|_| Cx::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0))).collect();
+        let input: Vec<Cx> = (0..n)
+            .map(|_| Cx::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
+            .collect();
         let mut fast = input.clone();
         fft_inplace(&mut fast);
-        for k in 0..n {
+        for (k, f) in fast.iter().enumerate() {
             let mut acc = Cx::default();
             for (j, x) in input.iter().enumerate() {
-                acc = acc.add(x.mul(Cx::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64)));
+                acc = acc.add(x.mul(Cx::cis(
+                    -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64,
+                )));
             }
-            assert!(fast[k].sub(acc).norm_sq().sqrt() < 1e-9, "bin {k}");
+            assert!(f.sub(acc).norm_sq().sqrt() < 1e-9, "bin {k}");
         }
     }
 

@@ -76,7 +76,12 @@ impl Infer {
     /// Panics if `n_cliques` is zero.
     pub fn new(n_cliques: usize) -> Self {
         assert!(n_cliques > 0);
-        Infer { n_cliques, table_scale: 8, variant: InferVariant::Dynamic, seed: 0x1F36 }
+        Infer {
+            n_cliques,
+            table_scale: 8,
+            variant: InferVariant::Dynamic,
+            seed: 0x1F36,
+        }
     }
 
     /// Generates the deterministic clique tree.
@@ -89,8 +94,7 @@ impl Infer {
             // a compiled medical belief network rather than a chain.
             *p = rng.below(i as u64) as usize;
         }
-        let msg_len: Vec<usize> =
-            (0..c).map(|_| 4usize << rng.below(3)).collect(); // 4, 8 or 16
+        let msg_len: Vec<usize> = (0..c).map(|_| 4usize << rng.below(3)).collect(); // 4, 8 or 16
         let table_len: Vec<usize> = (0..c)
             .map(|i| msg_len[i] * self.table_scale * (1 + rng.below(4) as usize))
             .collect();
@@ -118,7 +122,16 @@ impl Infer {
             levels[max_depth - depth[i]].push(i);
         }
         let init: Vec<f64> = (0..t_acc).map(|_| rng.range_f64(0.5, 1.5)).collect();
-        CliqueTree { parent, table_len, msg_len, table_off, msg_off, children, levels, init }
+        CliqueTree {
+            parent,
+            table_len,
+            msg_len,
+            table_off,
+            msg_off,
+            children,
+            levels,
+            init,
+        }
     }
 
     /// Sequential reference: (final flat potentials, messages, root mass).
@@ -193,21 +206,32 @@ impl Workload for Infer {
         const AROWS: usize = 64;
         const MSLOTS: usize = 4;
         let na: Vec<usize> = (0..c).map(|i| t.table_len[i].div_ceil(AROWS)).collect();
-        let nm: Vec<usize> =
-            (0..c).map(|i| if i == 0 { 0 } else { t.msg_len[i].div_ceil(MSLOTS) }).collect();
+        let nm: Vec<usize> = (0..c)
+            .map(|i| {
+                if i == 0 {
+                    0
+                } else {
+                    t.msg_len[i].div_ceil(MSLOTS)
+                }
+            })
+            .collect();
         let total_tasks: usize = na.iter().sum::<usize>() + nm.iter().sum::<usize>();
         let queue =
             machine.shared_vec::<i64>(total_tasks + machine.nprocs(), Placement::Interleaved);
         let q_head = machine.fetch_cell(0);
         let q_tail = machine.fetch_cell(0);
         let items = machine.semaphore(0);
-        let pending: Vec<_> =
-            (0..c).map(|i| machine.fetch_cell(t.children[i].len() as i64)).collect();
+        let pending: Vec<_> = (0..c)
+            .map(|i| machine.fetch_cell(t.children[i].len() as i64))
+            .collect();
         let done_a: Vec<_> = (0..c).map(|_| machine.fetch_cell(0)).collect();
         let done_m: Vec<_> = (0..c).map(|_| machine.fetch_cell(0)).collect();
         let (pending, done_a, done_m) = (Arc::new(pending), Arc::new(done_a), Arc::new(done_m));
-        let (pending2, done_a2, done_m2) =
-            (Arc::clone(&pending), Arc::clone(&done_a), Arc::clone(&done_m));
+        let (pending2, done_a2, done_m2) = (
+            Arc::clone(&pending),
+            Arc::clone(&done_a),
+            Arc::clone(&done_m),
+        );
         let (na, nm) = (Arc::new(na), Arc::new(nm));
         let (na2, nm2) = (Arc::clone(&na), Arc::clone(&nm));
         let q2 = queue.clone();
@@ -392,7 +416,7 @@ mod tests {
             assert!(t.parent[i] < i, "parents precede children");
         }
         // Levels cover every clique once, deepest first.
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for level in &t.levels {
             for &i in level {
                 assert!(!seen[i]);

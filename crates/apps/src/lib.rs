@@ -14,10 +14,10 @@ pub mod infer;
 pub mod ocean;
 pub mod protein;
 pub mod radix;
-pub mod sample_sort;
-pub mod sor;
-pub mod water_nsq;
 pub mod raytrace;
+pub mod sample_sort;
 pub mod shearwarp;
+pub mod sor;
 pub mod volrend;
+pub mod water_nsq;
 pub mod water_sp;

@@ -57,13 +57,23 @@ impl Ocean {
     ///
     /// Panics if `dim` is not a power of two or is below 8.
     pub fn new(dim: usize) -> Self {
-        assert!(dim.is_power_of_two() && dim >= 8, "dim must be a power of two ≥ 8");
-        Ocean { dim, partition: OceanPartition::Tiled, vcycles: 2, manual_placement: true }
+        assert!(
+            dim.is_power_of_two() && dim >= 8,
+            "dim must be a power of two ≥ 8"
+        );
+        Ocean {
+            dim,
+            partition: OceanPartition::Tiled,
+            vcycles: 2,
+            manual_placement: true,
+        }
     }
 
     fn levels(&self) -> usize {
         // Coarsen down to an 8×8 interior.
-        (self.dim.trailing_zeros() as usize).saturating_sub(2).max(1)
+        (self.dim.trailing_zeros() as usize)
+            .saturating_sub(2)
+            .max(1)
     }
 
     /// The right-hand side: a smooth deterministic source field.
@@ -158,7 +168,14 @@ impl Layout {
                 }
                 Layout {
                     dim,
-                    tiled: Some(TiledLayout { pr, pc, row_of, col_of, base, width: widths }),
+                    tiled: Some(TiledLayout {
+                        pr,
+                        pc,
+                        row_of,
+                        col_of,
+                        base,
+                        width: widths,
+                    }),
                 }
             }
         }
@@ -177,7 +194,11 @@ impl Layout {
     }
 
     /// The interior row/column ranges owned by processor `p`.
-    fn my_block(&self, nprocs: usize, p: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    fn my_block(
+        &self,
+        nprocs: usize,
+        p: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
         match &self.tiled {
             None => {
                 let r = chunk_range(self.dim, nprocs, p);
@@ -338,6 +359,7 @@ struct Level {
 }
 
 fn smooth_parallel(ctx: &Ctx, lv: &Level, sweeps: usize, bar: BarrierRef) {
+    ctx.phase("smooth");
     let d = lv.dim;
     let h2 = 1.0 / ((d + 1) * (d + 1)) as f64;
     let (rows, cols) = lv.layout.my_block(ctx.nprocs(), ctx.id());
@@ -367,6 +389,7 @@ fn vcycle_parallel(ctx: &Ctx, levels: &[Level], l: usize, bar: BarrierRef) {
         return;
     }
     smooth_parallel(ctx, &levels[l], SMOOTH_PRE, bar);
+    ctx.phase("residual+restrict");
     let lv = &levels[l];
     let d = lv.dim;
     let h2 = 1.0 / ((d + 1) * (d + 1)) as f64;
@@ -407,6 +430,7 @@ fn vcycle_parallel(ctx: &Ctx, levels: &[Level], l: usize, bar: BarrierRef) {
     ctx.barrier(bar);
     vcycle_parallel(ctx, levels, l + 1, bar);
     // Bilinear prolongation: every processor updates its own fine points.
+    ctx.phase("prolong");
     let coarse_u = |ctx: &Ctx, i: usize, j: usize| -> f64 {
         if (1..=dc).contains(&i) && (1..=dc).contains(&j) {
             cv.u.read(ctx, cv.layout.idx(i, j))
@@ -450,7 +474,11 @@ impl Workload for Ocean {
     }
 
     fn build(&self, machine: &mut Machine) -> Job {
-        let placement = if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let placement = if self.manual_placement {
+            Placement::Blocked
+        } else {
+            Placement::Policy
+        };
         let nprocs = machine.nprocs();
         let mut levels = Vec::new();
         let mut d = self.dim;
@@ -471,7 +499,8 @@ impl Workload for Ocean {
         let fine = &levels[0];
         for i in 1..=self.dim {
             for j in 1..=self.dim {
-                fine.f.set(fine.layout.idx(i, j), Ocean::rhs_at(i, j, self.dim));
+                fine.f
+                    .set(fine.layout.idx(i, j), Ocean::rhs_at(i, j, self.dim));
             }
         }
         let bar = machine.barrier();
@@ -565,7 +594,10 @@ mod tests {
         let remote = stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty);
         let total = stats.total(|p| p.accesses());
         assert!(remote > 0, "must communicate at boundaries");
-        assert!((remote as f64) < 0.25 * total as f64, "communication should be boundary-only");
+        assert!(
+            (remote as f64) < 0.25 * total as f64,
+            "communication should be boundary-only"
+        );
     }
 
     #[test]

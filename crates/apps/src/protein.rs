@@ -61,7 +61,12 @@ impl Protein {
     /// Panics if `n_nodes` is zero.
     pub fn new(n_nodes: usize) -> Self {
         assert!(n_nodes > 0);
-        Protein { n_nodes, work_scale: 64, chunk: 32, seed: 0x9607 }
+        Protein {
+            n_nodes,
+            work_scale: 64,
+            chunk: 32,
+            seed: 0x9607,
+        }
     }
 
     /// Generates the deterministic tree.
@@ -102,7 +107,14 @@ impl Protein {
         }
         walk(0, &children, &mut post_order);
         let data: Vec<f64> = (0..acc).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-        ProteinTree { parent, children, work_len, work_off, post_order, data }
+        ProteinTree {
+            parent,
+            children,
+            work_len,
+            work_off,
+            post_order,
+            data,
+        }
     }
 
     /// The per-node result function: a reduction over the node's data,
@@ -116,8 +128,9 @@ impl Protein {
         let t = self.tree();
         let mut result = vec![0.0; self.n_nodes];
         for &i in &t.post_order {
-            let data_sum: f64 =
-                t.data[t.work_off[i]..t.work_off[i] + t.work_len[i]].iter().sum();
+            let data_sum: f64 = t.data[t.work_off[i]..t.work_off[i] + t.work_len[i]]
+                .iter()
+                .sum();
             let child_sum: f64 = t.children[i].iter().map(|&c| result[c]).sum();
             result[i] = Self::node_result(data_sum, child_sum);
         }
@@ -138,7 +151,7 @@ impl Workload for Protein {
         let t = Arc::new(self.tree());
         let n = self.n_nodes;
         let chunk = self.chunk;
-        
+
         let total: usize = t.work_len.iter().sum();
 
         let data = machine.shared_vec::<f64>(total, Placement::Interleaved);
@@ -191,17 +204,24 @@ impl Workload for Protein {
 
         let (data2, result2, partials2) = (data.clone(), result.clone(), partials.clone());
         let t2 = Arc::clone(&t);
-        let (ready2, done2, kids2) = (Arc::clone(&ready), Arc::clone(&done_chunks), Arc::clone(&kids_done));
+        let (ready2, done2, kids2) = (
+            Arc::clone(&ready),
+            Arc::clone(&done_chunks),
+            Arc::clone(&kids_done),
+        );
         let nchunks2 = Arc::new(nchunks);
         let partial_off2 = Arc::new(partial_off);
         let work_list2 = Arc::new(work_list);
-        let (nc3, po3, wl3) = (Arc::clone(&nchunks2), Arc::clone(&partial_off2), Arc::clone(&work_list2));
+        let (nc3, po3, wl3) = (
+            Arc::clone(&nchunks2),
+            Arc::clone(&partial_off2),
+            Arc::clone(&work_list2),
+        );
 
         let expected = self.reference();
         let out = result.clone();
 
         let body = move |ctx: &Ctx| {
-            
             loop {
                 let w = ctx.fetch_add(cursor, 1) as usize;
                 if w >= wl3.len() {
@@ -274,7 +294,7 @@ mod tests {
     #[test]
     fn post_order_respects_dependencies() {
         let t = Protein::new(64).tree();
-        let mut done = vec![false; 64];
+        let mut done = [false; 64];
         for &i in &t.post_order {
             for &c in &t.children[i] {
                 assert!(done[c], "child {c} after parent {i}");

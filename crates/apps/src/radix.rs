@@ -105,8 +105,11 @@ impl Workload for Radix {
         let variant = self.variant;
         let np = machine.nprocs();
 
-        let placement =
-            if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let placement = if self.manual_placement {
+            Placement::Blocked
+        } else {
+            Placement::Policy
+        };
         let a = machine.shared_vec::<u64>(n, placement);
         let b = machine.shared_vec::<u64>(n, placement);
         // Parallel-prefix scratch: scan[p][stage][bucket], processor-major
@@ -116,14 +119,19 @@ impl Workload for Radix {
         let stages = (usize::BITS - (np - 1).leading_zeros()) as usize;
         let scan = machine.shared_vec::<u64>(np * (stages + 1) * nbuckets, Placement::Blocked);
         // Staging buffers for the LocalBuffer variant (one region per proc).
-        let stage = machine.shared_vec::<u64>(np * nbuckets.min(64) * FLUSH_KEYS, Placement::Blocked);
+        let stage =
+            machine.shared_vec::<u64>(np * nbuckets.min(64) * FLUSH_KEYS, Placement::Blocked);
         let bar = machine.barrier();
         a.copy_from_slice(&self.input());
 
         let (a2, b2, scan2, stage2) = (a.clone(), b.clone(), scan.clone(), stage.clone());
         let mut expected = self.input();
         expected.sort_unstable();
-        let out = if npasses.is_multiple_of(2) { a.clone() } else { b.clone() };
+        let out = if npasses.is_multiple_of(2) {
+            a.clone()
+        } else {
+            b.clone()
+        };
 
         let body = move |ctx: &Ctx| {
             let p = ctx.id();
@@ -131,8 +139,11 @@ impl Workload for Radix {
             let my = chunk_range(n, npr, p);
             let stage_cap = nbuckets.min(64) * FLUSH_KEYS;
             for pass in 0..npasses {
-                let (src, dst) =
-                    if pass % 2 == 0 { (&a2, &b2) } else { (&b2, &a2) };
+                let (src, dst) = if pass % 2 == 0 {
+                    (&a2, &b2)
+                } else {
+                    (&b2, &a2)
+                };
                 let shift = pass * radix_bits;
                 // Phase 1: local histogram.
                 let mut local = vec![0u64; nbuckets];
@@ -144,9 +155,8 @@ impl Workload for Radix {
                 // Phase 2: a Hillis-Steele dissemination scan over the
                 // per-processor histogram vectors (the SPLASH-2 prefix
                 // tree, O(B·log P) per processor instead of O(B·P)).
-                let slot = |q: usize, st: usize, bkt: usize| {
-                    (q * (stages + 1) + st) * nbuckets + bkt
-                };
+                let slot =
+                    |q: usize, st: usize, bkt: usize| (q * (stages + 1) + st) * nbuckets + bkt;
                 let mut incl = local.clone(); // inclusive prefix over procs ≤ p
                 for st in 0..stages {
                     for (bkt, &v) in incl.iter().enumerate() {
@@ -193,8 +203,9 @@ impl Workload for Radix {
                         // copied — contiguously — to the destination chunk.
                         // This is the paper's failed restructuring: the
                         // write scatter shrinks, but every key moves twice.
-                        let mut bufs: Vec<Vec<(usize, u64)>> =
-                            (0..nbuckets).map(|_| Vec::with_capacity(FLUSH_KEYS)).collect();
+                        let mut bufs: Vec<Vec<(usize, u64)>> = (0..nbuckets)
+                            .map(|_| Vec::with_capacity(FLUSH_KEYS))
+                            .collect();
                         let my_stage = p * stage_cap;
                         let flush = |ctx: &Ctx, bkt: usize, bufs: &mut Vec<Vec<(usize, u64)>>| {
                             if bufs[bkt].is_empty() {
@@ -297,7 +308,10 @@ mod tests {
         // Writes into other processors' partitions: remote misses and
         // invalidation/ownership traffic.
         assert!(stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty) > 100);
-        assert!(stats.total(|p| p.writebacks) > 0, "dirty lines must wash back");
+        assert!(
+            stats.total(|p| p.writebacks) > 0,
+            "dirty lines must wash back"
+        );
     }
 
     #[test]

@@ -94,7 +94,13 @@ impl Scene {
             items.extend_from_slice(l);
             cell_start.push(items.len());
         }
-        Scene { spheres, shades, grid_side, cell_start, items }
+        Scene {
+            spheres,
+            shades,
+            grid_side,
+            cell_start,
+            items,
+        }
     }
 
     /// Traces one primary ray from pixel (px, py), reading sphere and grid
@@ -143,7 +149,10 @@ impl Scene {
                 *work += ISECT_FLOPS;
                 if let Some(t_hit) = ray_sphere(origin, dir, sp) {
                     if best.map(|b| t_hit < b.t).unwrap_or(true) {
-                        best = Some(Hit { t: t_hit, sphere: s });
+                        best = Some(Hit {
+                            t: t_hit,
+                            sphere: s,
+                        });
                     }
                 }
             }
@@ -167,7 +176,11 @@ impl Scene {
         let sp = read_sphere(hit.sphere);
         let albedo = read_shade(hit.sphere);
         *work += SHADE_FLOPS;
-        let p = [origin[0] + dir[0] * hit.t, origin[1] + dir[1] * hit.t, origin[2] + dir[2] * hit.t];
+        let p = [
+            origin[0] + dir[0] * hit.t,
+            origin[1] + dir[1] * hit.t,
+            origin[2] + dir[2] * hit.t,
+        ];
         let nrm = normalize([p[0] - sp[0], p[1] - sp[1], p[2] - sp[2]]);
         let light = normalize([0.4, 0.7, -0.6]);
         let diff = (nrm[0] * light[0] + nrm[1] * light[1] + nrm[2] * light[2]).max(0.0);
@@ -180,9 +193,20 @@ impl Scene {
                 dir[1] - 2.0 * d_dot_n * nrm[1],
                 dir[2] - 2.0 * d_dot_n * nrm[2],
             ]);
-            let rorig = [p[0] + rdir[0] * 1e-6, p[1] + rdir[1] * 1e-6, p[2] + rdir[2] * 1e-6];
+            let rorig = [
+                p[0] + rdir[0] * 1e-6,
+                p[1] + rdir[1] * 1e-6,
+                p[2] + rdir[2] * 1e-6,
+            ];
             let refl = self.trace(
-                rorig, rdir, depth - 1, read_sphere, read_shade, read_cell, read_item, work,
+                rorig,
+                rdir,
+                depth - 1,
+                read_sphere,
+                read_shade,
+                read_cell,
+                read_item,
+                work,
             );
             shade = 0.8 * shade + 0.2 * refl;
         }
@@ -273,7 +297,10 @@ impl Workload for Raytrace {
     }
 
     fn problem(&self) -> String {
-        format!("{0}x{0} image, {1} spheres", self.image_side, self.n_spheres)
+        format!(
+            "{0}x{0} image, {1} spheres",
+            self.image_side, self.n_spheres
+        )
     }
 
     fn build(&self, machine: &mut Machine) -> Job {
@@ -285,12 +312,17 @@ impl Workload for Raytrace {
         // Shared copies of the scene (read-only; interleaved homes).
         let spheres = machine.shared_vec::<[f64; 4]>(scene.spheres.len(), Placement::Interleaved);
         let shades = machine.shared_vec::<f64>(scene.shades.len(), Placement::Interleaved);
-        let cells =
-            machine.shared_vec::<u64>(scene.cell_start.len(), Placement::Interleaved);
+        let cells = machine.shared_vec::<u64>(scene.cell_start.len(), Placement::Interleaved);
         let items = machine.shared_vec::<u64>(scene.items.len().max(1), Placement::Interleaved);
         spheres.copy_from_slice(&scene.spheres);
         shades.copy_from_slice(&scene.shades);
-        cells.copy_from_slice(&scene.cell_start.iter().map(|&v| v as u64).collect::<Vec<_>>());
+        cells.copy_from_slice(
+            &scene
+                .cell_start
+                .iter()
+                .map(|&v| v as u64)
+                .collect::<Vec<_>>(),
+        );
         if !scene.items.is_empty() {
             items.copy_from_slice(&scene.items.iter().map(|&v| v as u64).collect::<Vec<_>>());
         }
@@ -334,9 +366,7 @@ impl Workload for Raytrace {
                             1,
                             &mut |s| sp2.read(ctx, s),
                             &mut |s| sh2.read(ctx, s),
-                            &mut |c| {
-                                (ce2.read(ctx, c) as usize, ce2.read(ctx, c + 1) as usize)
-                            },
+                            &mut |c| (ce2.read(ctx, c) as usize, ce2.read(ctx, c + 1) as usize),
                             &mut |t| it2.read(ctx, t) as usize,
                             &mut work,
                         );
@@ -433,6 +463,9 @@ mod tests {
         let busys: Vec<u64> = stats.procs.iter().map(|p| p.busy_ns).collect();
         let max = *busys.iter().max().unwrap() as f64;
         let min = *busys.iter().min().unwrap() as f64;
-        assert!(min > 0.3 * max, "stealing should balance busy time: {busys:?}");
+        assert!(
+            min > 0.3 * max,
+            "stealing should balance busy time: {busys:?}"
+        );
     }
 }

@@ -34,7 +34,13 @@ impl SampleSort {
     /// Panics if `n_keys` is zero.
     pub fn new(n_keys: usize) -> Self {
         assert!(n_keys > 0);
-        SampleSort { n_keys, oversample: 24, key_bits: 16, seed: 0xADD, prefetch: true }
+        SampleSort {
+            n_keys,
+            oversample: 24,
+            key_bits: 16,
+            seed: 0xADD,
+            prefetch: true,
+        }
     }
 
     /// The deterministic input keys (same generator as Radix for a fair
@@ -116,7 +122,11 @@ impl Workload for SampleSort {
             // the pooled sample i.i.d., as classic sample sort requires.
             let mut rng = XorShift::new(0x5A17 ^ (p as u64) << 8);
             for t in 0..s {
-                let v = if m == 0 { 0 } else { block[rng.below(m as u64) as usize] };
+                let v = if m == 0 {
+                    0
+                } else {
+                    block[rng.below(m as u64) as usize]
+                };
                 sm2.write(ctx, p * s + t, v);
                 ctx.compute_ops(2);
             }
@@ -147,8 +157,7 @@ impl Workload for SampleSort {
                 ctx.compute_ops((m.max(2) as u64).ilog2() as u64 + 1);
             }
             cuts.push(m);
-            let counts_row: Vec<u64> =
-                (0..npr).map(|d| (cuts[d + 1] - cuts[d]) as u64).collect();
+            let counts_row: Vec<u64> = (0..npr).map(|d| (cuts[d + 1] - cuts[d]) as u64).collect();
             for (d, &c) in cuts.iter().enumerate() {
                 bd2.write(ctx, p * (npr + 1) + d, c as u64);
             }

@@ -59,7 +59,12 @@ impl ShearWarp {
     /// Panics if `side < 8`.
     pub fn new(side: usize) -> Self {
         assert!(side >= 8);
-        ShearWarp { side, shear: 1, chunk: 2, variant: ShearWarpVariant::Original }
+        ShearWarp {
+            side,
+            shear: 1,
+            chunk: 2,
+            variant: ShearWarpVariant::Original,
+        }
     }
 
     fn vol(&self) -> Vec<f32> {
@@ -84,7 +89,10 @@ impl ShearWarp {
     /// Number of column segments per scanline used for work distribution:
     /// enough that `nprocs` processors have at least two items each.
     pub fn segments(&self, nprocs: usize) -> usize {
-        (2 * nprocs).div_ceil(self.inter_rows()).max(1).min(self.side)
+        (2 * nprocs)
+            .div_ceil(self.inter_rows())
+            .max(1)
+            .min(self.side)
     }
 
     /// Measured compositing work per item (the *profile* the paper's
@@ -117,9 +125,7 @@ impl ShearWarp {
         let mut next_target = 1;
         for (item, &w) in weights.iter().enumerate() {
             acc += w;
-            while next_target < nprocs
-                && acc * nprocs as u64 >= total * next_target as u64
-            {
+            while next_target < nprocs && acc * nprocs as u64 >= total * next_target as u64 {
                 bounds.push(item + 1);
                 next_target += 1;
             }

@@ -32,7 +32,12 @@ impl Sor {
     /// Panics if `dim < 4`.
     pub fn new(dim: usize) -> Self {
         assert!(dim >= 4);
-        Sor { dim, sweeps: 4, omega: 1.5, manual_placement: true }
+        Sor {
+            dim,
+            sweeps: 4,
+            omega: 1.5,
+            manual_placement: true,
+        }
     }
 
     /// Fixed boundary condition along the top edge.
@@ -82,7 +87,11 @@ impl Workload for Sor {
         let side = d + 2;
         let sweeps = self.sweeps;
         let omega = self.omega;
-        let placement = if self.manual_placement { Placement::Blocked } else { Placement::Policy };
+        let placement = if self.manual_placement {
+            Placement::Blocked
+        } else {
+            Placement::Policy
+        };
         let grid = machine.shared_vec::<f64>(side * side, placement);
         let bar = machine.barrier();
         for j in 0..side {

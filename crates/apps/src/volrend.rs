@@ -37,7 +37,11 @@ impl Volrend {
     /// Panics if `side < 8`.
     pub fn new(side: usize) -> Self {
         assert!(side >= 8);
-        Volrend { side, tile: (side / 16).clamp(2, 8), static_partition: false }
+        Volrend {
+            side,
+            tile: (side / 16).clamp(2, 8),
+            static_partition: false,
+        }
     }
 
     /// The deterministic density volume, `side³` values in z-major order
@@ -142,8 +146,7 @@ impl Workload for Volrend {
                 let tx = t % tiles_per_row;
                 for y in ty * tile..((ty + 1) * tile).min(n) {
                     for x in tx * tile..((tx + 1) * tile).min(n) {
-                        let (v, samples) =
-                            Volrend::cast(n, x, y, |i| vol2.read(ctx, i));
+                        let (v, samples) = Volrend::cast(n, x, y, |i| vol2.read(ctx, i));
                         ctx.compute_flops(samples * SAMPLE_FLOPS);
                         img2.write(ctx, y * n + x, v);
                     }

@@ -60,8 +60,16 @@ impl WaterNsq {
     ///
     /// Panics if `n_mols` is odd or less than 8.
     pub fn new(n_mols: usize) -> Self {
-        assert!(n_mols >= 8 && n_mols.is_multiple_of(2), "n_mols must be even and ≥ 8");
-        WaterNsq { n_mols, steps: 1, variant: LoopOrder::Original, seed: 0x4A7E6 }
+        assert!(
+            n_mols >= 8 && n_mols.is_multiple_of(2),
+            "n_mols must be even and ≥ 8"
+        );
+        WaterNsq {
+            n_mols,
+            steps: 1,
+            variant: LoopOrder::Original,
+            seed: 0x4A7E6,
+        }
     }
 
     /// Deterministic initial positions in a unit-density box.
@@ -69,7 +77,13 @@ impl WaterNsq {
         let mut rng = XorShift::new(self.seed);
         let l = (self.n_mols as f64).cbrt() * 1.2;
         (0..self.n_mols)
-            .map(|_| [rng.range_f64(0.0, l), rng.range_f64(0.0, l), rng.range_f64(0.0, l)])
+            .map(|_| {
+                [
+                    rng.range_f64(0.0, l),
+                    rng.range_f64(0.0, l),
+                    rng.range_f64(0.0, l),
+                ]
+            })
             .collect()
     }
 

@@ -58,7 +58,12 @@ impl WaterSpatial {
     pub fn new(n_mols: usize) -> Self {
         assert!(n_mols > 0);
         let side = ((n_mols as f64).cbrt().ceil() as usize).max(3);
-        WaterSpatial { n_mols, side, steps: 1, seed: 0x3A7 }
+        WaterSpatial {
+            n_mols,
+            side,
+            steps: 1,
+            seed: 0x3A7,
+        }
     }
 
     /// Deterministic initial positions, pre-sorted by cell so that block
@@ -156,12 +161,20 @@ fn my_cells(
     side: usize,
     nprocs: usize,
     p: usize,
-) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+) -> (
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+) {
     let (px, py, pz) = proc_grid_3d(nprocs);
     let ix = p % px;
     let iy = (p / px) % py;
     let iz = p / (px * py);
-    (chunk_range(side, px, ix), chunk_range(side, py, iy), chunk_range(side, pz, iz))
+    (
+        chunk_range(side, px, ix),
+        chunk_range(side, py, iy),
+        chunk_range(side, pz, iz),
+    )
 }
 
 fn bin(pos: &[[f64; 3]], side: usize) -> CellLists {
@@ -282,10 +295,9 @@ impl Workload for WaterSpatial {
                             for t in lists.start[c]..lists.start[c + 1] {
                                 let i = lists.order[t];
                                 let pi = pos2.read(ctx, i);
-                                let (a, pairs) =
-                                    force_on(i, pi, (cx, cy, cz), side, &lists, |j| {
-                                        pos2.read(ctx, j)
-                                    });
+                                let (a, pairs) = force_on(i, pi, (cx, cy, cz), side, &lists, |j| {
+                                    pos2.read(ctx, j)
+                                });
                                 ctx.compute_flops(pairs * PAIR_FLOPS);
                                 acc2.write(ctx, i, a);
                             }
@@ -358,7 +370,7 @@ mod tests {
         let pos = app.initial_positions();
         let lists = bin(&pos, app.side);
         // Every molecule appears exactly once and in its own cell's span.
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         let ncells = app.side.pow(3);
         for c in 0..ncells {
             for t in lists.start[c]..lists.start[c + 1] {

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of whole (small) application runs on the simulated
-//! machine — one per workload family, guarding end-to-end harness
-//! performance.
+//! Benchmarks of whole (small) application runs on the simulated machine —
+//! one per workload family, guarding end-to-end harness performance. Plain
+//! timing harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use scaling_study::runner::Runner;
 use splash_apps::barnes::Barnes;
@@ -11,26 +11,30 @@ use splash_apps::ocean::Ocean;
 use splash_apps::radix::Radix;
 use splash_apps::water_nsq::WaterNsq;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("app_run_8p");
-    g.sample_size(10);
-    g.bench_function("fft_2e10", |b| {
-        b.iter(|| Runner::new(16 << 10).run(&Fft::new(10), 8).unwrap())
-    });
-    g.bench_function("ocean_32", |b| {
-        b.iter(|| Runner::new(16 << 10).run(&Ocean::new(32), 8).unwrap())
-    });
-    g.bench_function("radix_8k", |b| {
-        b.iter(|| Runner::new(16 << 10).run(&Radix::new(8 << 10), 8).unwrap())
-    });
-    g.bench_function("barnes_256", |b| {
-        b.iter(|| Runner::new(16 << 10).run(&Barnes::new(256), 8).unwrap())
-    });
-    g.bench_function("water_nsq_128", |b| {
-        b.iter(|| Runner::new(16 << 10).run(&WaterNsq::new(128), 8).unwrap())
-    });
-    g.finish();
+fn bench<F: FnMut() -> R, R>(name: &str, iters: u32, mut f: F) {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    println!("{name:<40} {per:>10.2} ms/iter ({iters} iters)");
 }
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+fn main() {
+    bench("app_run_8p/fft_2e10", 10, || {
+        Runner::new(16 << 10).run(&Fft::new(10), 8).unwrap()
+    });
+    bench("app_run_8p/ocean_32", 10, || {
+        Runner::new(16 << 10).run(&Ocean::new(32), 8).unwrap()
+    });
+    bench("app_run_8p/radix_8k", 10, || {
+        Runner::new(16 << 10).run(&Radix::new(8 << 10), 8).unwrap()
+    });
+    bench("app_run_8p/barnes_256", 10, || {
+        Runner::new(16 << 10).run(&Barnes::new(256), 8).unwrap()
+    });
+    bench("app_run_8p/water_nsq_128", 10, || {
+        Runner::new(16 << 10).run(&WaterNsq::new(128), 8).unwrap()
+    });
+}

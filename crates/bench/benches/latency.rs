@@ -1,63 +1,68 @@
-//! Criterion microbenchmarks of the simulator's memory-system hot paths,
-//! doubling as a host-side performance regression net for the Table-1
-//! latency probe.
+//! Microbenchmarks of the simulator's memory-system hot paths, doubling as
+//! a host-side performance regression net for the Table-1 latency probe.
+//! Plain timing harness (no external benchmark framework): each case is
+//! warmed up, then timed over a fixed iteration count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use ccnuma_sim::config::MachineConfig;
 use ccnuma_sim::latency::LatencyProfile;
 use ccnuma_sim::memsys::{AccessKind, MemorySystem};
 use study_bench::probes::measure_latencies;
 
-fn bench_table1_probe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_probe");
-    for profile in LatencyProfile::table1_machines() {
-        g.bench_with_input(BenchmarkId::from_parameter(profile.name), &profile, |b, p| {
-            b.iter(|| measure_latencies(p.clone()))
-        });
+fn bench<F: FnMut() -> R, R>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters / 10 + 1 {
+        std::hint::black_box(f());
     }
-    g.finish();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+    println!("{name:<40} {per:>12.1} ns/iter ({iters} iters)");
 }
 
-fn bench_access_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsys_access");
-    g.bench_function("cache_hit", |b| {
+fn main() {
+    for profile in LatencyProfile::table1_machines() {
+        let p = profile.clone();
+        bench(&format!("table1_probe/{}", profile.name), 20, move || {
+            measure_latencies(p.clone())
+        });
+    }
+
+    {
         let cfg = MachineConfig::origin2000_scaled(8, 64 << 10);
         let perm: Vec<usize> = (0..8).collect();
         let mut mem = MemorySystem::new(&cfg, &perm);
         mem.access(0, 0x1000, AccessKind::Read, 0);
         let mut now = 1000u64;
-        b.iter(|| {
+        bench("memsys_access/cache_hit", 100_000, move || {
             now += 10;
             mem.access(0, 0x1000, AccessKind::Read, now)
         });
-    });
-    g.bench_function("local_miss_stream", |b| {
+    }
+    {
         let cfg = MachineConfig::origin2000_scaled(8, 64 << 10);
         let perm: Vec<usize> = (0..8).collect();
         let mut mem = MemorySystem::new(&cfg, &perm);
         let mut addr = 0u64;
         let mut now = 0u64;
-        b.iter(|| {
+        bench("memsys_access/local_miss_stream", 100_000, move || {
             addr += 128;
             now += 1000;
             mem.access(0, addr, AccessKind::Read, now)
         });
-    });
-    g.bench_function("remote_dirty_pingpong", |b| {
+    }
+    {
         let cfg = MachineConfig::origin2000_scaled(8, 64 << 10);
         let perm: Vec<usize> = (0..8).collect();
         let mut mem = MemorySystem::new(&cfg, &perm);
         let mut now = 0u64;
         let mut who = 0usize;
-        b.iter(|| {
+        bench("memsys_access/remote_dirty_pingpong", 100_000, move || {
             now += 2000;
             who = (who + 2) % 8;
             mem.access(who, 0x8000, AccessKind::Write, now)
         });
-    });
-    g.finish();
+    }
 }
-
-criterion_group!(benches, bench_table1_probe, bench_access_paths);
-criterion_main!(benches);

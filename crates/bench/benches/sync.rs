@@ -1,32 +1,34 @@
-//! Criterion benchmarks of the §6.3 synchronization microprobes: lock and
-//! barrier episodes under LL/SC vs at-memory fetch&op.
+//! Benchmarks of the §6.3 synchronization microprobes: lock and barrier
+//! episodes under LL/SC vs at-memory fetch&op. Plain timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use ccnuma_sim::config::{BarrierImpl, LockImpl};
 use study_bench::probes::{barrier_probe, lock_probe};
 
-fn bench_locks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lock_probe_16p");
-    g.sample_size(10);
+fn bench<F: FnMut() -> R, R>(name: &str, iters: u32, mut f: F) {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    println!("{name:<40} {per:>10.2} ms/iter ({iters} iters)");
+}
+
+fn main() {
     for imp in [LockImpl::TicketLlsc, LockImpl::TicketFetchOp] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{imp:?}")), &imp, |b, &i| {
-            b.iter(|| lock_probe(i, 16, 10))
+        bench(&format!("lock_probe_16p/{imp:?}"), 10, move || {
+            lock_probe(imp, 16, 10)
         });
     }
-    g.finish();
-}
-
-fn bench_barriers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("barrier_probe_16p");
-    g.sample_size(10);
-    for imp in [BarrierImpl::TournamentLlsc, BarrierImpl::CentralLlsc, BarrierImpl::CentralFetchOp] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{imp:?}")), &imp, |b, &i| {
-            b.iter(|| barrier_probe(i, 16, 10))
+    for imp in [
+        BarrierImpl::TournamentLlsc,
+        BarrierImpl::CentralLlsc,
+        BarrierImpl::CentralFetchOp,
+    ] {
+        bench(&format!("barrier_probe_16p/{imp:?}"), 10, move || {
+            barrier_probe(imp, 16, 10)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_locks, bench_barriers);
-criterion_main!(benches);

@@ -10,37 +10,72 @@ fn main() {
     let np: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
     let mut r = Runner::new(Scale::Full.cache_bytes());
     let w: Box<dyn Workload> = if id == "samplesort" {
-        Box::new(SampleSort::new(std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(512 << 10)))
+        Box::new(SampleSort::new(
+            std::env::args()
+                .nth(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(512 << 10),
+        ))
     } else {
         basic(id, Scale::Full)
     };
     let rec = r.run(w.as_ref(), np).unwrap();
     let s = &rec.stats;
-    println!("{} {} np={} speedup={:.2} eff={:.1}%", rec.app, rec.problem, np, rec.speedup(), 100.0*rec.efficiency());
+    println!(
+        "{} {} np={} speedup={:.2} eff={:.1}%",
+        rec.app,
+        rec.problem,
+        np,
+        rec.speedup(),
+        100.0 * rec.efficiency()
+    );
     println!("seq={} wall={}", rec.seq_ns, rec.wall_ns);
-    let (b,m,sy) = s.avg_breakdown_pct();
+    let (b, m, sy) = s.avg_breakdown_pct();
     println!("busy={b:.1}% mem={m:.1}% sync={sy:.1}%");
-    println!("accesses={} hits={} local={} rclean={} rdirty={} upg={} invals={} wb={}",
-        s.total(|p| p.accesses()), s.total(|p| p.hits), s.total(|p| p.misses_local),
-        s.total(|p| p.misses_remote_clean), s.total(|p| p.misses_remote_dirty),
-        s.total(|p| p.upgrades), s.total(|p| p.invals_sent), s.total(|p| p.writebacks));
-    println!("mem_ns={} mem_local={} mem_remote={} atomics={} barriers={} lockacq={}",
-        s.total(|p| p.mem_ns), s.total(|p| p.mem_local_ns), s.total(|p| p.mem_remote_ns),
-        s.total(|p| p.atomics), s.total(|p| p.barriers), s.total(|p| p.lock_acquires));
-    println!("resource busy/wait: hubs={}/{} mems={}/{} routers={}/{} metas={}/{}",
-        s.resources[0].busy_ns, s.resources[0].wait_ns,
-        s.resources[1].busy_ns, s.resources[1].wait_ns,
-        s.resources[2].busy_ns, s.resources[2].wait_ns,
-        s.resources[3].busy_ns, s.resources[3].wait_ns);
+    println!(
+        "accesses={} hits={} local={} rclean={} rdirty={} upg={} invals={} wb={}",
+        s.total(|p| p.accesses()),
+        s.total(|p| p.hits),
+        s.total(|p| p.misses_local),
+        s.total(|p| p.misses_remote_clean),
+        s.total(|p| p.misses_remote_dirty),
+        s.total(|p| p.upgrades),
+        s.total(|p| p.invals_sent),
+        s.total(|p| p.writebacks)
+    );
+    println!(
+        "mem_ns={} mem_local={} mem_remote={} atomics={} barriers={} lockacq={}",
+        s.total(|p| p.mem_ns),
+        s.total(|p| p.mem_local_ns),
+        s.total(|p| p.mem_remote_ns),
+        s.total(|p| p.atomics),
+        s.total(|p| p.barriers),
+        s.total(|p| p.lock_acquires)
+    );
+    println!(
+        "resource busy/wait: hubs={}/{} mems={}/{} routers={}/{} metas={}/{}",
+        s.resources[0].busy_ns,
+        s.resources[0].wait_ns,
+        s.resources[1].busy_ns,
+        s.resources[1].wait_ns,
+        s.resources[2].busy_ns,
+        s.resources[2].wait_ns,
+        s.resources[3].busy_ns,
+        s.resources[3].wait_ns
+    );
     let mn = s.procs.iter().map(|p| p.total_ns()).min().unwrap();
     let mx = s.procs.iter().map(|p| p.total_ns()).max().unwrap();
     println!("proc total ns min={mn} max={mx}");
     let mut by_busy: Vec<usize> = (0..s.procs.len()).collect();
-    by_busy.sort_by_key(|&i| std::cmp::Reverse(s.procs[i].busy_ns + s.procs[i].mem_ns + s.procs[i].sync_op_ns));
+    by_busy.sort_by_key(|&i| {
+        std::cmp::Reverse(s.procs[i].busy_ns + s.procs[i].mem_ns + s.procs[i].sync_op_ns)
+    });
     for &i in by_busy.iter().take(3).chain(by_busy.iter().rev().take(3)) {
         let p = &s.procs[i];
-        println!("proc {i}: busy={} mem={} sync_wait={} sync_op={} atomics={} reads={}",
-            p.busy_ns, p.mem_ns, p.sync_wait_ns, p.sync_op_ns, p.atomics, p.reads);
+        println!(
+            "proc {i}: busy={} mem={} sync_wait={} sync_op={} atomics={} reads={}",
+            p.busy_ns, p.mem_ns, p.sync_wait_ns, p.sync_op_ns, p.atomics, p.reads
+        );
     }
 }
 // (extended diagnostics appended by maintainers during calibration)

@@ -26,7 +26,14 @@ pub fn runner_for(scale: Scale) -> Runner {
 pub fn table1() -> Table {
     let mut t = Table::new(
         "Table 1: latencies and remote-to-local ratios (measured on the simulator)",
-        &["machine", "local (ns)", "remote clean (ns)", "remote dirty (ns)", "clean ratio", "dirty ratio"],
+        &[
+            "machine",
+            "local (ns)",
+            "remote clean (ns)",
+            "remote dirty (ns)",
+            "clean ratio",
+            "dirty ratio",
+        ],
     );
     for profile in LatencyProfile::table1_machines() {
         let r = probes::measure_latencies(profile);
@@ -146,7 +153,11 @@ pub fn figs5to8(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyEr
             first(sweep("water-sp", scale)),
             last(sweep("water-sp", scale)),
         ),
-        ("Figure 6 (fft)", first(sweep("fft", scale)), last(sweep("fft", scale))),
+        (
+            "Figure 6 (fft)",
+            first(sweep("fft", scale)),
+            last(sweep("fft", scale)),
+        ),
         (
             "Figure 7 (shearwarp)",
             first(sweep("shearwarp", scale)),
@@ -245,10 +256,20 @@ pub fn table3(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError> {
     let np = scale.procs()[1.min(scale.procs().len() - 1)];
     let mut t = Table::new(
         format!("Table 3: speedup under data-distribution strategies, {np} processors"),
-        &["application", "problem", "manual", "round robin", "RR + migration"],
+        &[
+            "application",
+            "problem",
+            "manual",
+            "round robin",
+            "RR + migration",
+        ],
     );
     let fft_log2n = if scale == Scale::Full { 18 } else { 12 };
-    let radix_keys = if scale == Scale::Full { 512 << 10 } else { 16 << 10 };
+    let radix_keys = if scale == Scale::Full {
+        512 << 10
+    } else {
+        16 << 10
+    };
     let ocean_dim = if scale == Scale::Full { 512 } else { 64 };
     let mk_fft = |manual| {
         let mut a = Fft::new(fft_log2n);
@@ -305,8 +326,16 @@ pub fn prefetch(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError> 
     );
     let apps: Vec<Box<dyn Workload>> = vec![
         Box::new(Fft::new(if scale == Scale::Full { 14 } else { 10 })),
-        Box::new(SampleSort::new(if scale == Scale::Full { 64 << 10 } else { 8 << 10 })),
-        Box::new(WaterSpatial::new(if scale == Scale::Full { 1024 } else { 256 })),
+        Box::new(SampleSort::new(if scale == Scale::Full {
+            64 << 10
+        } else {
+            8 << 10
+        })),
+        Box::new(WaterSpatial::new(if scale == Scale::Full {
+            1024
+        } else {
+            256
+        })),
     ];
     for w in apps {
         let mut row = vec![w.name(), w.problem()];
@@ -346,7 +375,10 @@ pub fn migration(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError>
     t.row(vec!["round robin".into(), f2(rec.speedup()), "0".into()]);
     for threshold in [16u32, 64, 256] {
         let mut cfg_m = cfg.clone();
-        cfg_m.migration = Some(MigrationConfig { threshold, cooldown: threshold });
+        cfg_m.migration = Some(MigrationConfig {
+            threshold,
+            cooldown: threshold,
+        });
         let rec = runner.run_on(&auto, cfg_m)?;
         t.row(vec![
             format!("RR + migration (threshold {threshold})"),
@@ -367,19 +399,34 @@ pub fn sync(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyError>
     );
     for imp in [LockImpl::TicketLlsc, LockImpl::TicketFetchOp] {
         let p = probes::lock_probe(imp, np, 10);
-        micro.row(vec![p.name, format!("{:.0} ns", p.op_ns), format!("{:.0} ns", p.wait_ns)]);
+        micro.row(vec![
+            p.name,
+            format!("{:.0} ns", p.op_ns),
+            format!("{:.0} ns", p.wait_ns),
+        ]);
     }
-    for imp in [BarrierImpl::TournamentLlsc, BarrierImpl::CentralLlsc, BarrierImpl::CentralFetchOp]
-    {
+    for imp in [
+        BarrierImpl::TournamentLlsc,
+        BarrierImpl::CentralLlsc,
+        BarrierImpl::CentralFetchOp,
+    ] {
         let p = probes::barrier_probe(imp, np, 10);
-        micro.row(vec![p.name, format!("{:.0} ns", p.op_ns), format!("{:.0} ns", p.wait_ns)]);
+        micro.row(vec![
+            p.name,
+            format!("{:.0} ns", p.op_ns),
+            format!("{:.0} ns", p.wait_ns),
+        ]);
     }
 
     // Application level: the primitive choice barely matters (wait time
     // from imbalance dominates).
     let mut app = Table::new(
         "Section 6.3: app-level impact of the synchronization primitive",
-        &["application", "LL/SC ticket + tournament", "fetch&op + central"],
+        &[
+            "application",
+            "LL/SC ticket + tournament",
+            "fetch&op + central",
+        ],
     );
     let w = basic("water-nsq", scale);
     let a = runner.run_on(w.as_ref(), runner.machine_for(np))?;
@@ -467,7 +514,10 @@ pub fn mapping(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError> {
                 "ocean".into(),
                 "near-neighbor pairs".into(),
                 ccnuma_sim::time::Span(rec.wall_ns).to_string(),
-                format!("{:+.1}%", 100.0 * (rec.wall_ns as f64 / lin.wall_ns as f64 - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (rec.wall_ns as f64 / lin.wall_ns as f64 - 1.0)
+                ),
             ]);
         }
     }
@@ -486,7 +536,10 @@ pub fn mapping(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError> {
         "fft".into(),
         "linear, stagger offset 2".into(),
         ccnuma_sim::time::Span(b.wall_ns).to_string(),
-        format!("{:+.1}%", 100.0 * (b.wall_ns as f64 / a.wall_ns as f64 - 1.0)),
+        format!(
+            "{:+.1}%",
+            100.0 * (b.wall_ns as f64 / a.wall_ns as f64 - 1.0)
+        ),
     ]);
     Ok(t)
 }
@@ -496,14 +549,24 @@ pub fn nodeshare(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError>
     let np = scale.max_procs() / 2; // keep node counts feasible at 1 ppn
     let mut t = Table::new(
         format!("Section 7.2: two processors per node vs one, {np} processors"),
-        &["application", "problem", "2 procs/node", "1 proc/node", "1ppn gain"],
+        &[
+            "application",
+            "problem",
+            "2 procs/node",
+            "1 proc/node",
+            "1ppn gain",
+        ],
     );
     let apps: Vec<Box<dyn Workload>> = vec![
         first(sweep("fft", scale)),
         last(sweep("fft", scale)),
         first(sweep("radix", scale)),
         last(sweep("radix", scale)),
-        Box::new(SampleSort::new(if scale == Scale::Full { 256 << 10 } else { 16 << 10 })),
+        Box::new(SampleSort::new(if scale == Scale::Full {
+            256 << 10
+        } else {
+            16 << 10
+        })),
         last(sweep("ocean", scale)),
         Box::new(Raytrace::new(if scale == Scale::Full { 64 } else { 24 })),
     ];
@@ -547,7 +610,12 @@ pub fn svm(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError> {
     svm_cfg.latency = svm_cfg.latency.scaled_by(8);
     let mut t = Table::new(
         format!("Section 5.2: restructurings on an SVM cluster vs hardware DSM, {np} processors"),
-        &["application", "version", "SVM speedup", "hardware DSM speedup"],
+        &[
+            "application",
+            "version",
+            "SVM speedup",
+            "hardware DSM speedup",
+        ],
     );
     let mut pairs: Vec<(&str, Vec<Box<dyn Workload>>)> = Vec::new();
     let bn = if big { 2048 } else { 256 };
@@ -656,7 +724,11 @@ pub fn ablation(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError> 
     );
     let apps: Vec<Box<dyn Workload>> = vec![
         Box::new(Fft::new(if scale == Scale::Full { 14 } else { 10 })),
-        Box::new(Radix::new(if scale == Scale::Full { 128 << 10 } else { 8 << 10 })),
+        Box::new(Radix::new(if scale == Scale::Full {
+            128 << 10
+        } else {
+            8 << 10
+        })),
         Box::new({
             let mut a = Fft::new(if scale == Scale::Full { 14 } else { 10 });
             a.transpose = TransposeKind::Implicit;
@@ -722,10 +794,32 @@ pub fn profile(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyErr
         app.variant = variant;
         let rec = runner.run(&app, np)?;
         let mut t = range_profile_table(&rec.stats);
-        t.title = format!(
-            "{} ({}, {np} procs): {}",
-            rec.app, rec.problem, t.title
-        );
+        t.title = format!("{} ({}, {np} procs): {}", rec.app, rec.problem, t.title);
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Phase-resolved breakdowns (§8 tooling): runs Barnes-Hut and Ocean with
+/// tracing on and reports, per program phase, where the time goes — busy,
+/// memory stall split local/remote, and synchronization — plus each run's
+/// machine-wide gauge series (miss rate, resource occupancies).
+pub fn phases(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyError> {
+    use scaling_study::report::{gauge_table, phase_breakdown_table};
+    let np = scale.max_procs().min(32);
+    if !runner.trace_enabled() {
+        runner.set_trace(Some(ccnuma_sim::trace::TraceConfig::on()));
+    }
+    let mut out = Vec::new();
+    for w in [basic("barnes", scale), basic("ocean", scale)] {
+        let rec = runner.run(w.as_ref(), np)?;
+        let mut t = phase_breakdown_table(&rec.stats);
+        t.title = format!("{} ({}, {np} procs): {}", rec.app, rec.problem, t.title);
+        out.push(t);
+    }
+    for (label, trace) in runner.traces() {
+        let mut t = gauge_table(trace);
+        t.title = format!("{label}: {}", t.title);
         out.push(t);
     }
     Ok(out)

@@ -1,33 +1,82 @@
 //! `repro` — regenerate the tables and figures of Jiang & Singh (ISCA'99).
 //!
 //! ```text
-//! repro <experiment> [--quick] [--csv]
+//! repro <experiment> [--quick] [--csv] [--trace <out.json>] [--out <dir>]
 //!
 //! experiments:
 //!   table1 table2 fig2 fig3 fig4 fig5-8 fig9 fig10 table3
-//!   prefetch migration sync mapping nodeshare guidelines all
+//!   prefetch migration sync mapping nodeshare phases guidelines all
 //!
-//! --quick   small machines and problems (seconds instead of minutes)
-//! --csv     emit CSV instead of aligned text tables
+//! --quick          small machines and problems (seconds instead of minutes)
+//! --csv            emit CSV instead of aligned text tables
+//! --trace <file>   trace every parallel run and write one merged Chrome
+//!                  trace-event JSON file (load it in Perfetto or
+//!                  chrome://tracing)
+//! --out <dir>      also write each table to <dir> as both .txt and .csv
 //! ```
 
+use std::path::{Path, PathBuf};
+
+use ccnuma_sim::trace::{chrome_trace_file, Trace, TraceConfig};
 use scaling_study::experiments::Scale;
 use scaling_study::report::Table;
 use study_bench::figures;
 
-fn print_tables(tables: &[Table], csv: bool) {
+struct Opts {
+    csv: bool,
+    scale: Scale,
+    trace: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+/// Turns a table title into a safe file stem, e.g.
+/// `"Figure 3: average breakdown"` → `"figure-3-average-breakdown"`.
+fn slug(title: &str) -> String {
+    let mut s = String::with_capacity(title.len());
+    for c in title.chars() {
+        if c.is_ascii_alphanumeric() {
+            s.push(c.to_ascii_lowercase());
+        } else if !s.ends_with('-') {
+            s.push('-');
+        }
+    }
+    let s = s.trim_matches('-').to_string();
+    if s.is_empty() {
+        "table".into()
+    } else {
+        s
+    }
+}
+
+fn emit_tables(tables: &[Table], opts: &Opts) -> std::io::Result<()> {
     for t in tables {
-        if csv {
+        if opts.csv {
             println!("# {}", t.title);
             print!("{}", t.to_csv());
         } else {
             println!("{t}");
         }
     }
+    if let Some(dir) = &opts.out {
+        for t in tables {
+            let stem = slug(&t.title);
+            std::fs::write(dir.join(format!("{stem}.txt")), t.to_string())?;
+            std::fs::write(dir.join(format!("{stem}.csv")), t.to_csv())?;
+        }
+    }
+    Ok(())
 }
 
-fn run_one(name: &str, scale: Scale, csv: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run_one(
+    name: &str,
+    opts: &Opts,
+    traces: &mut Vec<(String, Trace)>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let scale = opts.scale;
     let mut runner = figures::runner_for(scale);
+    if opts.trace.is_some() {
+        runner.set_trace(Some(TraceConfig::on()));
+    }
     let tables: Vec<Table> = match name {
         "table1" => vec![figures::table1()],
         "table2" => vec![figures::table2(&mut runner, scale)?],
@@ -46,39 +95,132 @@ fn run_one(name: &str, scale: Scale, csv: bool) -> Result<(), Box<dyn std::error
         "svm" => vec![figures::svm(&mut runner, scale)?],
         "ablation" => vec![figures::ablation(&mut runner, scale)?],
         "profile" => figures::profile(&mut runner, scale)?,
+        "phases" => figures::phases(&mut runner, scale)?,
         "guidelines" => vec![figures::guidelines()],
         other => return Err(format!("unknown experiment {other:?} (try --help)").into()),
     };
-    print_tables(&tables, csv);
+    emit_tables(&tables, opts)?;
+    if opts.trace.is_some() {
+        for (label, trace) in runner.take_traces() {
+            traces.push((format!("{name}: {label}"), trace));
+        }
+    }
     Ok(())
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig4", "fig5-8", "fig9", "fig10", "table3", "prefetch",
-    "migration", "sync", "mapping", "nodeshare", "svm", "profile", "ablation", "guidelines",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5-8",
+    "fig9",
+    "fig10",
+    "table3",
+    "prefetch",
+    "migration",
+    "sync",
+    "mapping",
+    "nodeshare",
+    "svm",
+    "profile",
+    "phases",
+    "ablation",
+    "guidelines",
 ];
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>]");
+    eprintln!("experiments: {} all", ALL.join(" "));
+    std::process::exit(code);
+}
+
+fn parse_opts(args: &[String]) -> (Opts, Vec<String>) {
+    let mut opts = Opts {
+        csv: false,
+        scale: Scale::Full,
+        trace: None,
+        out: None,
+    };
+    let mut names = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => opts.csv = true,
+            "--quick" => opts.scale = Scale::Quick,
+            "--trace" => match it.next() {
+                Some(f) => opts.trace = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("error: --trace needs a file argument");
+                    usage(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(d) => opts.out = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("error: --out needs a directory argument");
+                    usage(2);
+                }
+            },
+            "--help" | "-h" => usage(0),
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                usage(2);
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    (opts, names)
+}
+
+fn write_trace_file(path: &Path, traces: &[(String, Trace)]) -> std::io::Result<()> {
+    let refs: Vec<(String, &Trace)> = traces.iter().map(|(l, t)| (l.clone(), t)).collect();
+    std::fs::write(path, chrome_trace_file(&refs))?;
+    eprintln!(
+        "[repro] wrote {} trace(s) to {}",
+        traces.len(),
+        path.display()
+    );
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
-    let names: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    if (names.is_empty() && !args.iter().any(|a| a == "--help"))
-        || args.iter().any(|a| a == "--help")
-    {
-        eprintln!("usage: repro <experiment>... [--quick] [--csv]");
-        eprintln!("experiments: {} all", ALL.join(" "));
-        std::process::exit(if names.is_empty() { 2 } else { 0 });
+    let (opts, names) = parse_opts(&args);
+    if names.is_empty() {
+        usage(2);
     }
-    let selected: Vec<&str> = if names.contains(&"all") { ALL.to_vec() } else { names };
-    for name in selected {
-        eprintln!("[repro] running {name} ({scale:?} scale)...");
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let selected: Vec<String> = if names.iter().any(|n| n == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        names
+    };
+    let mut traces: Vec<(String, Trace)> = Vec::new();
+    for name in &selected {
+        eprintln!("[repro] running {name} ({:?} scale)...", opts.scale);
         let t0 = std::time::Instant::now();
-        if let Err(e) = run_one(name, scale, csv) {
+        if let Err(e) = run_one(name, &opts, &mut traces) {
             eprintln!("error: {name}: {e}");
             std::process::exit(1);
         }
         eprintln!("[repro] {name} done in {:.1?}", t0.elapsed());
+    }
+    if let Some(path) = &opts.trace {
+        // A bare filename lands next to the tables when --out is given.
+        let path = match &opts.out {
+            Some(dir) if path.parent().is_some_and(|p| p.as_os_str().is_empty()) => dir.join(path),
+            _ => path.clone(),
+        };
+        if let Err(e) = write_trace_file(&path, &traces) {
+            eprintln!("error: writing trace file: {e}");
+            std::process::exit(1);
+        }
     }
 }

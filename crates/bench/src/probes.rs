@@ -50,7 +50,12 @@ pub fn measure_latencies(profile: LatencyProfile) -> LatencyRow {
     mem.place_range(0x30_000, 128, 1);
     mem.access(4, 0x30_000, AccessKind::Write, 2_000_000);
     let dirty = mem.access(0, 0x30_000, AccessKind::Read, 3_000_000).latency;
-    LatencyRow { name, local_ns: local, remote_clean_ns: clean, remote_dirty_ns: dirty }
+    LatencyRow {
+        name,
+        local_ns: local,
+        remote_clean_ns: clean,
+        remote_dirty_ns: dirty,
+    }
 }
 
 /// Result of a synchronization microbenchmark (§6.3).
@@ -126,8 +131,16 @@ mod tests {
         assert!(row.remote_clean_ns > row.local_ns);
         assert!(row.remote_dirty_ns > row.remote_clean_ns);
         // Ratios in the paper's ballpark (2:1 and 3:1, plus hop costs).
-        assert!(row.clean_ratio() > 1.5 && row.clean_ratio() < 3.5, "{}", row.clean_ratio());
-        assert!(row.dirty_ratio() > 2.0 && row.dirty_ratio() < 5.0, "{}", row.dirty_ratio());
+        assert!(
+            row.clean_ratio() > 1.5 && row.clean_ratio() < 3.5,
+            "{}",
+            row.clean_ratio()
+        );
+        assert!(
+            row.dirty_ratio() > 2.0 && row.dirty_ratio() < 5.0,
+            "{}",
+            row.dirty_ratio()
+        );
     }
 
     #[test]
@@ -155,7 +168,11 @@ mod tests {
 
     #[test]
     fn barrier_probes_run_for_all_impls() {
-        for imp in [BarrierImpl::TournamentLlsc, BarrierImpl::CentralLlsc, BarrierImpl::CentralFetchOp] {
+        for imp in [
+            BarrierImpl::TournamentLlsc,
+            BarrierImpl::CentralLlsc,
+            BarrierImpl::CentralFetchOp,
+        ] {
             let p = barrier_probe(imp, 8, 5);
             assert!(p.wall_ns > 0);
             assert!(p.op_ns > 0.0);

@@ -136,9 +136,13 @@ pub fn sweep(id: &str, s: Scale) -> Vec<Box<dyn Workload>> {
         "protein" => sizes(s, &[24, 48, 96], &[64, 128, 256])
             .map(|n| Box::new(Protein::new(n)) as Box<dyn Workload>)
             .collect(),
-        "radix" => sizes(s, &[4 << 10, 8 << 10, 16 << 10], &[32 << 10, 128 << 10, 512 << 10])
-            .map(|n| Box::new(Radix::new(n)) as Box<dyn Workload>)
-            .collect(),
+        "radix" => sizes(
+            s,
+            &[4 << 10, 8 << 10, 16 << 10],
+            &[32 << 10, 128 << 10, 512 << 10],
+        )
+        .map(|n| Box::new(Radix::new(n)) as Box<dyn Workload>)
+        .collect(),
         "raytrace" => sizes(s, &[16, 24, 32], &[32, 64, 96])
             .map(|n| Box::new(Raytrace::new(n)) as Box<dyn Workload>)
             .collect(),
@@ -257,7 +261,11 @@ impl std::fmt::Debug for Restructuring {
             .field("original", &self.original.name())
             .field(
                 "restructured",
-                &self.restructured.iter().map(|w| w.name()).collect::<Vec<_>>(),
+                &self
+                    .restructured
+                    .iter()
+                    .map(|w| w.name())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }

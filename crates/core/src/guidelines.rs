@@ -66,18 +66,14 @@ impl Guideline {
                 "separate computation and data into large well-structured partitions"
             }
             Guideline::SingleWriter => "make each datum single-writer within a phase",
-            Guideline::CrossPhaseLocality => {
-                "preserve locality across computational phases"
-            }
+            Guideline::CrossPhaseLocality => "preserve locality across computational phases",
             Guideline::RemoteTemporalLocality => {
                 "prefer temporal locality on remote data over local data"
             }
             Guideline::RespectGranularity => {
                 "match partitioning to system granularities (lines, pages)"
             }
-            Guideline::ReduceStealing => {
-                "reduce task stealing where synchronization is expensive"
-            }
+            Guideline::ReduceStealing => "reduce task stealing where synchronization is expensive",
             Guideline::DistributeData => "distribute data properly across memories",
         }
     }

@@ -53,7 +53,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -136,7 +143,15 @@ pub fn breakdown_continuum(stats: &ccnuma_sim::stats::RunStats, buckets: usize) 
 pub fn range_profile_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
     let mut t = Table::new(
         "per-data-structure profile",
-        &["structure", "reads", "writes", "hits", "local misses", "remote misses", "stall"],
+        &[
+            "structure",
+            "reads",
+            "writes",
+            "hits",
+            "local misses",
+            "remote misses",
+            "stall",
+        ],
     );
     for r in &stats.ranges {
         t.row(vec![
@@ -147,6 +162,71 @@ pub fn range_profile_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
             r.misses_local.to_string(),
             r.misses_remote.to_string(),
             ccnuma_sim::time::Span(r.stall_ns).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders a run's per-phase busy/memory/sync breakdown (aggregated over
+/// processors), with memory stall split local/remote.
+pub fn phase_breakdown_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
+    let mut t = Table::new(
+        "per-phase time breakdown",
+        &[
+            "phase",
+            "busy",
+            "memory",
+            "mem local",
+            "mem remote",
+            "sync",
+            "share",
+        ],
+    );
+    let grand: u64 = stats.phases.iter().map(|p| p.total().total_ns()).sum();
+    for ph in &stats.phases {
+        let tot = ph.total();
+        if tot.total_ns() == 0 {
+            continue;
+        }
+        let span = |ns| ccnuma_sim::time::Span(ns).to_string();
+        t.row(vec![
+            ph.name.clone(),
+            span(tot.busy_ns),
+            span(tot.mem_ns),
+            span(tot.mem_local_ns),
+            span(tot.mem_remote_ns),
+            span(tot.sync_ns()),
+            pct(tot.total_ns() as f64 / grand.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// Renders a trace's machine-wide gauge time series (miss rate, resource
+/// occupancies, outstanding misses) as a table, one row per sample —
+/// mainly useful via [`Table::to_csv`].
+pub fn gauge_table(trace: &ccnuma_sim::trace::Trace) -> Table {
+    let mut t = Table::new(
+        "machine gauges",
+        &[
+            "t_us",
+            "interval_us",
+            "miss %",
+            "hub occ %",
+            "mem occ %",
+            "router occ %",
+            "outstanding",
+        ],
+    );
+    for g in &trace.gauges {
+        t.row(vec![
+            format!("{:.3}", g.t as f64 / 1000.0),
+            format!("{:.3}", g.interval_ns as f64 / 1000.0),
+            format!("{:.2}", g.miss_pct),
+            format!("{:.2}", g.hub_occ_pct),
+            format!("{:.2}", g.mem_occ_pct),
+            format!("{:.2}", g.router_occ_pct),
+            format!("{:.2}", g.outstanding),
         ]);
     }
     t
@@ -164,8 +244,7 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("== demo =="));
         // All data lines have the same width.
-        let lens: Vec<usize> =
-            s.lines().skip(1).map(|l| l.chars().count()).collect();
+        let lens: Vec<usize> = s.lines().skip(1).map(|l| l.chars().count()).collect();
         assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
     }
 
@@ -184,6 +263,29 @@ mod tests {
     }
 
     #[test]
+    fn csv_escapes_newlines_and_quoted_headers() {
+        let mut t = Table::new("t", &["plain", "has,comma"]);
+        t.row(vec!["line1\nline2".into(), "ok".into()]);
+        let csv = t.to_csv();
+        // Header with a comma is quoted; embedded newline is kept inside
+        // one quoted field (so the record spans two physical lines).
+        assert_eq!(csv, "plain,\"has,comma\"\n\"line1\nline2\",ok\n");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new("empty", &["a", "b"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_csv(), "a,b\n");
+        let s = t.to_string();
+        assert!(s.contains("== empty =="));
+        assert!(s.contains("| a | b |"));
+        // Title, header line, separator — and nothing else.
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
     fn helpers_format() {
         assert_eq!(pct(0.613), "61.3%");
         assert_eq!(f2(1.005), "1.00");
@@ -193,12 +295,49 @@ mod tests {
     fn continuum_buckets() {
         use ccnuma_sim::stats::{ProcStats, RunStats};
         let procs: Vec<ProcStats> = (0..8)
-            .map(|i| ProcStats { busy_ns: 100 - i, mem_ns: i, ..Default::default() })
+            .map(|i| ProcStats {
+                busy_ns: 100 - i,
+                mem_ns: i,
+                ..Default::default()
+            })
             .collect();
-        let rs = RunStats { procs, wall_ns: 100, page_migrations: 0, resources: Default::default(), ranges: Vec::new() };
+        let rs = RunStats {
+            procs,
+            wall_ns: 100,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: Vec::new(),
+            phases: Vec::new(),
+            trace: None,
+        };
         let t = breakdown_continuum(&rs, 4);
         assert_eq!(t.len(), 4);
         let t1 = breakdown_continuum(&rs, 100); // clamped to nprocs
         assert_eq!(t1.len(), 8);
+    }
+
+    #[test]
+    fn phase_table_skips_empty_phases() {
+        use ccnuma_sim::stats::{PhaseBreakdown, PhaseStats, ProcStats, RunStats};
+        let ph = |name: &str, busy: u64| PhaseStats {
+            name: name.into(),
+            procs: vec![PhaseBreakdown {
+                busy_ns: busy,
+                ..Default::default()
+            }],
+        };
+        let rs = RunStats {
+            procs: vec![ProcStats::default()],
+            wall_ns: 0,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: Vec::new(),
+            phases: vec![ph("main", 0), ph("solve", 300), ph("reduce", 100)],
+            trace: None,
+        };
+        let t = phase_breakdown_table(&rs);
+        assert_eq!(t.len(), 2, "the empty main phase is omitted");
+        let csv = t.to_csv();
+        assert!(csv.contains("solve") && csv.contains("75.0%"), "{csv}");
     }
 }

@@ -8,6 +8,7 @@ use ccnuma_sim::error::SimError;
 use ccnuma_sim::machine::Machine;
 use ccnuma_sim::stats::RunStats;
 use ccnuma_sim::time::Ns;
+use ccnuma_sim::trace::{Trace, TraceConfig};
 use splash_apps::common::Workload;
 
 use crate::metrics;
@@ -84,12 +85,45 @@ pub struct Runner {
     /// [`MachineConfig::origin2000_scaled`]).
     cache_bytes: usize,
     baselines: HashMap<(String, String, String), Ns>,
+    /// When set, parallel runs are traced with this configuration and the
+    /// resulting traces collected in [`Runner::traces`].
+    trace: Option<TraceConfig>,
+    traces: Vec<(String, Trace)>,
 }
 
 impl Runner {
     /// A runner whose machines use `cache_bytes` of L2 per processor.
     pub fn new(cache_bytes: usize) -> Self {
-        Runner { cache_bytes, baselines: HashMap::new() }
+        Runner {
+            cache_bytes,
+            baselines: HashMap::new(),
+            trace: None,
+            traces: Vec::new(),
+        }
+    }
+
+    /// Enables (or, with `None`, disables) event tracing of parallel runs.
+    /// Each traced run's [`Trace`] is collected under a
+    /// `"app/problem/NNp"` label; drain them with [`Runner::take_traces`].
+    /// Sequential baseline runs are never traced.
+    pub fn set_trace(&mut self, trace: Option<TraceConfig>) {
+        self.trace = trace;
+    }
+
+    /// Whether event tracing of parallel runs is currently enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The traces collected so far, labelled `"app/problem/NNp"`, without
+    /// draining them.
+    pub fn traces(&self) -> &[(String, Trace)] {
+        &self.traces
+    }
+
+    /// Takes the traces collected so far, labelled `"app/problem/NNp"`.
+    pub fn take_traces(&mut self) -> Vec<(String, Trace)> {
+        std::mem::take(&mut self.traces)
     }
 
     /// The default scaled machine configuration for `nprocs` processors.
@@ -125,7 +159,15 @@ impl Runner {
         cfg: MachineConfig,
     ) -> Result<RunRecord, StudyError> {
         let seq_ns = self.sequential_ns(workload, &cfg)?;
-        let (wall_ns, stats) = Self::execute(workload, cfg.clone())?;
+        let mut cfg = cfg;
+        if let Some(tc) = &self.trace {
+            cfg.trace = tc.clone();
+        }
+        let (wall_ns, mut stats) = Self::execute(workload, cfg.clone())?;
+        if let Some(trace) = stats.trace.take() {
+            let label = format!("{}/{}/{}p", workload.name(), workload.problem(), cfg.nprocs);
+            self.traces.push((label, trace));
+        }
         Ok(RunRecord {
             app: workload.name(),
             problem: workload.problem(),
@@ -142,11 +184,7 @@ impl Runner {
     /// # Errors
     ///
     /// As [`Runner::run_on`].
-    pub fn run(
-        &mut self,
-        workload: &dyn Workload,
-        nprocs: usize,
-    ) -> Result<RunRecord, StudyError> {
+    pub fn run(&mut self, workload: &dyn Workload, nprocs: usize) -> Result<RunRecord, StudyError> {
         self.run_on(workload, self.machine_for(nprocs))
     }
 
@@ -173,10 +211,7 @@ impl Runner {
         Ok(ns)
     }
 
-    fn execute(
-        workload: &dyn Workload,
-        cfg: MachineConfig,
-    ) -> Result<(Ns, RunStats), StudyError> {
+    fn execute(workload: &dyn Workload, cfg: MachineConfig) -> Result<(Ns, RunStats), StudyError> {
         let mut machine = Machine::new(cfg)?;
         let job = workload.build(&mut machine);
         let body = job.body;

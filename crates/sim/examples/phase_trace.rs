@@ -1,0 +1,94 @@
+//! Demonstrates phase markers and the tracing subsystem: runs a small
+//! three-phase stencil on 8 simulated processors with tracing enabled,
+//! prints where each phase spends its time, and writes a Chrome
+//! trace-event file loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! ```text
+//! cargo run --example phase_trace [out.json]
+//! ```
+
+use ccnuma_sim::prelude::*;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "phase_trace.json".into());
+    let nprocs = 8;
+    let mut cfg = MachineConfig::origin2000_scaled(nprocs, 16 << 10);
+    cfg.trace = TraceConfig::on();
+    let mut m = Machine::new(cfg).expect("machine config");
+
+    let n = 128 * nprocs;
+    let grid = m.shared_vec::<u64>(n, Placement::Blocked);
+    let sum = m.shared_vec::<u64>(1, Placement::Policy);
+    let bar = m.barrier();
+    let lk = m.lock();
+
+    let stats = m
+        .run(move |ctx| {
+            let chunk = n / ctx.nprocs();
+            let lo = ctx.id() * chunk;
+            // Phase 1: initialise this processor's block (local pages).
+            ctx.phase("init");
+            for i in lo..lo + chunk {
+                grid.write(ctx, i, (i as u64).wrapping_mul(2654435761));
+            }
+            ctx.barrier(bar);
+            // Phase 2: read the neighbour's block (remote misses) and do
+            // the arithmetic the paper calls "busy" time.
+            ctx.phase("stencil");
+            let peer = (ctx.id() + 1) % ctx.nprocs();
+            let mut acc = 0u64;
+            for i in peer * chunk..(peer + 1) * chunk {
+                acc = acc.wrapping_add(grid.read(ctx, i));
+                ctx.compute_flops(4);
+            }
+            ctx.with_lock(lk, || {
+                let cur = sum.read(ctx, 0);
+                sum.write(ctx, 0, cur.wrapping_add(acc));
+            });
+            ctx.barrier(bar);
+            // Phase 3: everyone reads the reduced value.
+            ctx.phase("readback");
+            let total = sum.read(ctx, 0);
+            ctx.compute_ops(total % 5 + 1);
+        })
+        .expect("simulation");
+
+    println!(
+        "wall clock: {} virtual ns over {} processors",
+        stats.wall_ns,
+        stats.nprocs()
+    );
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7}",
+        "phase", "busy", "mem", "sync", "share"
+    );
+    let grand: u64 = stats.phases.iter().map(|p| p.total().total_ns()).sum();
+    for ph in &stats.phases {
+        let t = ph.total();
+        if t.total_ns() == 0 {
+            continue;
+        }
+        let pc = |ns: u64| format!("{:.1}%", 100.0 * ns as f64 / t.total_ns() as f64);
+        println!(
+            "{:<10} {:>7} {:>7} {:>7} {:>7}",
+            ph.name,
+            pc(t.busy_ns),
+            pc(t.mem_ns),
+            pc(t.sync_ns()),
+            format!("{:.1}%", 100.0 * t.total_ns() as f64 / grand as f64),
+        );
+    }
+
+    let trace = stats.trace.as_ref().expect("tracing was enabled");
+    println!(
+        "trace: {} span track(s), {} instant(s), {} gauge sample(s)",
+        trace.spans.len(),
+        trace.instants.len(),
+        trace.gauges.len()
+    );
+    std::fs::write(&out, trace.to_chrome_json("phase_trace example")).expect("write trace");
+    println!("wrote {out} — open it at https://ui.perfetto.dev or chrome://tracing");
+}

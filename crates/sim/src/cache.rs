@@ -71,7 +71,12 @@ impl Cache {
         let n_sets = cfg.n_sets();
         assert!(n_sets > 0 && cfg.assoc > 0, "cache must have sets and ways");
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
-        Cache { n_sets, assoc: cfg.assoc, ways: vec![None; n_sets * cfg.assoc], clock: 0 }
+        Cache {
+            n_sets,
+            assoc: cfg.assoc,
+            ways: vec![None; n_sets * cfg.assoc],
+            clock: 0,
+        }
     }
 
     #[inline]
@@ -142,7 +147,12 @@ impl Cache {
         // Empty way?
         let set = &mut self.ways[range];
         if let Some(slot) = set.iter_mut().find(|w| w.is_none()) {
-            *slot = Some(Way { line, state, ready_at, stamp: clock });
+            *slot = Some(Way {
+                line,
+                state,
+                ready_at,
+                stamp: clock,
+            });
             return None;
         }
         // Evict LRU.
@@ -152,8 +162,18 @@ impl Cache {
             .min_by_key(|(_, w)| w.as_ref().map(|w| w.stamp).unwrap_or(0))
             .map(|(i, _)| i)
             .expect("nonempty set");
-        let old = set[victim_idx].replace(Way { line, state, ready_at, stamp: clock }).unwrap();
-        Some(Evicted { line: old.line, state: old.state })
+        let old = set[victim_idx]
+            .replace(Way {
+                line,
+                state,
+                ready_at,
+                stamp: clock,
+            })
+            .unwrap();
+        Some(Evicted {
+            line: old.line,
+            state: old.state,
+        })
     }
 
     /// Downgrades `line` to `Shared` (another cache read our M/E copy).
@@ -191,7 +211,11 @@ impl Cache {
 
     /// All resident lines and their states (validation and debugging).
     pub fn resident_lines(&self) -> Vec<(u64, LineState)> {
-        self.ways.iter().flatten().map(|w| (w.line, w.state)).collect()
+        self.ways
+            .iter()
+            .flatten()
+            .map(|w| (w.line, w.state))
+            .collect()
     }
 }
 
@@ -207,7 +231,11 @@ mod tests {
 
     fn small() -> Cache {
         // 2 sets × 2 ways, 64-byte lines.
-        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]

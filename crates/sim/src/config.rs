@@ -12,6 +12,7 @@ use crate::latency::LatencyProfile;
 use crate::mapping::ProcessMapping;
 use crate::time::Ns;
 use crate::topology::TopologyKind;
+use crate::trace::TraceConfig;
 
 /// Maximum number of simulated processors (directory sharer sets are `u128`).
 pub const MAX_PROCS: usize = 128;
@@ -30,13 +31,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The Origin2000's 4 MB, 2-way, 128-byte-line L2.
     pub fn origin2000() -> Self {
-        CacheConfig { size_bytes: 4 << 20, assoc: 2, line_bytes: 128 }
+        CacheConfig {
+            size_bytes: 4 << 20,
+            assoc: 2,
+            line_bytes: 128,
+        }
     }
 
     /// A geometrically scaled-down cache (same associativity and line size)
     /// used by the experiment harnesses together with scaled problem sizes.
     pub fn scaled(size_bytes: usize) -> Self {
-        CacheConfig { size_bytes, ..Self::origin2000() }
+        CacheConfig {
+            size_bytes,
+            ..Self::origin2000()
+        }
     }
 
     /// Number of sets.
@@ -69,7 +77,10 @@ pub struct MigrationConfig {
 
 impl Default for MigrationConfig {
     fn default() -> Self {
-        MigrationConfig { threshold: 64, cooldown: 256 }
+        MigrationConfig {
+            threshold: 64,
+            cooldown: 256,
+        }
     }
 }
 
@@ -116,7 +127,11 @@ impl Default for CostModel {
         // against the paper's Table-2 sequential times (e.g. FFT 2²⁰ at
         // 2.63 s ⇒ ≈25 ns per 5·n·log₂n flop), which fold address
         // arithmetic, loads/stores and pipeline stalls into the counts.
-        CostModel { flop_ns: 25, int_op_ns: 10, step_ns: 30 }
+        CostModel {
+            flop_ns: 25,
+            int_op_ns: 10,
+            step_ns: 30,
+        }
     }
 }
 
@@ -169,6 +184,9 @@ pub struct MachineConfig {
     pub classify_misses: bool,
     /// Computation cost model.
     pub cost: CostModel,
+    /// Time-resolved event tracing (off by default; see
+    /// [`TraceConfig`](crate::trace::TraceConfig)).
+    pub trace: TraceConfig,
 }
 
 impl MachineConfig {
@@ -193,6 +211,7 @@ impl MachineConfig {
             prefetch_enabled: false,
             classify_misses: false,
             cost: CostModel::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -230,7 +249,11 @@ impl MachineConfig {
             nprocs,
             procs_per_node: 1,
             nodes_per_router: 2,
-            cache: CacheConfig { size_bytes: 64 << 20, assoc: 2, line_bytes: 4 << 10 },
+            cache: CacheConfig {
+                size_bytes: 64 << 20,
+                assoc: 2,
+                line_bytes: 4 << 10,
+            },
             page_bytes: 4 << 10,
             mem_per_node_bytes: 256 << 20,
             latency: LatencyProfile::svm_cluster(),
@@ -243,6 +266,7 @@ impl MachineConfig {
             prefetch_enabled: false,
             classify_misses: false,
             cost: CostModel::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -258,7 +282,9 @@ impl MachineConfig {
             if routers <= 16 {
                 TopologyKind::FullHypercube
             } else {
-                TopologyKind::MetaModules { routers_per_module: 8 }
+                TopologyKind::MetaModules {
+                    routers_per_module: 8,
+                }
             }
         })
     }
@@ -285,7 +311,10 @@ impl MachineConfig {
         }
         if self.cache.assoc == 0
             || self.cache.size_bytes == 0
-            || !self.cache.size_bytes.is_multiple_of(self.cache.assoc * self.cache.line_bytes)
+            || !self
+                .cache
+                .size_bytes
+                .is_multiple_of(self.cache.assoc * self.cache.line_bytes)
             || !self.cache.n_sets().is_power_of_two()
         {
             return Err(ConfigError::BadCacheGeometry);
@@ -308,19 +337,30 @@ mod tests {
     fn origin_presets_validate() {
         for p in [1, 2, 17, 32, 64, 96, 128] {
             MachineConfig::origin2000(p).validate().unwrap();
-            MachineConfig::origin2000_scaled(p, 64 << 10).validate().unwrap();
+            MachineConfig::origin2000_scaled(p, 64 << 10)
+                .validate()
+                .unwrap();
         }
     }
 
     #[test]
     fn topology_defaults_switch_at_scale() {
-        assert_eq!(MachineConfig::origin2000(64).topology_kind(), TopologyKind::FullHypercube);
+        assert_eq!(
+            MachineConfig::origin2000(64).topology_kind(),
+            TopologyKind::FullHypercube
+        );
         assert_eq!(
             MachineConfig::origin2000(128).topology_kind(),
-            TopologyKind::MetaModules { routers_per_module: 8 }
+            TopologyKind::MetaModules {
+                routers_per_module: 8
+            }
         );
-        assert_eq!(MachineConfig::origin2000(96).topology_kind(),
-            TopologyKind::MetaModules { routers_per_module: 8 });
+        assert_eq!(
+            MachineConfig::origin2000(96).topology_kind(),
+            TopologyKind::MetaModules {
+                routers_per_module: 8
+            }
+        );
     }
 
     #[test]
@@ -355,10 +395,15 @@ mod tests {
         for np in [1, 8, 16] {
             let cfg = MachineConfig::svm_cluster(np);
             cfg.validate().unwrap();
-            assert_eq!(cfg.cache.line_bytes, cfg.page_bytes, "SVM coherence is page-grained");
+            assert_eq!(
+                cfg.cache.line_bytes, cfg.page_bytes,
+                "SVM coherence is page-grained"
+            );
             assert_eq!(cfg.procs_per_node, 1, "uniprocessor workstations");
             // Software handlers: orders of magnitude above hardware DSM.
-            assert!(cfg.latency.remote_clean_ns > 50 * LatencyProfile::origin2000().remote_clean_ns);
+            assert!(
+                cfg.latency.remote_clean_ns > 50 * LatencyProfile::origin2000().remote_clean_ns
+            );
         }
     }
 

@@ -13,8 +13,7 @@
 //! synchronization points is exact.
 
 use std::cell::{Cell, RefCell};
-
-use crossbeam_channel::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::config::CostModel;
 use crate::page::Addr;
@@ -159,7 +158,10 @@ impl Ctx {
     }
 
     fn take_pending(&self) -> (Ns, Vec<MemOp>) {
-        (self.busy.replace(0), std::mem::take(&mut *self.ops.borrow_mut()))
+        (
+            self.busy.replace(0),
+            std::mem::take(&mut *self.ops.borrow_mut()),
+        )
     }
 
     fn send(&self, req: Request) -> Reply {
@@ -183,18 +185,43 @@ impl Ctx {
         self.send(Request::Ops { busy, ops });
     }
 
+    // ---- phases ----------------------------------------------------------
+
+    /// Marks the start of application phase `name` on this processor.
+    /// Work charged before the first marker lands in the implicit `"main"`
+    /// phase. Per-phase breakdowns appear in
+    /// [`RunStats::phases`](crate::stats::RunStats::phases) and, when
+    /// tracing is enabled, label the exported timeline. Marking the same
+    /// name again re-enters that phase (phase ids are interned by name).
+    pub fn phase(&self, name: &str) {
+        let (busy, ops) = self.take_pending();
+        self.send(Request::Phase {
+            busy,
+            ops,
+            name: name.to_string(),
+        });
+    }
+
     // ---- synchronization ---------------------------------------------------
 
     /// Waits until every processor has arrived at barrier `b`.
     pub fn barrier(&self, b: BarrierRef) {
         let (busy, ops) = self.take_pending();
-        self.send(Request::Barrier { busy, ops, id: b.0 as usize });
+        self.send(Request::Barrier {
+            busy,
+            ops,
+            id: b.0 as usize,
+        });
     }
 
     /// Acquires lock `l`, blocking in virtual time while it is held.
     pub fn lock(&self, l: LockRef) {
         let (busy, ops) = self.take_pending();
-        self.send(Request::Lock { busy, ops, id: l.0 as usize });
+        self.send(Request::Lock {
+            busy,
+            ops,
+            id: l.0 as usize,
+        });
     }
 
     /// Releases lock `l`.
@@ -204,7 +231,11 @@ impl Ctx {
     /// The simulation fails if the calling processor does not hold `l`.
     pub fn unlock(&self, l: LockRef) {
         let (busy, ops) = self.take_pending();
-        self.send(Request::Unlock { busy, ops, id: l.0 as usize });
+        self.send(Request::Unlock {
+            busy,
+            ops,
+            id: l.0 as usize,
+        });
     }
 
     /// Runs `f` with lock `l` held.
@@ -220,19 +251,34 @@ impl Ctx {
     /// read-modify-write or at-memory fetch&op).
     pub fn fetch_add(&self, c: FetchCellRef, delta: i64) -> i64 {
         let (busy, ops) = self.take_pending();
-        self.send(Request::FetchAdd { busy, ops, id: c.0 as usize, delta }).value
+        self.send(Request::FetchAdd {
+            busy,
+            ops,
+            id: c.0 as usize,
+            delta,
+        })
+        .value
     }
 
     /// Decrements semaphore `s`, blocking in virtual time while it is zero.
     pub fn sem_wait(&self, s: SemRef) {
         let (busy, ops) = self.take_pending();
-        self.send(Request::SemWait { busy, ops, id: s.0 as usize });
+        self.send(Request::SemWait {
+            busy,
+            ops,
+            id: s.0 as usize,
+        });
     }
 
     /// Increments semaphore `s` by `n`, waking blocked waiters.
     pub fn sem_post(&self, s: SemRef, n: u32) {
         let (busy, ops) = self.take_pending();
-        self.send(Request::SemPost { busy, ops, id: s.0 as usize, n });
+        self.send(Request::SemPost {
+            busy,
+            ops,
+            id: s.0 as usize,
+            n,
+        });
     }
 
     /// Called by the runtime when the body returns.
@@ -249,6 +295,9 @@ impl Ctx {
 
 impl std::fmt::Debug for Ctx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctx").field("id", &self.id).field("nprocs", &self.nprocs).finish()
+        f.debug_struct("Ctx")
+            .field("id", &self.id)
+            .field("nprocs", &self.nprocs)
+            .finish()
     }
 }

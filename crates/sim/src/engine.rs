@@ -5,21 +5,26 @@
 //! time order: a request is only processed once every unblocked thread has
 //! submitted its next request (so no earlier-in-virtual-time work can still
 //! appear), which makes runs deterministic regardless of host scheduling.
+//!
+//! All time charged to a processor flows through the `charge_*` helpers,
+//! which update the per-processor totals, the per-phase accumulators and
+//! (when enabled) the event trace together, so the three views reconcile
+//! by construction.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
-
-use crossbeam_channel::{Receiver, Sender};
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{Receiver, SyncSender};
 
 use crate::config::{BarrierImpl, LockImpl, MachineConfig};
 use crate::error::SimError;
 use crate::memsys::{AccessClass, AccessKind, MemorySystem, MissOrigin, Outcome};
-use crate::profile::Profiler;
 use crate::page::Addr;
+use crate::profile::Profiler;
 use crate::proto::{MemOp, OpKind, Reply, Request};
-use crate::stats::{ProcStats, RunStats};
+use crate::stats::{PhaseBreakdown, PhaseStats, ProcStats, RunStats};
 use crate::sync::{BarrierState, LockState, SemState};
 use crate::time::Ns;
+use crate::trace::{gauge_totals, InstantKind, SpanKind, TraceBuffer};
 
 /// An atomic fetch&add cell.
 pub(crate) struct FetchCell {
@@ -38,6 +43,8 @@ pub(crate) struct SyncTables {
 struct ProcRuntime {
     clock: Ns,
     stats: ProcStats,
+    /// Interned id of the phase this processor is currently in.
+    phase: u32,
     pending: Option<Request>,
     /// Thread is executing application code (we owe nothing, it owes a request).
     running: bool,
@@ -52,11 +59,18 @@ pub(crate) struct Engine {
     sync: SyncTables,
     procs: Vec<ProcRuntime>,
     heap: BinaryHeap<Reverse<(Ns, usize)>>,
-    reply_tx: Vec<Sender<Reply>>,
+    reply_tx: Vec<SyncSender<Reply>>,
     req_rx: Receiver<(usize, Request)>,
     done_count: usize,
     log2p: u32,
     profiler: Profiler,
+    tracer: TraceBuffer,
+    /// Interned phase names; id 0 is the implicit `"main"` phase.
+    phase_names: Vec<String>,
+    /// Per-processor, per-phase time accumulators.
+    phase_acc: Vec<Vec<PhaseBreakdown>>,
+    /// Virtual time at which each lock was last acquired (for hold spans).
+    lock_hold_start: Vec<Ns>,
 }
 
 impl Engine {
@@ -64,11 +78,13 @@ impl Engine {
         cfg: MachineConfig,
         mem: MemorySystem,
         sync: SyncTables,
-        reply_tx: Vec<Sender<Reply>>,
+        reply_tx: Vec<SyncSender<Reply>>,
         req_rx: Receiver<(usize, Request)>,
         profiler: Profiler,
+        tracer: TraceBuffer,
     ) -> Self {
         let n = cfg.nprocs;
+        let nlocks = sync.locks.len();
         Engine {
             log2p: (n.max(2) as u32).next_power_of_two().trailing_zeros(),
             cfg,
@@ -78,6 +94,7 @@ impl Engine {
                 .map(|_| ProcRuntime {
                     clock: 0,
                     stats: ProcStats::default(),
+                    phase: 0,
                     pending: None,
                     running: true,
                     parked_on: None,
@@ -89,6 +106,10 @@ impl Engine {
             req_rx,
             done_count: 0,
             profiler,
+            tracer,
+            phase_names: vec!["main".to_string()],
+            phase_acc: (0..n).map(|_| vec![PhaseBreakdown::default()]).collect(),
+            lock_hold_start: vec![0; nlocks],
         }
     }
 
@@ -124,7 +145,10 @@ impl Engine {
                 (None, _) => false,
             };
             if can_pop {
-                let Reverse((_, p)) = self.heap.pop().expect("peeked");
+                let Reverse((t, p)) = self.heap.pop().expect("peeked");
+                // Popped times are nondecreasing, so this drives the
+                // gauge sampling clock forward monotonically.
+                self.sample_gauges(t);
                 self.process(p)?;
             } else if frontier.is_some() {
                 // Block until a running thread submits.
@@ -142,20 +166,39 @@ impl Engine {
                     .procs
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, p)| {
-                        p.parked_on.as_ref().map(|r| format!("proc {i} on {r}"))
-                    })
+                    .filter_map(|(i, p)| p.parked_on.as_ref().map(|r| format!("proc {i} on {r}")))
                     .collect();
                 return Err(SimError::Deadlock(blocked.join(", ")));
             }
         }
-        let wall = self.procs.iter().map(|p| p.stats.finish_ns).max().unwrap_or(0);
+        let wall = self
+            .procs
+            .iter()
+            .map(|p| p.stats.finish_ns)
+            .max()
+            .unwrap_or(0);
+        self.sample_gauges(wall);
+        let phase_names = std::mem::take(&mut self.phase_names);
+        let phases: Vec<PhaseStats> = phase_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| PhaseStats {
+                name: name.clone(),
+                procs: self
+                    .phase_acc
+                    .iter()
+                    .map(|pp| pp.get(i).copied().unwrap_or_default())
+                    .collect(),
+            })
+            .collect();
         Ok(RunStats {
-            procs: self.procs.into_iter().map(|p| p.stats).collect(),
             wall_ns: wall,
             page_migrations: self.mem.page_migrations(),
             resources: self.mem.contention.summary(),
-            ranges: self.profiler.into_profiles(),
+            ranges: self.profiler.into_profiles(&phase_names),
+            trace: self.tracer.finish(phase_names),
+            phases,
+            procs: self.procs.into_iter().map(|p| p.stats).collect(),
         })
     }
 
@@ -178,7 +221,69 @@ impl Engine {
         let _ = self.reply_tx[p].send(Reply { value });
     }
 
-    fn apply_outcome(stats: &mut ProcStats, clock: &mut Ns, kind: AccessKind, o: &Outcome) {
+    /// Interns a phase name, returning its id.
+    fn intern_phase(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.phase_names.iter().position(|n| n == name) {
+            return i as u32;
+        }
+        self.phase_names.push(name.to_string());
+        (self.phase_names.len() - 1) as u32
+    }
+
+    /// The per-phase accumulator for processor `p`'s phase `phase`.
+    fn slice(&mut self, p: usize, phase: u32) -> &mut PhaseBreakdown {
+        let v = &mut self.phase_acc[p];
+        let i = phase as usize;
+        if v.len() <= i {
+            v.resize(i + 1, PhaseBreakdown::default());
+        }
+        &mut v[i]
+    }
+
+    /// Charges `ns` of computation to `p`, advancing its clock.
+    fn charge_busy(&mut self, p: usize, ns: Ns) {
+        if ns == 0 {
+            return;
+        }
+        let rt = &mut self.procs[p];
+        let (t0, ph) = (rt.clock, rt.phase);
+        rt.stats.busy_ns += ns;
+        rt.clock += ns;
+        self.slice(p, ph).busy_ns += ns;
+        self.tracer.span(p, ph, SpanKind::Busy, t0, ns);
+    }
+
+    /// Charges `ns` of synchronization-operation overhead to `p`,
+    /// advancing its clock.
+    fn charge_sync_op(&mut self, p: usize, ns: Ns) {
+        if ns == 0 {
+            return;
+        }
+        let rt = &mut self.procs[p];
+        let (t0, ph) = (rt.clock, rt.phase);
+        rt.stats.sync_op_ns += ns;
+        rt.clock += ns;
+        self.slice(p, ph).sync_op_ns += ns;
+        self.tracer.span(p, ph, SpanKind::SyncOp, t0, ns);
+    }
+
+    /// Charges the wait interval `[from, until]` to `p` (the caller moves
+    /// the clock to the grant time itself).
+    fn charge_sync_wait(&mut self, p: usize, from: Ns, until: Ns) {
+        let ns = until.saturating_sub(from);
+        if ns == 0 {
+            return;
+        }
+        let ph = self.procs[p].phase;
+        self.procs[p].stats.sync_wait_ns += ns;
+        self.slice(p, ph).sync_wait_ns += ns;
+        self.tracer.span(p, ph, SpanKind::SyncWait, from, ns);
+    }
+
+    /// Charges one serviced memory access to `p`, advancing its clock.
+    fn charge_access(&mut self, p: usize, kind: AccessKind, o: &Outcome) {
+        let rt = &mut self.procs[p];
+        let stats = &mut rt.stats;
         match kind {
             AccessKind::Read => stats.reads += 1,
             AccessKind::Write => stats.writes += 1,
@@ -205,13 +310,37 @@ impl Engine {
             Some(MissOrigin::Capacity) => stats.misses_capacity += 1,
             None => {}
         }
-        *clock += o.latency;
+        let (t0, ph) = (rt.clock, rt.phase);
+        rt.clock += o.latency;
+        let s = self.slice(p, ph);
+        s.mem_ns += o.latency;
+        if o.home_local {
+            s.mem_local_ns += o.latency;
+        } else {
+            s.mem_remote_ns += o.latency;
+        }
+        if self.tracer.enabled() {
+            let k = if o.home_local {
+                SpanKind::MemLocal
+            } else {
+                SpanKind::MemRemote
+            };
+            self.tracer.span(p, ph, k, t0, o.latency);
+            if o.migrated {
+                self.tracer.instant(p, t0, InstantKind::PageMigration, 0);
+            }
+            if o.invals >= 2 {
+                self.tracer
+                    .instant(p, t0, InstantKind::InvalBurst, o.invals);
+            }
+            if o.late_prefetch {
+                self.tracer.instant(p, t0, InstantKind::LatePrefetch, 0);
+            }
+        }
     }
 
     fn apply_ops(&mut self, p: usize, busy: Ns, ops: &[MemOp]) {
-        let rt = &mut self.procs[p];
-        rt.stats.busy_ns += busy;
-        rt.clock += busy;
+        self.charge_busy(p, busy);
         let line_bytes = self.mem.line_bytes();
         for op in ops {
             let first = op.addr / line_bytes;
@@ -219,28 +348,22 @@ impl Engine {
             for line in first..=last {
                 let addr = line * line_bytes;
                 match op.kind {
-                    OpKind::Read => {
-                        let o = self.mem.access(p, addr, AccessKind::Read, self.procs[p].clock);
+                    OpKind::Read | OpKind::Write => {
+                        let kind = if op.kind == OpKind::Read {
+                            AccessKind::Read
+                        } else {
+                            AccessKind::Write
+                        };
+                        let o = self.mem.access(p, addr, kind, self.procs[p].clock);
                         if !self.profiler.is_empty() {
-                            self.profiler.attribute(addr, AccessKind::Read, &o);
+                            self.profiler.attribute(addr, kind, &o, self.procs[p].phase);
                         }
-                        let rt = &mut self.procs[p];
-                        Self::apply_outcome(&mut rt.stats, &mut rt.clock, AccessKind::Read, &o);
-                    }
-                    OpKind::Write => {
-                        let o = self.mem.access(p, addr, AccessKind::Write, self.procs[p].clock);
-                        if !self.profiler.is_empty() {
-                            self.profiler.attribute(addr, AccessKind::Write, &o);
-                        }
-                        let rt = &mut self.procs[p];
-                        Self::apply_outcome(&mut rt.stats, &mut rt.clock, AccessKind::Write, &o);
+                        self.charge_access(p, kind, &o);
                     }
                     OpKind::Prefetch => {
                         let (issue, _fill) = self.mem.prefetch(p, addr, self.procs[p].clock);
-                        let rt = &mut self.procs[p];
-                        rt.stats.prefetches += 1;
-                        rt.stats.busy_ns += issue;
-                        rt.clock += issue;
+                        self.procs[p].stats.prefetches += 1;
+                        self.charge_busy(p, issue);
                     }
                 }
             }
@@ -255,11 +378,34 @@ impl Engine {
         }
     }
 
+    /// Samples the machine-wide gauges if a sampling epoch has elapsed.
+    fn sample_gauges(&mut self, now: Ns) {
+        if let Some(t) = self.tracer.gauge_due(now) {
+            let (mut acc, mut miss, mut stall) = (0u64, 0u64, 0);
+            for p in &self.procs {
+                acc += p.stats.accesses();
+                miss += p.stats.misses();
+                stall += p.stats.mem_ns;
+            }
+            let totals = gauge_totals(acc, miss, stall, &self.mem.contention.summary());
+            self.tracer.push_gauge(t, totals);
+        }
+    }
+
     fn process(&mut self, p: usize) -> Result<(), SimError> {
-        let req = self.procs[p].pending.take().expect("heap entry without pending request");
+        let req = self.procs[p]
+            .pending
+            .take()
+            .expect("heap entry without pending request");
         match req {
             Request::Ops { busy, ops } => {
                 self.apply_ops(p, busy, &ops);
+                self.reply(p, 0);
+            }
+            Request::Phase { busy, ops, name } => {
+                self.apply_ops(p, busy, &ops);
+                let id = self.intern_phase(&name);
+                self.procs[p].phase = id;
                 self.reply(p, 0);
             }
             Request::Finish { busy, ops } => {
@@ -275,13 +421,12 @@ impl Engine {
                 let addr = self.sync.locks[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
-                let rt = &mut self.procs[p];
-                rt.stats.sync_op_ns += cost;
-                rt.stats.atomics += 1;
-                rt.clock += cost;
-                let t = rt.clock;
+                self.procs[p].stats.atomics += 1;
+                self.charge_sync_op(p, cost);
+                let t = self.procs[p].clock;
                 if self.sync.locks[id].acquire_or_enqueue(p, t) {
                     self.procs[p].stats.lock_acquires += 1;
+                    self.lock_hold_start[id] = t;
                     self.reply(p, 0);
                 } else {
                     self.procs[p].parked_on = Some(format!("lock {id}"));
@@ -299,9 +444,20 @@ impl Engine {
                     }
                     LockImpl::TicketFetchOp => self.mem.fetchop(p, addr, now),
                 };
-                self.procs[p].stats.sync_op_ns += cost;
-                self.procs[p].clock += cost;
+                self.charge_sync_op(p, cost);
                 let release_t = self.procs[p].clock;
+                if self.tracer.enabled() {
+                    let held_from = self.lock_hold_start[id];
+                    let (track, ph) = (p, self.procs[p].phase);
+                    self.tracer.span_obj(
+                        track,
+                        ph,
+                        SpanKind::LockHold,
+                        held_from,
+                        release_t.saturating_sub(held_from),
+                        id as u32,
+                    );
+                }
                 if let Some((w, arrived)) = self.sync.locks[id].release(p) {
                     // The release can complete before the waiter's acquire
                     // attempt has (they overlap in virtual time); the grant
@@ -309,11 +465,11 @@ impl Engine {
                     let grant_t = release_t.max(arrived);
                     // Hand off: the new holder pulls the lock line over.
                     let handoff = self.rmw_cost(w, addr, grant_t);
-                    let rt = &mut self.procs[w];
-                    rt.stats.sync_wait_ns += grant_t - arrived;
-                    rt.stats.sync_op_ns += handoff;
-                    rt.stats.lock_acquires += 1;
-                    rt.clock = grant_t + handoff;
+                    self.charge_sync_wait(w, arrived, grant_t);
+                    self.procs[w].clock = grant_t;
+                    self.procs[w].stats.lock_acquires += 1;
+                    self.charge_sync_op(w, handoff);
+                    self.lock_hold_start[id] = grant_t;
                     self.reply(w, 0);
                 }
                 self.reply(p, 0);
@@ -332,44 +488,59 @@ impl Engine {
                     BarrierImpl::CentralLlsc => self.mem.llsc_rmw(p, addr, now).latency,
                     BarrierImpl::CentralFetchOp => self.mem.fetchop(p, addr, now),
                 };
-                let rt = &mut self.procs[p];
-                rt.stats.sync_op_ns += arrive_cost;
-                rt.clock += arrive_cost;
-                let t = rt.clock;
+                self.charge_sync_op(p, arrive_cost);
+                let t = self.procs[p].clock;
                 if let Some(mut arrivals) = self.sync.barriers[id].arrive(p, t) {
                     let release_t = arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t);
+                    let first_t = arrivals.iter().map(|&(_, a)| a).min().unwrap_or(t);
                     arrivals.sort_unstable();
                     for (w, arrived) in arrivals {
                         let wake_cost = match self.cfg.barrier_impl {
                             BarrierImpl::TournamentLlsc => {
                                 Ns::from(self.log2p) * self.cfg.latency.link_ns
                             }
-                            BarrierImpl::CentralLlsc => self
-                                .mem
-                                .access(w, addr, AccessKind::Read, release_t)
-                                .latency,
+                            BarrierImpl::CentralLlsc => {
+                                self.mem
+                                    .access(w, addr, AccessKind::Read, release_t)
+                                    .latency
+                            }
                             BarrierImpl::CentralFetchOp => self.mem.fetchop(w, addr, release_t),
                         };
-                        let rt = &mut self.procs[w];
-                        rt.stats.sync_wait_ns += release_t.saturating_sub(arrived);
-                        rt.stats.sync_op_ns += wake_cost;
-                        rt.stats.barriers += 1;
-                        rt.clock = release_t + wake_cost;
+                        self.charge_sync_wait(w, arrived, release_t);
+                        self.procs[w].clock = release_t;
+                        self.procs[w].stats.barriers += 1;
+                        self.charge_sync_op(w, wake_cost);
                         self.reply(w, 0);
+                    }
+                    if self.tracer.enabled() {
+                        // One whole-machine episode span: first arrival to
+                        // release, on the synthetic machine track.
+                        let machine_track = self.procs.len();
+                        self.tracer.span_obj(
+                            machine_track,
+                            0,
+                            SpanKind::Barrier,
+                            first_t,
+                            release_t.saturating_sub(first_t),
+                            id as u32,
+                        );
                     }
                 } else {
                     self.procs[p].parked_on = Some(format!("barrier {id}"));
                 }
             }
-            Request::FetchAdd { busy, ops, id, delta } => {
+            Request::FetchAdd {
+                busy,
+                ops,
+                id,
+                delta,
+            } => {
                 self.apply_ops(p, busy, &ops);
                 let addr = self.sync.cells[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
-                let rt = &mut self.procs[p];
-                rt.stats.sync_op_ns += cost;
-                rt.stats.atomics += 1;
-                rt.clock += cost;
+                self.procs[p].stats.atomics += 1;
+                self.charge_sync_op(p, cost);
                 let prev = self.sync.cells[id].value;
                 self.sync.cells[id].value += delta;
                 self.reply(p, prev);
@@ -379,11 +550,9 @@ impl Engine {
                 let addr = self.sync.sems[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
-                let rt = &mut self.procs[p];
-                rt.stats.sync_op_ns += cost;
-                rt.stats.atomics += 1;
-                rt.clock += cost;
-                let t = rt.clock;
+                self.procs[p].stats.atomics += 1;
+                self.charge_sync_op(p, cost);
+                let t = self.procs[p].clock;
                 if self.sync.sems[id].wait_or_enqueue(p, t) {
                     self.reply(p, 0);
                 } else {
@@ -395,18 +564,15 @@ impl Engine {
                 let addr = self.sync.sems[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
-                let rt = &mut self.procs[p];
-                rt.stats.sync_op_ns += cost;
-                rt.stats.atomics += 1;
-                rt.clock += cost;
-                let t = rt.clock;
+                self.procs[p].stats.atomics += 1;
+                self.charge_sync_op(p, cost);
+                let t = self.procs[p].clock;
                 for (w, arrived) in self.sync.sems[id].post(n) {
                     let grant_t = t.max(arrived);
                     let wake = self.mem.access(w, addr, AccessKind::Read, grant_t).latency;
-                    let rt = &mut self.procs[w];
-                    rt.stats.sync_wait_ns += grant_t - arrived;
-                    rt.stats.sync_op_ns += wake;
-                    rt.clock = grant_t + wake;
+                    self.charge_sync_wait(w, arrived, grant_t);
+                    self.procs[w].clock = grant_t;
+                    self.charge_sync_op(w, wake);
                     self.reply(w, 0);
                 }
                 self.reply(p, 0);

@@ -248,7 +248,10 @@ mod tests {
     #[test]
     fn origin_matches_table1() {
         let p = LatencyProfile::origin2000();
-        assert_eq!((p.local_ns, p.remote_clean_ns, p.remote_dirty_ns), (338, 656, 892));
+        assert_eq!(
+            (p.local_ns, p.remote_clean_ns, p.remote_dirty_ns),
+            (338, 656, 892)
+        );
         // Table 1 reports ratios of 2:1 and 3:1 (rounded).
         assert_eq!(p.clean_ratio().round() as u64, 2);
         assert_eq!(p.dirty_ratio().round() as u64, 3);

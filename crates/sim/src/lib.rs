@@ -24,6 +24,9 @@
 //!   barriers, built on LL/SC or at-memory fetch&op ([`config`], [`sync`]).
 //! * **Prefetch** — non-binding software prefetch with late-prefetch
 //!   accounting (§6.1 of the paper).
+//! * **Tracing** — time- and phase-resolved execution traces with
+//!   Chrome-trace/Perfetto export and machine-wide gauge sampling
+//!   ([`trace`]), plus per-phase time breakdowns in [`stats`].
 //!
 //! Applications are ordinary Rust closures run on one OS thread per
 //! simulated processor; they compute *real, verifiable results* on data in
@@ -85,6 +88,7 @@ pub mod stats;
 pub mod sync;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 mod engine;
 mod proto;
@@ -101,7 +105,8 @@ pub mod prelude {
     pub use crate::machine::{Machine, Placement};
     pub use crate::mapping::ProcessMapping;
     pub use crate::shared::SharedVec;
-    pub use crate::stats::{ProcStats, RunStats};
+    pub use crate::stats::{PhaseBreakdown, PhaseStats, ProcStats, RunStats};
     pub use crate::sync::{BarrierRef, FetchCellRef, LockRef, SemRef};
     pub use crate::topology::TopologyKind;
+    pub use crate::trace::{Trace, TraceConfig};
 }

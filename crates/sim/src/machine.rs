@@ -34,9 +34,8 @@
 //! ```
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{channel, sync_channel};
 use std::sync::{Arc, Once};
-
-use crossbeam_channel::{bounded, unbounded};
 
 use crate::config::MachineConfig;
 use crate::ctx::Ctx;
@@ -144,7 +143,11 @@ impl Machine {
     pub fn shared_vec<T: SimValue>(&mut self, len: usize, placement: Placement) -> SharedVec<T> {
         let bytes = (len * std::mem::size_of::<T>().max(1)) as u64;
         let base = self.alloc_bytes(bytes.max(1));
-        self.allocs.push(Allocation { base, bytes: bytes.max(1), placement });
+        self.allocs.push(Allocation {
+            base,
+            bytes: bytes.max(1),
+            placement,
+        });
         SharedVec::new(len, base)
     }
 
@@ -159,7 +162,8 @@ impl Machine {
         placement: Placement,
     ) -> SharedVec<T> {
         let v = self.shared_vec::<T>(len, placement);
-        self.labels.push((name.to_string(), v.base_addr(), v.byte_len().max(1)));
+        self.labels
+            .push((name.to_string(), v.base_addr(), v.byte_len().max(1)));
         v
     }
 
@@ -271,20 +275,37 @@ impl Machine {
                 .iter()
                 .map(|&a| BarrierState::new(a, cfg.nprocs))
                 .collect(),
-            sems: self.sems.iter().map(|&(a, c)| SemState::new(a, c)).collect(),
-            cells: self.cells.iter().map(|&(a, v)| FetchCell { addr: a, value: v }).collect(),
+            sems: self
+                .sems
+                .iter()
+                .map(|&(a, c)| SemState::new(a, c))
+                .collect(),
+            cells: self
+                .cells
+                .iter()
+                .map(|&(a, v)| FetchCell { addr: a, value: v })
+                .collect(),
         };
 
         let mut profiler = crate::profile::Profiler::default();
         for (name, base, bytes) in &self.labels {
             profiler.register(name, *base, *bytes);
         }
-        let (req_tx, req_rx) = unbounded();
+        let tracer = crate::trace::TraceBuffer::new(
+            cfg.trace.clone(),
+            cfg.nprocs,
+            [
+                mem.contention.hubs.len(),
+                mem.contention.mems.len(),
+                mem.contention.routers.len(),
+            ],
+        );
+        let (req_tx, req_rx) = channel();
         let mut reply_txs = Vec::with_capacity(cfg.nprocs);
         let body = Arc::new(body);
         let mut handles = Vec::with_capacity(cfg.nprocs);
         for p in 0..cfg.nprocs {
-            let (rep_tx, rep_rx) = bounded(1);
+            let (rep_tx, rep_rx) = sync_channel(1);
             reply_txs.push(rep_tx);
             let ctx = Ctx::new(
                 p,
@@ -322,7 +343,7 @@ impl Machine {
         }
         drop(req_tx);
 
-        let engine = Engine::new(cfg, mem, sync, reply_txs.clone(), req_rx, profiler);
+        let engine = Engine::new(cfg, mem, sync, reply_txs.clone(), req_rx, profiler, tracer);
         let result = engine.run();
         // Unblock any still-parked threads so join cannot hang: dropping
         // the reply senders makes their next receive fail, unwinding them

@@ -5,13 +5,28 @@
 //! pair-aware mappings). A [`ProcessMapping`] is resolved against a machine
 //! shape into a permutation `process id → physical processor slot`.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+/// Seeded Fisher–Yates shuffle over an xorshift* stream, so random
+/// mappings are reproducible without an external RNG dependency.
+fn shuffle(v: &mut [usize], seed: u64) {
+    // SplitMix64 seeding keeps nearby seeds uncorrelated (and nonzero).
+    let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    s = (s ^ (s >> 31)) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
 
 /// Strategy for placing process *i* onto a physical processor.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum ProcessMapping {
     /// Process *i* runs on processor *i* (the machine's default).
     #[default]
@@ -33,7 +48,6 @@ pub enum ProcessMapping {
     },
 }
 
-
 impl ProcessMapping {
     /// Resolves the mapping into a permutation for `nprocs` processes on a
     /// machine with `procs_per_node` processors per node.
@@ -48,7 +62,7 @@ impl ProcessMapping {
             ProcessMapping::Linear => Ok((0..nprocs).collect()),
             ProcessMapping::Random { seed } => {
                 let mut perm: Vec<usize> = (0..nprocs).collect();
-                perm.shuffle(&mut SmallRng::seed_from_u64(*seed));
+                shuffle(&mut perm, *seed);
                 Ok(perm)
             }
             ProcessMapping::Explicit(perm) => {
@@ -77,7 +91,7 @@ impl ProcessMapping {
                 }
                 let npairs = nprocs / 2;
                 let mut pair_order: Vec<usize> = (0..npairs).collect();
-                pair_order.shuffle(&mut SmallRng::seed_from_u64(*seed));
+                shuffle(&mut pair_order, *seed);
                 let mut perm = vec![0; nprocs];
                 for (node, &pair) in pair_order.iter().enumerate() {
                     perm[2 * pair] = 2 * node;
@@ -106,7 +120,10 @@ mod tests {
 
     #[test]
     fn linear_is_identity() {
-        assert_eq!(ProcessMapping::Linear.resolve(4, 2).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            ProcessMapping::Linear.resolve(4, 2).unwrap(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]
@@ -129,7 +146,9 @@ mod tests {
 
     #[test]
     fn random_pairs_keeps_pairs_on_nodes() {
-        let perm = ProcessMapping::RandomPairs { seed: 3 }.resolve(32, 2).unwrap();
+        let perm = ProcessMapping::RandomPairs { seed: 3 }
+            .resolve(32, 2)
+            .unwrap();
         assert!(is_permutation(&perm));
         for i in 0..16 {
             // Processes 2i and 2i+1 land on the same node (slots 2k, 2k+1).
@@ -140,7 +159,11 @@ mod tests {
 
     #[test]
     fn random_pairs_rejects_bad_shapes() {
-        assert!(ProcessMapping::RandomPairs { seed: 0 }.resolve(32, 1).is_err());
-        assert!(ProcessMapping::RandomPairs { seed: 0 }.resolve(31, 2).is_err());
+        assert!(ProcessMapping::RandomPairs { seed: 0 }
+            .resolve(32, 1)
+            .is_err());
+        assert!(ProcessMapping::RandomPairs { seed: 0 }
+            .resolve(31, 2)
+            .is_err());
     }
 }

@@ -236,7 +236,11 @@ impl MemorySystem {
             extra += self.leg(req_node, home, now, extra);
         }
         extra += self.contention.hubs[home].acquire(now + extra, self.lat.hub_occ_ns);
-        let base = if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns } / 2;
+        let base = if home_local {
+            self.lat.local_ns
+        } else {
+            self.lat.remote_clean_ns
+        } / 2;
 
         let entry = self
             .dir
@@ -290,14 +294,13 @@ impl MemorySystem {
         });
         let addr = line << self.line_shift;
         let home = self.pages.home_of(addr, req_node);
-        let migrated =
-            matches!(self.pages.note_miss(addr, req_node), MigrationEvent::Migrated(old, new) if {
-                // The copy itself occupies both memories; the triggering
-                // access is still serviced by the old home.
-                self.contention.mems[old].occupy(now, self.lat.page_migrate_ns);
-                self.contention.mems[new].occupy(now, self.lat.page_migrate_ns);
-                true
-            });
+        let migrated = matches!(self.pages.note_miss(addr, req_node), MigrationEvent::Migrated(old, new) if {
+            // The copy itself occupies both memories; the triggering
+            // access is still serviced by the old home.
+            self.contention.mems[old].occupy(now, self.lat.page_migrate_ns);
+            self.contention.mems[new].occupy(now, self.lat.page_migrate_ns);
+            true
+        });
         let home_local = home == req_node;
 
         let mut extra: Ns = 0;
@@ -315,23 +318,66 @@ impl MemorySystem {
         let state = entry.state();
         let (mut base, class, invals, owner) = match (kind, state) {
             (AccessKind::Read, DirState::Uncached) | (AccessKind::Write, DirState::Uncached) => {
-                let class = if home_local { AccessClass::LocalMiss } else { AccessClass::RemoteClean };
-                (if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns }, class, 0u32, None)
+                let class = if home_local {
+                    AccessClass::LocalMiss
+                } else {
+                    AccessClass::RemoteClean
+                };
+                (
+                    if home_local {
+                        self.lat.local_ns
+                    } else {
+                        self.lat.remote_clean_ns
+                    },
+                    class,
+                    0u32,
+                    None,
+                )
             }
             (AccessKind::Read, DirState::Shared) => {
-                let class = if home_local { AccessClass::LocalMiss } else { AccessClass::RemoteClean };
-                (if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns }, class, 0, None)
+                let class = if home_local {
+                    AccessClass::LocalMiss
+                } else {
+                    AccessClass::RemoteClean
+                };
+                (
+                    if home_local {
+                        self.lat.local_ns
+                    } else {
+                        self.lat.remote_clean_ns
+                    },
+                    class,
+                    0,
+                    None,
+                )
             }
             (AccessKind::Write, DirState::Shared) => {
                 let n = entry.n_other_sharers(p);
-                let class = if home_local { AccessClass::LocalMiss } else { AccessClass::RemoteClean };
-                (if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns }, class, n, None)
+                let class = if home_local {
+                    AccessClass::LocalMiss
+                } else {
+                    AccessClass::RemoteClean
+                };
+                (
+                    if home_local {
+                        self.lat.local_ns
+                    } else {
+                        self.lat.remote_clean_ns
+                    },
+                    class,
+                    n,
+                    None,
+                )
             }
             (_, DirState::Exclusive(q)) => {
                 // 3-hop: home forwards to the dirty owner, which supplies
                 // the data. The clean-home part plus the intervention
                 // premium reconstructs the Table-1 remote-dirty latency.
-                let home_part = if home_local { self.lat.local_ns } else { self.lat.remote_clean_ns };
+                let home_part = if home_local {
+                    self.lat.local_ns
+                } else {
+                    self.lat.remote_clean_ns
+                };
                 let premium = self.lat.remote_dirty_ns - self.lat.remote_clean_ns;
                 (home_part + premium, AccessClass::RemoteDirty, 0, Some(q))
             }
@@ -368,8 +414,7 @@ impl MemorySystem {
         if let Some(q) = owner {
             let qn = self.proc_node[q];
             extra += self.leg(home, qn, now, extra + base);
-            extra +=
-                self.contention.hubs[qn].acquire(now + extra + base, self.lat.hub_occ_ns);
+            extra += self.contention.hubs[qn].acquire(now + extra + base, self.lat.hub_occ_ns);
             match kind {
                 AccessKind::Read => self.caches[q].downgrade(line),
                 AccessKind::Write => {
@@ -528,13 +573,12 @@ impl MemorySystem {
                 DirState::Shared => {
                     for (p, c) in self.caches.iter().enumerate() {
                         match c.state_of(line) {
-                            Some(LineState::Shared) => {
-                                if entry.sharers & (1u128 << p) == 0 {
-                                    return Err(format!(
-                                        "line {line:#x}: proc {p} holds S but is not a sharer"
-                                    ));
-                                }
+                            Some(LineState::Shared) if entry.sharers & (1u128 << p) == 0 => {
+                                return Err(format!(
+                                    "line {line:#x}: proc {p} holds S but is not a sharer"
+                                ));
                             }
+                            Some(LineState::Shared) => {}
                             Some(s) => {
                                 return Err(format!(
                                     "line {line:#x}: dir Shared but proc {p} holds {s:?}"
@@ -671,7 +715,7 @@ mod tests {
     #[test]
     fn prefetch_hides_latency() {
         let mut m = memsys(4); // 2 nodes
-        // Home the line on node 1 so the prefetch is remote.
+                               // Home the line on node 1 so the prefetch is remote.
         m.place_range(0x4000, 128, 1);
         let (issue, fill) = m.prefetch(0, 0x4000, 0);
         assert!(issue < 50);
@@ -707,7 +751,10 @@ mod tests {
     #[test]
     fn migration_moves_page_home() {
         let mut cfg = MachineConfig::origin2000_scaled(4, 64 << 10);
-        cfg.migration = Some(crate::config::MigrationConfig { threshold: 4, cooldown: 0 });
+        cfg.migration = Some(crate::config::MigrationConfig {
+            threshold: 4,
+            cooldown: 0,
+        });
         let perm: Vec<usize> = (0..4).collect();
         let mut m = MemorySystem::new(&cfg, &perm);
         m.place_range(0, 1 << 10, 0);
@@ -719,7 +766,7 @@ mod tests {
         // A fresh line of that page is now local to node 1.
         let o = m.access(2, 7 * 128 + 0x80, AccessKind::Read, 1_000_000);
         let _ = o;
-        assert_eq!(m.pages().pages_per_node()[1] >= 1, true);
+        assert!(m.pages().pages_per_node()[1] >= 1);
     }
 
     #[test]

@@ -106,8 +106,17 @@ impl PageTable {
     fn install(&mut self, page: u64, preferred: usize) -> usize {
         let home = self.spill_target(preferred);
         self.used[home] += 1;
-        let counters = self.migration.map(|_| vec![0u32; self.n_nodes].into_boxed_slice());
-        self.pages.insert(page, PageInfo { home, counters, since_migrate: 0 });
+        let counters = self
+            .migration
+            .map(|_| vec![0u32; self.n_nodes].into_boxed_slice());
+        self.pages.insert(
+            page,
+            PageInfo {
+                home,
+                counters,
+                since_migrate: 0,
+            },
+        );
         home
     }
 
@@ -115,7 +124,10 @@ impl PageTable {
     /// `node` (subject to capacity spill). Pages already placed are moved
     /// without cost — explicit placement happens before the run.
     pub fn place_range(&mut self, base: Addr, len: u64, node: usize) {
-        assert!(node < self.n_nodes, "placement target node {node} out of range");
+        assert!(
+            node < self.n_nodes,
+            "placement target node {node} out of range"
+        );
         if len == 0 {
             return;
         }
@@ -152,10 +164,16 @@ impl PageTable {
     /// may migrate the page. The triggering access is still serviced by the
     /// old home; only future accesses see the new one.
     pub fn note_miss(&mut self, addr: Addr, from_node: usize) -> MigrationEvent {
-        let Some(cfg) = self.migration else { return MigrationEvent::None };
+        let Some(cfg) = self.migration else {
+            return MigrationEvent::None;
+        };
         let page = self.page_of(addr);
-        let Some(info) = self.pages.get_mut(&page) else { return MigrationEvent::None };
-        let Some(counters) = info.counters.as_mut() else { return MigrationEvent::None };
+        let Some(info) = self.pages.get_mut(&page) else {
+            return MigrationEvent::None;
+        };
+        let Some(counters) = info.counters.as_mut() else {
+            return MigrationEvent::None;
+        };
         counters[from_node] = counters[from_node].saturating_add(1);
         info.since_migrate = info.since_migrate.saturating_add(1);
         if from_node == info.home || info.since_migrate < cfg.cooldown {
@@ -224,7 +242,10 @@ mod tests {
 
     #[test]
     fn migration_triggers_after_threshold() {
-        let mig = MigrationConfig { threshold: 4, cooldown: 0 };
+        let mig = MigrationConfig {
+            threshold: 4,
+            cooldown: 0,
+        };
         let mut t = PageTable::new(1024, 2, 1 << 30, PagePlacement::FirstTouch, Some(mig));
         assert_eq!(t.home_of(0, 0), 0);
         for _ in 0..4 {
@@ -238,15 +259,26 @@ mod tests {
 
     #[test]
     fn migration_respects_cooldown_and_home_traffic() {
-        let mig = MigrationConfig { threshold: 2, cooldown: 100 };
+        let mig = MigrationConfig {
+            threshold: 2,
+            cooldown: 100,
+        };
         let mut t = PageTable::new(1024, 2, 1 << 30, PagePlacement::FirstTouch, Some(mig));
         t.home_of(0, 0);
         for _ in 0..50 {
             assert_eq!(t.note_miss(0, 1), MigrationEvent::None); // cooldown holds
         }
         // Home-node traffic keeps the counter race balanced.
-        let mut t2 = PageTable::new(1024, 2, 1 << 30, PagePlacement::FirstTouch,
-            Some(MigrationConfig { threshold: 2, cooldown: 0 }));
+        let mut t2 = PageTable::new(
+            1024,
+            2,
+            1 << 30,
+            PagePlacement::FirstTouch,
+            Some(MigrationConfig {
+                threshold: 2,
+                cooldown: 0,
+            }),
+        );
         t2.home_of(0, 0);
         for _ in 0..100 {
             t2.note_miss(0, 0);

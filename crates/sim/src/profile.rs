@@ -32,6 +32,10 @@ pub struct RangeProfile {
     pub misses_remote: u64,
     /// Total stall time attributed to this label.
     pub stall_ns: Ns,
+    /// `stall_ns` split by the application phase the accessing processor
+    /// was in (phase name, stall ns), in phase-declaration order; phases
+    /// that never touched the range are omitted.
+    pub phase_stalls: Vec<(String, Ns)>,
 }
 
 impl RangeProfile {
@@ -47,6 +51,8 @@ pub(crate) struct Profiler {
     /// Sorted, non-overlapping (base, end, profile index).
     ranges: Vec<(Addr, Addr, usize)>,
     profiles: Vec<RangeProfile>,
+    /// Per-profile stall accumulators indexed by interned phase id.
+    phase_stalls: Vec<Vec<Ns>>,
 }
 
 impl Profiler {
@@ -58,13 +64,18 @@ impl Profiler {
     /// machine's bump allocator, so they never overlap.
     pub fn register(&mut self, name: &str, base: Addr, bytes: u64) {
         let idx = self.profiles.len();
-        self.profiles.push(RangeProfile { name: name.to_string(), ..Default::default() });
+        self.profiles.push(RangeProfile {
+            name: name.to_string(),
+            ..Default::default()
+        });
+        self.phase_stalls.push(Vec::new());
         let pos = self.ranges.partition_point(|&(b, _, _)| b < base);
         self.ranges.insert(pos, (base, base + bytes, idx));
     }
 
-    /// Attributes one serviced access.
-    pub fn attribute(&mut self, addr: Addr, kind: AccessKind, outcome: &Outcome) {
+    /// Attributes one serviced access, charging the stall to the accessing
+    /// processor's current `phase`.
+    pub fn attribute(&mut self, addr: Addr, kind: AccessKind, outcome: &Outcome, phase: u32) {
         let pos = self.ranges.partition_point(|&(b, _, _)| b <= addr);
         if pos == 0 {
             return;
@@ -91,11 +102,33 @@ impl Profiler {
             }
         }
         p.stall_ns += outcome.latency;
+        if outcome.latency > 0 {
+            let acc = &mut self.phase_stalls[idx];
+            let ph = phase as usize;
+            if acc.len() <= ph {
+                acc.resize(ph + 1, 0);
+            }
+            acc[ph] += outcome.latency;
+        }
     }
 
     /// Consumes the profiler, returning the per-label statistics in
-    /// registration order.
-    pub fn into_profiles(self) -> Vec<RangeProfile> {
+    /// registration order; `phase_names` resolves interned phase ids.
+    pub fn into_profiles(mut self, phase_names: &[String]) -> Vec<RangeProfile> {
+        for (p, acc) in self.profiles.iter_mut().zip(&self.phase_stalls) {
+            p.phase_stalls = acc
+                .iter()
+                .enumerate()
+                .filter(|&(_, &ns)| ns > 0)
+                .map(|(i, &ns)| {
+                    let name = phase_names
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("phase {i}"));
+                    (name, ns)
+                })
+                .collect();
+        }
         self.profiles
     }
 }
@@ -122,12 +155,37 @@ mod tests {
         let mut p = Profiler::default();
         p.register("a", 1000, 100);
         p.register("b", 2000, 100);
-        p.attribute(1000, AccessKind::Read, &outcome(AccessClass::Hit, 0, true));
-        p.attribute(1099, AccessKind::Write, &outcome(AccessClass::LocalMiss, 42, true));
-        p.attribute(1100, AccessKind::Read, &outcome(AccessClass::Hit, 0, true)); // gap
-        p.attribute(2050, AccessKind::Read, &outcome(AccessClass::RemoteClean, 80, false));
-        p.attribute(500, AccessKind::Read, &outcome(AccessClass::Hit, 0, true)); // before all
-        let profs = p.into_profiles();
+        p.attribute(
+            1000,
+            AccessKind::Read,
+            &outcome(AccessClass::Hit, 0, true),
+            0,
+        );
+        p.attribute(
+            1099,
+            AccessKind::Write,
+            &outcome(AccessClass::LocalMiss, 42, true),
+            0,
+        );
+        p.attribute(
+            1100,
+            AccessKind::Read,
+            &outcome(AccessClass::Hit, 0, true),
+            0,
+        ); // gap
+        p.attribute(
+            2050,
+            AccessKind::Read,
+            &outcome(AccessClass::RemoteClean, 80, false),
+            0,
+        );
+        p.attribute(
+            500,
+            AccessKind::Read,
+            &outcome(AccessClass::Hit, 0, true),
+            0,
+        ); // before all
+        let profs = p.into_profiles(&["main".to_string()]);
         assert_eq!(profs[0].reads, 1);
         assert_eq!(profs[0].writes, 1);
         assert_eq!(profs[0].hits, 1);
@@ -141,9 +199,19 @@ mod tests {
     fn upgrades_count_by_home_locality() {
         let mut p = Profiler::default();
         p.register("x", 0, 1000);
-        p.attribute(0, AccessKind::Write, &outcome(AccessClass::Upgrade, 30, true));
-        p.attribute(1, AccessKind::Write, &outcome(AccessClass::Upgrade, 60, false));
-        let profs = p.into_profiles();
+        p.attribute(
+            0,
+            AccessKind::Write,
+            &outcome(AccessClass::Upgrade, 30, true),
+            0,
+        );
+        p.attribute(
+            1,
+            AccessKind::Write,
+            &outcome(AccessClass::Upgrade, 60, false),
+            0,
+        );
+        let profs = p.into_profiles(&["main".to_string()]);
         assert_eq!(profs[0].misses_local, 1);
         assert_eq!(profs[0].misses_remote, 1);
         assert_eq!(profs[0].misses(), 2);
@@ -154,11 +222,52 @@ mod tests {
         let mut p = Profiler::default();
         p.register("high", 5000, 10);
         p.register("low", 100, 10);
-        p.attribute(5005, AccessKind::Read, &outcome(AccessClass::Hit, 0, true));
-        p.attribute(105, AccessKind::Read, &outcome(AccessClass::Hit, 0, true));
-        let profs = p.into_profiles();
+        p.attribute(
+            5005,
+            AccessKind::Read,
+            &outcome(AccessClass::Hit, 0, true),
+            0,
+        );
+        p.attribute(
+            105,
+            AccessKind::Read,
+            &outcome(AccessClass::Hit, 0, true),
+            0,
+        );
+        let profs = p.into_profiles(&["main".to_string()]);
         assert_eq!(profs[0].name, "high");
         assert_eq!(profs[0].hits, 1);
         assert_eq!(profs[1].hits, 1);
+    }
+
+    #[test]
+    fn stalls_split_by_phase() {
+        let mut p = Profiler::default();
+        p.register("grid", 0, 1000);
+        p.attribute(
+            0,
+            AccessKind::Read,
+            &outcome(AccessClass::LocalMiss, 40, true),
+            0,
+        );
+        p.attribute(
+            8,
+            AccessKind::Read,
+            &outcome(AccessClass::RemoteClean, 100, false),
+            2,
+        );
+        p.attribute(16, AccessKind::Read, &outcome(AccessClass::Hit, 0, true), 1); // no stall
+        let names = [
+            "main".to_string(),
+            "smooth".to_string(),
+            "restrict".to_string(),
+        ];
+        let profs = p.into_profiles(&names);
+        assert_eq!(profs[0].stall_ns, 140);
+        // Zero-stall phases are omitted; the rest resolve to names.
+        assert_eq!(
+            profs[0].phase_stalls,
+            vec![("main".to_string(), 40), ("restrict".to_string(), 100)]
+        );
     }
 }

@@ -32,17 +32,50 @@ pub(crate) enum Request {
     /// Flush buffered work only.
     Ops { busy: Ns, ops: Vec<MemOp> },
     /// Arrive at a barrier.
-    Barrier { busy: Ns, ops: Vec<MemOp>, id: usize },
+    Barrier {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        id: usize,
+    },
     /// Acquire a lock (blocks until granted).
-    Lock { busy: Ns, ops: Vec<MemOp>, id: usize },
+    Lock {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        id: usize,
+    },
     /// Release a lock.
-    Unlock { busy: Ns, ops: Vec<MemOp>, id: usize },
+    Unlock {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        id: usize,
+    },
     /// Atomic fetch-and-add on a fetch cell; the reply carries the prior value.
-    FetchAdd { busy: Ns, ops: Vec<MemOp>, id: usize, delta: i64 },
+    FetchAdd {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        id: usize,
+        delta: i64,
+    },
     /// Decrement a semaphore, blocking while it is zero.
-    SemWait { busy: Ns, ops: Vec<MemOp>, id: usize },
+    SemWait {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        id: usize,
+    },
     /// Increment a semaphore by `n`, waking blocked waiters.
-    SemPost { busy: Ns, ops: Vec<MemOp>, id: usize, n: u32 },
+    SemPost {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        id: usize,
+        n: u32,
+    },
+    /// Marks the start of a named application phase for this processor;
+    /// buffered work is charged to the previous phase first.
+    Phase {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        name: String,
+    },
     /// The application body returned.
     Finish { busy: Ns, ops: Vec<MemOp> },
     /// The application body panicked; the engine aborts the run.

@@ -87,14 +87,22 @@ pub struct SharedVec<T> {
 
 impl<T> Clone for SharedVec<T> {
     fn clone(&self) -> Self {
-        SharedVec { buf: Arc::clone(&self.buf), base: self.base }
+        SharedVec {
+            buf: Arc::clone(&self.buf),
+            base: self.base,
+        }
     }
 }
 
 impl<T: SimValue> SharedVec<T> {
     pub(crate) fn new(len: usize, base: Addr) -> Self {
         let cells: Vec<UnsafeCell<T>> = (0..len).map(|_| UnsafeCell::new(T::default())).collect();
-        SharedVec { buf: Arc::new(SharedBuf { cells: cells.into_boxed_slice() }), base }
+        SharedVec {
+            buf: Arc::new(SharedBuf {
+                cells: cells.into_boxed_slice(),
+            }),
+            base,
+        }
     }
 
     /// Number of elements.
@@ -118,7 +126,11 @@ impl<T: SimValue> SharedVec<T> {
     ///
     /// Panics if `i` is out of bounds.
     pub fn addr_of(&self, i: usize) -> Addr {
-        assert!(i < self.len(), "index {i} out of bounds (len {})", self.len());
+        assert!(
+            i < self.len(),
+            "index {i} out of bounds (len {})",
+            self.len()
+        );
         self.base + i as u64 * self.stride()
     }
 

@@ -98,6 +98,83 @@ impl ProcStats {
     }
 }
 
+/// One processor's time slice within one named phase. The same identity
+/// as [`ProcStats`] holds per phase: `busy + mem + sync` partitions the
+/// processor's time spent inside the phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Time spent computing.
+    pub busy_ns: Ns,
+    /// Stall time on cache misses.
+    pub mem_ns: Ns,
+    /// Of `mem_ns`, stall on local-home accesses.
+    pub mem_local_ns: Ns,
+    /// Of `mem_ns`, stall on remote accesses.
+    pub mem_remote_ns: Ns,
+    /// Waiting at synchronization events.
+    pub sync_wait_ns: Ns,
+    /// Overhead of synchronization operations themselves.
+    pub sync_op_ns: Ns,
+}
+
+impl PhaseBreakdown {
+    /// Total synchronization time (wait + operation overhead).
+    pub fn sync_ns(&self) -> Ns {
+        self.sync_wait_ns + self.sync_op_ns
+    }
+
+    /// Total time spent in the phase.
+    pub fn total_ns(&self) -> Ns {
+        self.busy_ns + self.mem_ns + self.sync_ns()
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn add(&mut self, o: &PhaseBreakdown) {
+        self.busy_ns += o.busy_ns;
+        self.mem_ns += o.mem_ns;
+        self.mem_local_ns += o.mem_local_ns;
+        self.mem_remote_ns += o.mem_remote_ns;
+        self.sync_wait_ns += o.sync_wait_ns;
+        self.sync_op_ns += o.sync_op_ns;
+    }
+}
+
+/// Per-processor time breakdown for one named application phase
+/// (demarcated with [`SimCtx::phase`](crate::ctx::SimCtx::phase)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase name; time before the first marker lands in `"main"`.
+    pub name: String,
+    /// Per-processor breakdowns, indexed by process id.
+    pub procs: Vec<PhaseBreakdown>,
+}
+
+impl PhaseStats {
+    /// Sum of all processors' breakdowns for this phase.
+    pub fn total(&self) -> PhaseBreakdown {
+        let mut t = PhaseBreakdown::default();
+        for p in &self.procs {
+            t.add(p);
+        }
+        t
+    }
+
+    /// The (busy, memory, sync) shares of the phase's aggregate time, in
+    /// percent; zeros if no time was spent in the phase.
+    pub fn breakdown_pct(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        let total = t.total_ns() as f64;
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * t.busy_ns as f64 / total,
+            100.0 * t.mem_ns as f64 / total,
+            100.0 * t.sync_ns() as f64 / total,
+        )
+    }
+}
+
 /// Result of one simulated run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -111,9 +188,19 @@ pub struct RunStats {
     /// hubs, memories, routers, metarouters.
     pub resources: [ResourceTotals; 4],
     /// Per-label profiles for allocations made with
-    /// [`Machine::shared_vec_labeled`](crate::machine::Machine::shared_vec_labeled)
-    /// (empty when nothing was labelled).
+    /// [`Machine::shared_vec_labeled`](crate::machine::Machine::shared_vec_labeled).
+    /// Empty when nothing was labelled — and therefore also empty whenever
+    /// range profiling is effectively disabled for the run, since profiling
+    /// only happens for labelled allocations.
     pub ranges: Vec<crate::profile::RangeProfile>,
+    /// Per-phase time breakdowns, in first-use order; phase `0` is the
+    /// implicit `"main"` phase. Always collected (phase accounting is
+    /// cheap); a run that never calls `ctx.phase` has the single `"main"`
+    /// entry.
+    pub phases: Vec<PhaseStats>,
+    /// The time-resolved event trace, when
+    /// [`TraceConfig::enabled`](crate::trace::TraceConfig) was set.
+    pub trace: Option<crate::trace::Trace>,
 }
 
 impl RunStats {
@@ -140,6 +227,11 @@ impl RunStats {
     pub fn total<F: Fn(&ProcStats) -> u64>(&self, f: F) -> u64 {
         self.procs.iter().map(f).sum()
     }
+
+    /// Looks up a phase by name (e.g. `stats.phase("force-calc")`).
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +239,12 @@ mod tests {
     use super::*;
 
     fn proc(busy: Ns, mem: Ns, sync: Ns) -> ProcStats {
-        ProcStats { busy_ns: busy, mem_ns: mem, sync_wait_ns: sync, ..Default::default() }
+        ProcStats {
+            busy_ns: busy,
+            mem_ns: mem,
+            sync_wait_ns: sync,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -173,6 +270,8 @@ mod tests {
             page_migrations: 0,
             resources: Default::default(),
             ranges: Vec::new(),
+            phases: Vec::new(),
+            trace: None,
         };
         let (b, m, s) = rs.avg_breakdown_pct();
         assert_eq!((b, m, s), (50.0, 0.0, 50.0));
@@ -180,17 +279,75 @@ mod tests {
 
     #[test]
     fn totals_sum_counters() {
-        let mut a = ProcStats::default();
-        a.reads = 3;
-        let mut b = ProcStats::default();
-        b.reads = 4;
+        let a = ProcStats {
+            reads: 3,
+            ..Default::default()
+        };
+        let b = ProcStats {
+            reads: 4,
+            ..Default::default()
+        };
         let rs = RunStats {
             procs: vec![a, b],
             wall_ns: 0,
             page_migrations: 0,
             resources: Default::default(),
             ranges: Vec::new(),
+            phases: Vec::new(),
+            trace: None,
         };
         assert_eq!(rs.total(|p| p.reads), 7);
+    }
+
+    #[test]
+    fn phase_lookup_finds_by_name() {
+        let ph = |name: &str, busy: Ns| PhaseStats {
+            name: name.into(),
+            procs: vec![PhaseBreakdown {
+                busy_ns: busy,
+                ..Default::default()
+            }],
+        };
+        let rs = RunStats {
+            procs: vec![ProcStats::default()],
+            wall_ns: 0,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: Vec::new(),
+            phases: vec![ph("main", 10), ph("solve", 90)],
+            trace: None,
+        };
+        assert_eq!(rs.phase("solve").unwrap().total().busy_ns, 90);
+        assert_eq!(rs.phase("main").unwrap().procs.len(), 1);
+        assert!(rs.phase("missing").is_none());
+    }
+
+    #[test]
+    fn phase_breakdown_totals_and_shares() {
+        let b = PhaseBreakdown {
+            busy_ns: 50,
+            mem_ns: 30,
+            mem_local_ns: 10,
+            mem_remote_ns: 20,
+            sync_wait_ns: 15,
+            sync_op_ns: 5,
+        };
+        assert_eq!(b.sync_ns(), 20);
+        assert_eq!(b.total_ns(), 100);
+        let ph = PhaseStats {
+            name: "p".into(),
+            procs: vec![b, b],
+        };
+        assert_eq!(ph.total().total_ns(), 200);
+        let (bu, me, sy) = ph.breakdown_pct();
+        assert!((bu - 50.0).abs() < 1e-9 && (me - 30.0).abs() < 1e-9 && (sy - 20.0).abs() < 1e-9);
+        assert_eq!(
+            PhaseStats {
+                name: "e".into(),
+                procs: vec![]
+            }
+            .breakdown_pct(),
+            (0.0, 0.0, 0.0)
+        );
     }
 }

@@ -43,7 +43,12 @@ pub(crate) struct LockState {
 
 impl LockState {
     pub fn new(addr: Addr) -> Self {
-        LockState { addr, holder: None, queue: VecDeque::new(), acquires: 0 }
+        LockState {
+            addr,
+            holder: None,
+            queue: VecDeque::new(),
+            acquires: 0,
+        }
     }
 
     /// Attempts to acquire for `p`; on failure the processor is queued.
@@ -91,7 +96,12 @@ pub(crate) struct BarrierState {
 
 impl BarrierState {
     pub fn new(addr: Addr, participants: usize) -> Self {
-        BarrierState { addr, participants, arrived: Vec::new(), episodes: 0 }
+        BarrierState {
+            addr,
+            participants,
+            arrived: Vec::new(),
+            episodes: 0,
+        }
     }
 
     /// Records an arrival; when `p` completes the episode, returns all
@@ -121,7 +131,11 @@ pub(crate) struct SemState {
 
 impl SemState {
     pub fn new(addr: Addr, initial: i64) -> Self {
-        SemState { addr, count: initial, waiters: VecDeque::new() }
+        SemState {
+            addr,
+            count: initial,
+            waiters: VecDeque::new(),
+        }
     }
 
     /// Attempts to decrement for `p`; on failure the processor is queued.

@@ -44,7 +44,12 @@ pub struct Route {
 impl Route {
     /// A route that never leaves the node (or the Hub).
     pub fn local(router: usize) -> Self {
-        Route { hops: 0, src_router: router, dst_router: router, metarouter: None }
+        Route {
+            hops: 0,
+            src_router: router,
+            dst_router: router,
+            metarouter: None,
+        }
     }
 }
 
@@ -86,7 +91,12 @@ impl Topology {
             );
         }
         let n_routers = n_nodes.div_ceil(nodes_per_router);
-        Topology { kind, n_nodes, nodes_per_router, n_routers }
+        Topology {
+            kind,
+            n_nodes,
+            nodes_per_router,
+            n_routers,
+        }
     }
 
     /// The network kind.
@@ -128,12 +138,20 @@ impl Topology {
         let src_router = self.router_of(src_node);
         let dst_router = self.router_of(dst_node);
         if src_router == dst_router {
-            return Route { hops: 0, src_router, dst_router, metarouter: None };
+            return Route {
+                hops: 0,
+                src_router,
+                dst_router,
+                metarouter: None,
+            };
         }
         match self.kind {
-            TopologyKind::Ideal => {
-                Route { hops: 1, src_router, dst_router, metarouter: None }
-            }
+            TopologyKind::Ideal => Route {
+                hops: 1,
+                src_router,
+                dst_router,
+                metarouter: None,
+            },
             TopologyKind::FullHypercube => Route {
                 hops: (src_router ^ dst_router).count_ones(),
                 src_router,
@@ -141,8 +159,14 @@ impl Topology {
                 metarouter: None,
             },
             TopologyKind::MetaModules { routers_per_module } => {
-                let (sm, si) = (src_router / routers_per_module, src_router % routers_per_module);
-                let (dm, di) = (dst_router / routers_per_module, dst_router % routers_per_module);
+                let (sm, si) = (
+                    src_router / routers_per_module,
+                    src_router % routers_per_module,
+                );
+                let (dm, di) = (
+                    dst_router / routers_per_module,
+                    dst_router % routers_per_module,
+                );
                 if sm == dm {
                     Route {
                         hops: (si ^ di).count_ones(),
@@ -198,7 +222,7 @@ mod tests {
     #[test]
     fn hypercube_hops_are_popcount() {
         let t = hypercube(32); // 16 routers, 4-cube
-        // Node 0 (router 0) to node 30 (router 15): xor 0b1111 → 4 hops.
+                               // Node 0 (router 0) to node 30 (router 15): xor 0b1111 → 4 hops.
         assert_eq!(t.route(0, 30).hops, 4);
         assert_eq!(t.route(0, 2).hops, 1); // router 0 → 1
     }
@@ -213,13 +237,19 @@ mod tests {
     #[test]
     fn metamodules_cross_module_uses_metarouter() {
         // 128 procs → 64 nodes → 32 routers → 4 modules of 8.
-        let t = Topology::new(TopologyKind::MetaModules { routers_per_module: 8 }, 64, 2);
+        let t = Topology::new(
+            TopologyKind::MetaModules {
+                routers_per_module: 8,
+            },
+            64,
+            2,
+        );
         assert_eq!(t.n_metarouters(), 8);
         // Node 0 (module 0, router 0) ↔ node 16 (router 8 → module 1, index 0).
         let r = t.route(0, 16);
         assert_eq!(r.metarouter, Some(0));
         assert_eq!(r.hops, 2); // aligned routers: straight through the metarouter
-        // Intra-module routes never cross a metarouter.
+                               // Intra-module routes never cross a metarouter.
         let r = t.route(0, 14); // routers 0 and 7 in module 0
         assert_eq!(r.metarouter, None);
         assert_eq!(r.hops, 3);
@@ -227,7 +257,13 @@ mod tests {
 
     #[test]
     fn metamodules_single_module_degenerates_to_hypercube() {
-        let t = Topology::new(TopologyKind::MetaModules { routers_per_module: 8 }, 16, 2);
+        let t = Topology::new(
+            TopologyKind::MetaModules {
+                routers_per_module: 8,
+            },
+            16,
+            2,
+        );
         assert_eq!(t.n_metarouters(), 0);
         assert_eq!(t.route(0, 14).metarouter, None);
     }
@@ -241,7 +277,13 @@ mod tests {
 
     #[test]
     fn route_is_symmetric_in_hops() {
-        let t = Topology::new(TopologyKind::MetaModules { routers_per_module: 8 }, 64, 2);
+        let t = Topology::new(
+            TopologyKind::MetaModules {
+                routers_per_module: 8,
+            },
+            64,
+            2,
+        );
         for a in (0..64).step_by(7) {
             for b in (0..64).step_by(5) {
                 assert_eq!(t.route(a, b).hops, t.route(b, a).hops, "{a} {b}");
@@ -252,6 +294,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_module_size_panics() {
-        Topology::new(TopologyKind::MetaModules { routers_per_module: 6 }, 64, 2);
+        Topology::new(
+            TopologyKind::MetaModules {
+                routers_per_module: 6,
+            },
+            64,
+            2,
+        );
     }
 }

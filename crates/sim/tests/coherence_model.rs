@@ -1,8 +1,7 @@
-//! Model-checking the coherence protocol: arbitrary access interleavings
-//! over a small line set must preserve the directory/cache safety
-//! invariants at every step.
-
-use proptest::prelude::*;
+//! Model-checking the coherence protocol: pseudo-random access
+//! interleavings over a small line set must preserve the directory/cache
+//! safety invariants at every step. Interleavings are drawn from a seeded
+//! xorshift stream, so the suite is deterministic and dependency-free.
 
 use ccnuma_sim::config::MachineConfig;
 use ccnuma_sim::memsys::{AccessKind, MemorySystem};
@@ -17,41 +16,75 @@ fn tiny_memsys(nprocs: usize) -> MemorySystem {
     MemorySystem::new(&cfg, &perm)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+struct Rng(u64);
 
-    #[test]
-    fn invariants_hold_under_arbitrary_interleavings(
-        ops in prop::collection::vec((0usize..4, 0u64..12, any::<bool>()), 1..200),
-    ) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[test]
+fn invariants_hold_under_arbitrary_interleavings() {
+    let mut rng = Rng::new(0x5EED);
+    for case in 0..128 {
         let mut m = tiny_memsys(4);
         let mut now = 0;
-        for (p, line, is_write) in ops {
+        let len = 1 + rng.below(199);
+        for _ in 0..len {
             now += 500;
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let p = rng.below(4) as usize;
+            let line = rng.below(12);
+            let kind = if rng.below(2) == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             m.access(p, line * 128, kind, now);
-            m.validate_coherence().unwrap();
+            m.validate_coherence()
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
     }
+}
 
-    #[test]
-    fn invariants_hold_with_prefetch_and_placement(
-        placements in prop::collection::vec((0u64..12, 0usize..2), 0..6),
-        ops in prop::collection::vec((0usize..4, 0u64..12, 0u8..3), 1..120),
-    ) {
+#[test]
+fn invariants_hold_with_prefetch_and_placement() {
+    let mut rng = Rng::new(0xFE7C);
+    for case in 0..128 {
         let mut m = tiny_memsys(4);
-        for (line, node) in placements {
+        for _ in 0..rng.below(6) {
+            let line = rng.below(12);
+            let node = rng.below(2) as usize;
             m.place_range(line * 128, 128, node);
         }
         let mut now = 0;
-        for (p, line, op) in ops {
+        let len = 1 + rng.below(119);
+        for _ in 0..len {
             now += 500;
-            match op {
-                0 => { m.access(p, line * 128, AccessKind::Read, now); }
-                1 => { m.access(p, line * 128, AccessKind::Write, now); }
-                _ => { m.prefetch(p, line * 128, now); }
+            let p = rng.below(4) as usize;
+            let line = rng.below(12);
+            match rng.below(3) {
+                0 => {
+                    m.access(p, line * 128, AccessKind::Read, now);
+                }
+                1 => {
+                    m.access(p, line * 128, AccessKind::Write, now);
+                }
+                _ => {
+                    m.prefetch(p, line * 128, now);
+                }
             }
-            m.validate_coherence().unwrap();
+            m.validate_coherence()
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
     }
 }

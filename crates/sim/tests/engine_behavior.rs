@@ -205,7 +205,10 @@ fn first_touch_localizes_after_warmup() {
         })
         .unwrap();
     // Post-warm-up accesses are hits or local (upgrades count separately).
-    assert_eq!(stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty), 0);
+    assert_eq!(
+        stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty),
+        0
+    );
 }
 
 #[test]
@@ -238,7 +241,10 @@ fn random_mapping_changes_timing_not_results() {
     };
     let (_, data_linear) = run(ProcessMapping::Linear);
     let (_, data_random) = run(ProcessMapping::Random { seed: 42 });
-    assert_eq!(data_linear, data_random, "results must not depend on mapping");
+    assert_eq!(
+        data_linear, data_random,
+        "results must not depend on mapping"
+    );
 }
 
 #[test]
@@ -300,7 +306,10 @@ fn prefetch_reduces_memory_stall() {
     };
     let without = run(false);
     let with = run(true);
-    assert!(with < without, "prefetch {with} should reduce stall vs {without}");
+    assert!(
+        with < without,
+        "prefetch {with} should reduce stall vs {without}"
+    );
 }
 
 #[test]
@@ -405,6 +414,9 @@ fn classification_off_counts_nothing() {
             }
         })
         .unwrap();
-    assert_eq!(stats.total(|p| p.misses_cold + p.misses_coherence + p.misses_capacity), 0);
+    assert_eq!(
+        stats.total(|p| p.misses_cold + p.misses_coherence + p.misses_capacity),
+        0
+    );
     assert!(stats.total(|p| p.misses()) > 0);
 }

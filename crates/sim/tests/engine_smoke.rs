@@ -5,12 +5,14 @@ fn smoke_single_proc() {
     let mut m = Machine::new(MachineConfig::origin2000_scaled(1, 64 << 10)).unwrap();
     let x = m.shared_vec::<u64>(16, Placement::Policy);
     let x2 = x.clone();
-    let stats = m.run(move |ctx| {
-        for i in 0..16 {
-            x2.write(ctx, i, i as u64);
-        }
-        ctx.compute_flops(10);
-    }).unwrap();
+    let stats = m
+        .run(move |ctx| {
+            for i in 0..16 {
+                x2.write(ctx, i, i as u64);
+            }
+            ctx.compute_flops(10);
+        })
+        .unwrap();
     assert_eq!(x.get(15), 15);
     assert!(stats.wall_ns > 0);
 }
@@ -21,19 +23,21 @@ fn smoke_multi_proc_barrier() {
     let x = m.shared_vec::<u64>(64, Placement::Blocked);
     let b = m.barrier();
     let x2 = x.clone();
-    let stats = m.run(move |ctx| {
-        let n = 64 / ctx.nprocs();
-        for i in ctx.id() * n..(ctx.id() + 1) * n {
-            x2.write(ctx, i, i as u64);
-        }
-        ctx.barrier(b);
-        let peer = (ctx.id() + 1) % ctx.nprocs();
-        let mut s = 0u64;
-        for i in peer * n..(peer + 1) * n {
-            s += x2.read(ctx, i);
-        }
-        ctx.compute_flops(s % 2);
-    }).unwrap();
+    let stats = m
+        .run(move |ctx| {
+            let n = 64 / ctx.nprocs();
+            for i in ctx.id() * n..(ctx.id() + 1) * n {
+                x2.write(ctx, i, i as u64);
+            }
+            ctx.barrier(b);
+            let peer = (ctx.id() + 1) % ctx.nprocs();
+            let mut s = 0u64;
+            for i in peer * n..(peer + 1) * n {
+                s += x2.read(ctx, i);
+            }
+            ctx.compute_flops(s % 2);
+        })
+        .unwrap();
     assert_eq!(x.get(63), 63);
     assert_eq!(stats.total(|p| p.barriers), 4);
 }

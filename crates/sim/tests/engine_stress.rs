@@ -1,8 +1,8 @@
-//! Property-based stress tests of the execution engine: randomly generated
+//! Stress tests of the execution engine: pseudo-randomly generated
 //! well-formed programs must terminate, account time consistently, and be
-//! deterministic.
-
-use proptest::prelude::*;
+//! deterministic. The programs are drawn from a seeded xorshift stream, so
+//! the suite needs no external property-testing dependency and every
+//! failure reproduces from its case index.
 
 use ccnuma_sim::config::MachineConfig;
 use ccnuma_sim::machine::{Machine, Placement};
@@ -18,15 +18,37 @@ enum Step {
     FetchAdd,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1u16..2000).prop_map(Step::Compute),
-        any::<u8>().prop_map(Step::ReadBlock),
-        any::<u8>().prop_map(Step::WriteBlock),
-        Just(Step::Barrier),
-        (0u8..4).prop_map(Step::Lock),
-        Just(Step::FetchAdd),
-    ]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn gen_step(rng: &mut Rng) -> Step {
+    match rng.below(6) {
+        0 => Step::Compute(1 + rng.below(1999) as u16),
+        1 => Step::ReadBlock(rng.below(256) as u8),
+        2 => Step::WriteBlock(rng.below(256) as u8),
+        3 => Step::Barrier,
+        4 => Step::Lock(rng.below(4) as u8),
+        _ => Step::FetchAdd,
+    }
+}
+
+fn gen_program(rng: &mut Rng, max_len: u64) -> Vec<Step> {
+    let len = 1 + rng.below(max_len) as usize;
+    (0..len).map(|_| gen_step(rng)).collect()
 }
 
 fn run_program(steps: &[Step], nprocs: usize) -> (u64, u64, i64) {
@@ -77,32 +99,37 @@ fn run_program(steps: &[Step], nprocs: usize) -> (u64, u64, i64) {
     for (i, p) in stats.procs.iter().enumerate() {
         assert_eq!(p.total_ns(), p.finish_ns, "accounting mismatch on proc {i}");
     }
-    let cell_total = {
-        // fetch_add count = nprocs × (#FetchAdd steps); read back via stats.
-        stats.total(|p| p.atomics) as i64
-    };
+    // Per-phase times partition each processor's accounted time exactly.
+    for (i, p) in stats.procs.iter().enumerate() {
+        let phased: u64 = stats.phases.iter().map(|ph| ph.procs[i].total_ns()).sum();
+        assert_eq!(phased, p.total_ns(), "phase partition mismatch on proc {i}");
+    }
+    let cell_total = stats.total(|p| p.atomics) as i64;
     (stats.wall_ns, stats.total(|p| p.accesses()), cell_total)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generated_programs_terminate_and_account_consistently(
-        steps in prop::collection::vec(step_strategy(), 1..25),
-        nprocs in 1usize..9,
-    ) {
+#[test]
+fn generated_programs_terminate_and_account_consistently() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for case in 0..24 {
+        let steps = gen_program(&mut rng, 24);
+        let nprocs = 1 + rng.below(8) as usize;
         let (wall, accesses, _) = run_program(&steps, nprocs);
-        prop_assert!(wall > 0 || accesses == 0);
+        assert!(
+            wall > 0 || accesses == 0,
+            "case {case}: {steps:?} on {nprocs}p"
+        );
     }
+}
 
-    #[test]
-    fn generated_programs_are_deterministic(
-        steps in prop::collection::vec(step_strategy(), 1..15),
-        nprocs in 2usize..6,
-    ) {
+#[test]
+fn generated_programs_are_deterministic() {
+    let mut rng = Rng::new(0xDEC0DE);
+    for case in 0..12 {
+        let steps = gen_program(&mut rng, 14);
+        let nprocs = 2 + rng.below(4) as usize;
         let a = run_program(&steps, nprocs);
         let b = run_program(&steps, nprocs);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {steps:?} on {nprocs}p");
     }
 }

@@ -28,7 +28,9 @@ struct Histogram {
 impl Histogram {
     fn samples(&self) -> Vec<u64> {
         let mut rng = XorShift::new(self.seed);
-        (0..self.n_samples).map(|_| rng.below(self.bins as u64)).collect()
+        (0..self.n_samples)
+            .map(|_| rng.below(self.bins as u64))
+            .collect()
     }
 }
 
@@ -68,7 +70,7 @@ impl Workload for Histogram {
             // Phase 2: binary-tree fan-in into row 0.
             let mut stride = 1;
             while stride < npr {
-                if p % (2 * stride) == 0 && p + stride < npr {
+                if p.is_multiple_of(2 * stride) && p + stride < npr {
                     for b in 0..bins {
                         let other = c.read(ctx, (p + stride) * bins + b);
                         let mine = c.read(ctx, p * bins + b);
@@ -104,12 +106,20 @@ impl Workload for Histogram {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = Histogram { n_samples: 1 << 16, bins: 64, seed: 7 };
+    let app = Histogram {
+        n_samples: 1 << 16,
+        bins: 64,
+        seed: 7,
+    };
     let mut runner = Runner::new(16 << 10);
     println!("{:<8} {:>10} {:>12}", "procs", "speedup", "efficiency");
     for np in [1usize, 4, 16] {
         let rec = runner.run(&app, np)?;
-        println!("{np:<8} {:>10.2} {:>11.1}%", rec.speedup(), 100.0 * rec.efficiency());
+        println!(
+            "{np:<8} {:>10.2} {:>11.1}%",
+            rec.speedup(),
+            100.0 * rec.efficiency()
+        );
         if np == 16 {
             println!("\n{}", range_profile_table(&rec.stats));
         }

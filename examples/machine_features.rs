@@ -6,9 +6,7 @@
 //! cargo run --release --example machine_features
 //! ```
 
-use ccnuma_repro::ccnuma_sim::config::{
-    BarrierImpl, LockImpl, MigrationConfig, PagePlacement,
-};
+use ccnuma_repro::ccnuma_sim::config::{BarrierImpl, LockImpl, MigrationConfig, PagePlacement};
 use ccnuma_repro::ccnuma_sim::mapping::ProcessMapping;
 use ccnuma_repro::ccnuma_sim::time::Span;
 use ccnuma_repro::scaling_study::report::Table;
@@ -29,9 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = runner.run(&app, np)?;
     let row = |label: &str, wall: u64| {
         let rel = 100.0 * (wall as f64 / base.wall_ns as f64 - 1.0);
-        vec![label.to_string(), Span(wall).to_string(), format!("{rel:+.1}%")]
+        vec![
+            label.to_string(),
+            Span(wall).to_string(),
+            format!("{rel:+.1}%"),
+        ]
     };
-    t.row(row("baseline (manual placement, linear mapping)", base.wall_ns));
+    t.row(row(
+        "baseline (manual placement, linear mapping)",
+        base.wall_ns,
+    ));
 
     // §6.1 — software prefetch of remote transpose patches.
     let mut cfg = runner.machine_for(np);
@@ -43,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = runner.machine_for(np);
     cfg.placement = PagePlacement::RoundRobin;
     let r = runner.run_on(&auto, cfg.clone())?;
-    t.row(row("round-robin placement (no manual distribution)", r.wall_ns));
+    t.row(row(
+        "round-robin placement (no manual distribution)",
+        r.wall_ns,
+    ));
     cfg.migration = Some(MigrationConfig::default());
     let r = runner.run_on(&auto, cfg)?;
     t.row(row("round-robin + dynamic page migration", r.wall_ns));

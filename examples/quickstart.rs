@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Verify the real computation happened.
     let total: f64 = (0..32).map(|p| partial.get(p)).sum();
     let expect: f64 = (0..n).map(|i| (i % 97) as f64 * 1.5).sum();
-    assert!((total - expect).abs() < 1e-6, "wrong result: {total} vs {expect}");
+    assert!(
+        (total - expect).abs() < 1e-6,
+        "wrong result: {total} vs {expect}"
+    );
 
     // The paper's three-way time breakdown, plus protocol counters.
     let (busy, mem, sync) = stats.avg_breakdown_pct();

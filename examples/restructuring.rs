@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         format!("Barnes-Hut tree building, {np} processors, 512 bodies"),
-        &["version", "speedup", "lock acquires", "remote misses", "sync share"],
+        &[
+            "version",
+            "speedup",
+            "lock acquires",
+            "remote misses",
+            "sync share",
+        ],
     );
     for (label, variant) in [
         ("locked (original)", TreeBuild::Locked),

@@ -15,7 +15,10 @@ use ccnuma_repro::scaling_study::runner::Runner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let id = std::env::args().nth(1).unwrap_or_else(|| "ocean".into());
-    assert!(APP_IDS.contains(&id.as_str()), "unknown app {id}; one of {APP_IDS:?}");
+    assert!(
+        APP_IDS.contains(&id.as_str()),
+        "unknown app {id}; one of {APP_IDS:?}"
+    );
     let scale = Scale::Quick;
     let mut runner = Runner::new(scale.cache_bytes());
 
@@ -31,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             np.to_string(),
             format!("{:.2}", rec.speedup()),
             format!("{:.1}%", 100.0 * rec.efficiency()),
-            if rec.efficiency() >= GOOD_EFFICIENCY { "yes" } else { "no" }.into(),
+            if rec.efficiency() >= GOOD_EFFICIENCY {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
         ]);
     }
     println!("{t}");

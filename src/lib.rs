@@ -1,1 +1,3 @@
-pub use ccnuma_sim; pub use splash_apps; pub use scaling_study;
+pub use ccnuma_sim;
+pub use scaling_study;
+pub use splash_apps;

@@ -38,7 +38,10 @@ fn bigger_problems_scale_better() {
     let mut r = runner();
     let small = r.run(&WaterSpatial::new(200), 16).unwrap().efficiency();
     let large = r.run(&WaterSpatial::new(1600), 16).unwrap().efficiency();
-    assert!(large > small, "efficiency should rise with size: {large} vs {small}");
+    assert!(
+        large > small,
+        "efficiency should rise with size: {large} vs {small}"
+    );
 }
 
 #[test]
@@ -74,9 +77,15 @@ fn loop_interchange_rescues_water_nsq_for_large_problems() {
     let ro = r.run(&orig, 16).unwrap();
     let ri = r.run(&inter, 16).unwrap();
     let remote = |rec: &ccnuma_repro::scaling_study::runner::RunRecord| {
-        rec.stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty)
+        rec.stats
+            .total(|p| p.misses_remote_clean + p.misses_remote_dirty)
     };
-    assert!(remote(&ri) * 2 < remote(&ro), "{} vs {}", remote(&ri), remote(&ro));
+    assert!(
+        remote(&ri) * 2 < remote(&ro),
+        "{} vs {}",
+        remote(&ri),
+        remote(&ro)
+    );
     assert!(ri.speedup() > ro.speedup());
 }
 
@@ -91,9 +100,15 @@ fn sweep_shearwarp_improves_cross_phase_locality() {
     let ro = r.run(&orig, 8).unwrap();
     let rs = r.run(&sweep, 8).unwrap();
     let remote = |rec: &ccnuma_repro::scaling_study::runner::RunRecord| {
-        rec.stats.total(|p| p.misses_remote_clean + p.misses_remote_dirty)
+        rec.stats
+            .total(|p| p.misses_remote_clean + p.misses_remote_dirty)
     };
-    assert!(remote(&rs) < remote(&ro), "{} vs {}", remote(&rs), remote(&ro));
+    assert!(
+        remote(&rs) < remote(&ro),
+        "{} vs {}",
+        remote(&rs),
+        remote(&ro)
+    );
 }
 
 #[test]
@@ -106,9 +121,15 @@ fn sample_sort_tames_radix_write_traffic() {
     let rr = r.run(&radix, 16).unwrap();
     let rs = r.run(&sample, 16).unwrap();
     let wtraffic = |rec: &ccnuma_repro::scaling_study::runner::RunRecord| {
-        rec.stats.total(|p| p.invals_sent + p.upgrades + p.writebacks)
+        rec.stats
+            .total(|p| p.invals_sent + p.upgrades + p.writebacks)
     };
-    assert!(wtraffic(&rs) < wtraffic(&rr), "{} vs {}", wtraffic(&rs), wtraffic(&rr));
+    assert!(
+        wtraffic(&rs) < wtraffic(&rr),
+        "{} vs {}",
+        wtraffic(&rs),
+        wtraffic(&rr)
+    );
 }
 
 #[test]
@@ -191,11 +212,8 @@ fn superlinearity_is_possible_and_detected() {
     let rec = r.run(&app, 16).unwrap();
     // Not asserting superlinear (contention may offset it), but the
     // machinery must agree with the metric helper.
-    let sup = ccnuma_repro::scaling_study::metrics::is_superlinear(
-        rec.seq_ns,
-        rec.wall_ns,
-        rec.nprocs,
-    );
+    let sup =
+        ccnuma_repro::scaling_study::metrics::is_superlinear(rec.seq_ns, rec.wall_ns, rec.nprocs);
     assert_eq!(sup, rec.efficiency() > 1.0);
 }
 
@@ -239,7 +257,10 @@ fn miss_classification_separates_app_behaviors() {
     let body = job.body;
     let stats = m.run(move |ctx| body(ctx)).unwrap();
     (job.verify)().unwrap();
-    assert!(stats.total(|p| p.misses_coherence) > 0, "radix must show coherence misses");
+    assert!(
+        stats.total(|p| p.misses_coherence) > 0,
+        "radix must show coherence misses"
+    );
     assert!(stats.total(|p| p.misses_cold) > 0);
 }
 

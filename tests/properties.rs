@@ -1,7 +1,7 @@
-//! Property-based tests (proptest) over the simulator's core data
-//! structures and the applications' algorithmic kernels.
-
-use proptest::prelude::*;
+//! Randomized property tests over the simulator's core data structures and
+//! the applications' algorithmic kernels, driven by the workspace's own
+//! seeded [`XorShift`] generator so the suite is deterministic and needs no
+//! external property-testing dependency.
 
 use ccnuma_repro::ccnuma_sim::cache::{Cache, LineState};
 use ccnuma_repro::ccnuma_sim::config::{CacheConfig, MachineConfig};
@@ -10,109 +10,130 @@ use ccnuma_repro::ccnuma_sim::mapping::ProcessMapping;
 use ccnuma_repro::ccnuma_sim::memsys::{AccessClass, AccessKind, MemorySystem};
 use ccnuma_repro::ccnuma_sim::page::PageTable;
 use ccnuma_repro::ccnuma_sim::topology::{Topology, TopologyKind};
-use ccnuma_repro::splash_apps::common::{chunk_range, Cx};
+use ccnuma_repro::splash_apps::common::{chunk_range, Cx, XorShift};
 use ccnuma_repro::splash_apps::fft::fft_inplace;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn chunk_ranges_partition_exactly(n in 0usize..500, p in 1usize..40) {
+#[test]
+fn chunk_ranges_partition_exactly() {
+    let mut rng = XorShift::new(11);
+    for _ in 0..64 {
+        let n = rng.below(500) as usize;
+        let p = 1 + rng.below(39) as usize;
         let mut covered = vec![0u8; n];
         for i in 0..p {
             for j in chunk_range(n, p, i) {
                 covered[j] += 1;
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
+        assert!(covered.iter().all(|&c| c == 1), "n={n} p={p}");
     }
+}
 
-    #[test]
-    fn topology_routes_are_symmetric_and_bounded(
-        nodes in 1usize..64,
-        a in 0usize..64,
-        b in 0usize..64,
-    ) {
-        let a = a % nodes;
-        let b = b % nodes;
+#[test]
+fn topology_routes_are_symmetric_and_bounded() {
+    let mut rng = XorShift::new(12);
+    for _ in 0..64 {
+        let nodes = 1 + rng.below(63) as usize;
+        let a = rng.below(64) as usize % nodes;
+        let b = rng.below(64) as usize % nodes;
         for kind in [
             TopologyKind::FullHypercube,
-            TopologyKind::MetaModules { routers_per_module: 8 },
+            TopologyKind::MetaModules {
+                routers_per_module: 8,
+            },
             TopologyKind::Ideal,
         ] {
             let t = Topology::new(kind, nodes, 2);
             let ab = t.route(a, b);
             let ba = t.route(b, a);
-            prop_assert_eq!(ab.hops, ba.hops);
-            prop_assert!(ab.hops <= 16);
+            assert_eq!(ab.hops, ba.hops);
+            assert!(ab.hops <= 16);
             if a == b {
-                prop_assert_eq!(ab.hops, 0);
+                assert_eq!(ab.hops, 0);
             }
         }
     }
+}
 
-    #[test]
-    fn mappings_are_always_permutations(
-        nprocs in 1usize..=128,
-        seed in any::<u64>(),
-    ) {
-        for mapping in [
-            ProcessMapping::Linear,
-            ProcessMapping::Random { seed },
-        ] {
+#[test]
+fn mappings_are_always_permutations() {
+    let mut rng = XorShift::new(13);
+    for _ in 0..64 {
+        let nprocs = 1 + rng.below(128) as usize;
+        let seed = rng.next_u64();
+        for mapping in [ProcessMapping::Linear, ProcessMapping::Random { seed }] {
             let perm = mapping.resolve(nprocs, 2).unwrap();
             let mut seen = vec![false; nprocs];
             for &s in &perm {
-                prop_assert!(!seen[s]);
+                assert!(!seen[s], "nprocs={nprocs} seed={seed}");
                 seen[s] = true;
             }
         }
     }
+}
 
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity(
-        ops in prop::collection::vec((0u64..512, any::<bool>()), 1..300),
-    ) {
-        let cfg = CacheConfig { size_bytes: 2048, assoc: 2, line_bytes: 64 };
+#[test]
+fn cache_occupancy_never_exceeds_capacity() {
+    let mut rng = XorShift::new(14);
+    for _ in 0..64 {
+        let cfg = CacheConfig {
+            size_bytes: 2048,
+            assoc: 2,
+            line_bytes: 64,
+        };
         let capacity = cfg.size_bytes / cfg.line_bytes;
         let mut c = Cache::new(cfg);
-        for (line, dirty) in ops {
-            let state = if dirty { LineState::Modified } else { LineState::Shared };
+        let n = 1 + rng.below(299);
+        for _ in 0..n {
+            let line = rng.below(512);
+            let state = if rng.below(2) == 1 {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            };
             c.insert(line, state, 0);
-            prop_assert!(c.occupancy() <= capacity);
+            assert!(c.occupancy() <= capacity);
             // An inserted line is immediately visible.
-            prop_assert!(c.state_of(line).is_some());
+            assert!(c.state_of(line).is_some());
         }
     }
+}
 
-    #[test]
-    fn first_touch_page_homes_are_stable(
-        touches in prop::collection::vec((0u64..64, 0usize..8), 1..200),
-    ) {
-        use ccnuma_repro::ccnuma_sim::config::PagePlacement;
+#[test]
+fn first_touch_page_homes_are_stable() {
+    use ccnuma_repro::ccnuma_sim::config::PagePlacement;
+    let mut rng = XorShift::new(15);
+    for _ in 0..64 {
         let mut t = PageTable::new(1024, 8, 1 << 30, PagePlacement::FirstTouch, None);
         let mut homes = std::collections::HashMap::new();
-        for (page, node) in touches {
+        let n = 1 + rng.below(199);
+        for _ in 0..n {
+            let page = rng.below(64);
+            let node = rng.below(8) as usize;
             let addr = page * 1024 + 17;
             let h = t.home_of(addr, node);
             let prev = homes.entry(page).or_insert(h);
-            prop_assert_eq!(*prev, h, "page home moved without migration");
+            assert_eq!(*prev, h, "page home moved without migration");
         }
     }
+}
 
-    #[test]
-    fn coherence_keeps_readers_consistent_with_writes(
-        writes in prop::collection::vec((0usize..4, 0u64..8), 1..60),
-    ) {
-        // Model check: after any interleaving of writes by 4 procs to 8
-        // lines, a read by any proc returns without panicking and hits or
-        // misses coherently (a second read by the same proc always hits).
+#[test]
+fn coherence_keeps_readers_consistent_with_writes() {
+    // Model check: after any interleaving of writes by 4 procs to 8
+    // lines, a read by any proc returns without panicking and hits or
+    // misses coherently (a second read by the same proc always hits).
+    let mut rng = XorShift::new(16);
+    for _ in 0..64 {
         let cfg = MachineConfig::origin2000_scaled(4, 16 << 10);
         let perm: Vec<usize> = (0..4).collect();
         let mut mem = MemorySystem::new(&cfg, &perm);
         let mut now = 0;
-        for (p, line) in writes {
+        let writes = 1 + rng.below(59);
+        for _ in 0..writes {
             now += 1000;
+            let p = rng.below(4) as usize;
+            let line = rng.below(8);
             mem.access(p, line * 128, AccessKind::Write, now);
         }
         for p in 0..4 {
@@ -121,63 +142,76 @@ proptest! {
                 mem.access(p, line * 128, AccessKind::Read, now);
                 now += 1000;
                 let again = mem.access(p, line * 128, AccessKind::Read, now);
-                prop_assert_eq!(again.class, AccessClass::Hit);
+                assert_eq!(again.class, AccessClass::Hit);
             }
-        }
-    }
-
-    #[test]
-    fn fft_is_linear(scale in 0.1f64..10.0) {
-        // FFT(c·x) = c·FFT(x): checks the kernel used by every FFT run.
-        let n = 64;
-        let x: Vec<Cx> =
-            (0..n).map(|i| Cx::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
-        let mut a = x.clone();
-        fft_inplace(&mut a);
-        let mut b: Vec<Cx> = x.iter().map(|v| Cx::new(v.re * scale, v.im * scale)).collect();
-        fft_inplace(&mut b);
-        for i in 0..n {
-            prop_assert!((b[i].re - a[i].re * scale).abs() < 1e-9 * (1.0 + a[i].re.abs()));
-            prop_assert!((b[i].im - a[i].im * scale).abs() < 1e-9 * (1.0 + a[i].im.abs()));
         }
     }
 }
 
-proptest! {
-    // Whole-application properties are more expensive: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+#[test]
+fn fft_is_linear() {
+    // FFT(c·x) = c·FFT(x): checks the kernel used by every FFT run.
+    let mut rng = XorShift::new(17);
+    for _ in 0..64 {
+        let scale = rng.range_f64(0.1, 10.0);
+        let n = 64;
+        let x: Vec<Cx> = (0..n)
+            .map(|i| Cx::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut a = x.clone();
+        fft_inplace(&mut a);
+        let mut b: Vec<Cx> = x
+            .iter()
+            .map(|v| Cx::new(v.re * scale, v.im * scale))
+            .collect();
+        fft_inplace(&mut b);
+        for i in 0..n {
+            assert!((b[i].re - a[i].re * scale).abs() < 1e-9 * (1.0 + a[i].re.abs()));
+            assert!((b[i].im - a[i].im * scale).abs() < 1e-9 * (1.0 + a[i].im.abs()));
+        }
+    }
+}
 
-    #[test]
-    fn radix_sorts_arbitrary_inputs(seed in any::<u64>(), np in 1usize..9) {
+// Whole-application properties are more expensive: fewer cases.
+
+#[test]
+fn radix_sorts_arbitrary_inputs() {
+    let mut rng = XorShift::new(18);
+    for _ in 0..8 {
         let mut app = ccnuma_repro::splash_apps::radix::Radix::new(1500);
-        app.seed = seed;
-        let mut m =
-            Machine::new(MachineConfig::origin2000_scaled(np, 16 << 10)).unwrap();
+        app.seed = rng.next_u64();
+        let np = 1 + rng.below(8) as usize;
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 16 << 10)).unwrap();
         let job = ccnuma_repro::splash_apps::common::Workload::build(&app, &mut m);
         let body = job.body;
         m.run(move |ctx| body(ctx)).unwrap();
-        prop_assert!((job.verify)().is_ok());
+        assert!((job.verify)().is_ok());
     }
+}
 
-    #[test]
-    fn sample_sort_sorts_arbitrary_inputs(seed in any::<u64>(), np in 1usize..9) {
+#[test]
+fn sample_sort_sorts_arbitrary_inputs() {
+    let mut rng = XorShift::new(19);
+    for _ in 0..8 {
         let mut app = ccnuma_repro::splash_apps::sample_sort::SampleSort::new(1500);
-        app.seed = seed;
-        let mut m =
-            Machine::new(MachineConfig::origin2000_scaled(np, 16 << 10)).unwrap();
+        app.seed = rng.next_u64();
+        let np = 1 + rng.below(8) as usize;
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 16 << 10)).unwrap();
         let job = ccnuma_repro::splash_apps::common::Workload::build(&app, &mut m);
         let body = job.body;
         m.run(move |ctx| body(ctx)).unwrap();
-        prop_assert!((job.verify)().is_ok());
+        assert!((job.verify)().is_ok());
     }
+}
 
-    #[test]
-    fn shared_memory_roundtrips_any_data(
-        data in prop::collection::vec(any::<u64>(), 1..200),
-        np in 1usize..5,
-    ) {
-        let mut m =
-            Machine::new(MachineConfig::origin2000_scaled(np, 16 << 10)).unwrap();
+#[test]
+fn shared_memory_roundtrips_any_data() {
+    let mut rng = XorShift::new(20);
+    for _ in 0..8 {
+        let len = 1 + rng.below(199) as usize;
+        let data: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        let np = 1 + rng.below(4) as usize;
+        let mut m = Machine::new(MachineConfig::origin2000_scaled(np, 16 << 10)).unwrap();
         let v = m.shared_vec::<u64>(data.len(), Placement::Interleaved);
         v.copy_from_slice(&data);
         let v2 = v.clone();
@@ -198,7 +232,7 @@ proptest! {
         })
         .unwrap();
         for (i, d) in data.iter().enumerate() {
-            prop_assert_eq!(v.get(i), d.wrapping_add(1));
+            assert_eq!(v.get(i), d.wrapping_add(1));
         }
     }
 }
