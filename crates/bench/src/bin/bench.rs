@@ -1,0 +1,114 @@
+//! `bench` — attribution regression harness.
+//!
+//! ```text
+//! bench regress [--check] [--baseline <file>] [--tolerance <pct>]
+//!
+//! regress             run the pinned workload matrix and write the
+//!                     attribution snapshot to BENCH_attrib.json
+//! --check             compare the current tree against the committed
+//!                     baseline instead of overwriting it; exit 1 on drift
+//!                     (the fresh measurement is left in
+//!                     BENCH_attrib.current.json for inspection)
+//! --baseline <file>   baseline path (default BENCH_attrib.json)
+//! --tolerance <pct>   allowed relative drift per metric (default 2.0)
+//! ```
+
+use study_bench::regress;
+
+const DEFAULT_BASELINE: &str = "BENCH_attrib.json";
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: bench regress [--check] [--baseline <file>] [--tolerance <pct>]");
+    std::process::exit(code);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut baseline = DEFAULT_BASELINE.to_string();
+    let mut tolerance = 100.0 * regress::DEFAULT_TOLERANCE;
+    let mut subcommand = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--baseline" => match it.next() {
+                Some(f) => baseline = f.clone(),
+                None => usage(2),
+            },
+            "--tolerance" => match it.next().map(|t| t.parse::<f64>()) {
+                Some(Ok(t)) if t >= 0.0 => tolerance = t,
+                _ => usage(2),
+            },
+            "--help" | "-h" => usage(0),
+            "regress" if subcommand.is_none() => subcommand = Some("regress"),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                usage(2);
+            }
+        }
+    }
+    if subcommand != Some("regress") {
+        usage(2);
+    }
+
+    eprintln!(
+        "[bench] measuring the pinned matrix ({} apps x {} proc counts)...",
+        regress::MATRIX_APPS.len(),
+        regress::MATRIX_PROCS.len()
+    );
+    let t0 = std::time::Instant::now();
+    let current = match regress::measure() {
+        Ok(c) => c,
+        Err(e) => fail(&format!("measurement failed: {e}")),
+    };
+    eprintln!(
+        "[bench] measured {} points in {:.1?}",
+        current.len(),
+        t0.elapsed()
+    );
+
+    if !check {
+        if let Err(e) = std::fs::write(&baseline, regress::to_json(&current)) {
+            fail(&format!("cannot write {baseline}: {e}"));
+        }
+        eprintln!("[bench] wrote baseline {baseline}");
+        return;
+    }
+
+    let doc = match std::fs::read_to_string(&baseline) {
+        Ok(d) => d,
+        Err(e) => fail(&format!(
+            "cannot read baseline {baseline}: {e} (generate it with `bench regress`)"
+        )),
+    };
+    let base = match regress::parse(&doc) {
+        Ok(b) => b,
+        Err(e) => fail(&format!("malformed baseline {baseline}: {e}")),
+    };
+    let msgs = regress::compare(&base, &current, tolerance / 100.0);
+    if msgs.is_empty() {
+        eprintln!(
+            "[bench] OK: {} points within {tolerance}% of {baseline}",
+            current.len()
+        );
+        return;
+    }
+    let current_path = format!("{baseline}.current.json");
+    let current_path = current_path.replace(".json.current.json", ".current.json");
+    if let Err(e) = std::fs::write(&current_path, regress::to_json(&current)) {
+        eprintln!("warning: cannot write {current_path}: {e}");
+    } else {
+        eprintln!("[bench] fresh measurement written to {current_path}");
+    }
+    eprintln!("[bench] FAIL: {} drift(s) vs {baseline}:", msgs.len());
+    for m in &msgs {
+        eprintln!("  {m}");
+    }
+    std::process::exit(1);
+}

@@ -825,6 +825,51 @@ pub fn phases(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyErro
     Ok(out)
 }
 
+/// §8 tooling: miss-cause, stall-attribution, and sharing-pattern tables.
+/// Runs Ocean at two machine sizes with miss classification on and reports
+/// the cause mix, the per-resource service/queueing split of the memory
+/// stall, and the per-phase attribution; then Barnes-Hut for the
+/// sharing-hot lines of its labelled data structures.
+pub fn attrib(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyError> {
+    use scaling_study::report::{
+        miss_cause_table, phase_attribution_table, sharing_hot_table, stall_attribution_table,
+    };
+    use splash_apps::barnes::Barnes;
+    if !runner.attrib_enabled() {
+        runner.set_attrib(true);
+    }
+    let procs: Vec<usize> = if scale == Scale::Full {
+        // The paper's §4 contention analysis contrasts a small and a large
+        // machine; 16 and 64 processors bracket the interesting range.
+        vec![16, 64]
+    } else {
+        let all = scale.procs();
+        vec![all[0], all[all.len() - 1]]
+    };
+    let mut out = Vec::new();
+    for &np in &procs {
+        let w = basic("ocean", scale);
+        let rec = runner.run(w.as_ref(), np)?;
+        for mut t in [
+            miss_cause_table(&rec.stats),
+            stall_attribution_table(&rec.stats),
+            phase_attribution_table(&rec.stats),
+        ] {
+            t.title = format!("{} ({}, {np} procs): {}", rec.app, rec.problem, t.title);
+            out.push(t);
+        }
+    }
+    // Sharing hot spots need labelled allocations; Barnes-Hut labels its
+    // shared tree and body arrays.
+    let np = *procs.last().expect("nonempty procs");
+    let app = Barnes::new(if scale == Scale::Full { 2048 } else { 256 });
+    let rec = runner.run(&app, np)?;
+    let mut t = sharing_hot_table(&rec.stats);
+    t.title = format!("{} ({}, {np} procs): {}", rec.app, rec.problem, t.title);
+    out.push(t);
+    Ok(out)
+}
+
 /// §5.3: the programming-guideline catalog.
 pub fn guidelines() -> Table {
     let mut t = Table::new(

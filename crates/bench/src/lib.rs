@@ -3,8 +3,11 @@
 //! The [`figures`] module contains one function per table/figure; the
 //! `repro` binary drives them (`repro all --quick` smoke-runs everything).
 //! [`probes`] holds the raw memory-system microbenchmarks (Table 1, §6.3).
+//! [`regress`] is the attribution regression harness behind the `bench`
+//! binary (`bench regress --check` gates CI on `BENCH_attrib.json`).
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod probes;
+pub mod regress;

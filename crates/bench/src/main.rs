@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--csv] [--trace <out.json>] [--out <dir>]
+//!                   [--attrib <dir>]
 //!
 //! experiments:
 //!   table1 table2 fig2 fig3 fig4 fig5-8 fig9 fig10 table3
-//!   prefetch migration sync mapping nodeshare phases guidelines all
+//!   prefetch migration sync mapping nodeshare phases attrib guidelines all
 //!
 //! --quick          small machines and problems (seconds instead of minutes)
 //! --csv            emit CSV instead of aligned text tables
 //! --trace <file>   trace every parallel run and write one merged Chrome
 //!                  trace-event JSON file (load it in Perfetto or
 //!                  chrome://tracing)
-//! --out <dir>      also write each table to <dir> as both .txt and .csv
+//! --out <dir>      also write each table to <dir> as both .txt and .csv,
+//!                  plus a manifest.json listing every emitted file
+//! --attrib <dir>   classify misses on every parallel run and write one
+//!                  attribution JSON per run to <dir>
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -27,6 +31,7 @@ struct Opts {
     scale: Scale,
     trace: Option<PathBuf>,
     out: Option<PathBuf>,
+    attrib: Option<PathBuf>,
 }
 
 /// Turns a table title into a safe file stem, e.g.
@@ -48,7 +53,7 @@ fn slug(title: &str) -> String {
     }
 }
 
-fn emit_tables(tables: &[Table], opts: &Opts) -> std::io::Result<()> {
+fn emit_tables(tables: &[Table], opts: &Opts, emitted: &mut Vec<String>) -> std::io::Result<()> {
     for t in tables {
         if opts.csv {
             println!("# {}", t.title);
@@ -60,8 +65,11 @@ fn emit_tables(tables: &[Table], opts: &Opts) -> std::io::Result<()> {
     if let Some(dir) = &opts.out {
         for t in tables {
             let stem = slug(&t.title);
-            std::fs::write(dir.join(format!("{stem}.txt")), t.to_string())?;
-            std::fs::write(dir.join(format!("{stem}.csv")), t.to_csv())?;
+            for (ext, body) in [("txt", t.to_string()), ("csv", t.to_csv())] {
+                let file = format!("{stem}.{ext}");
+                std::fs::write(dir.join(&file), body)?;
+                emitted.push(file);
+            }
         }
     }
     Ok(())
@@ -71,11 +79,16 @@ fn run_one(
     name: &str,
     opts: &Opts,
     traces: &mut Vec<(String, Trace)>,
+    attribs: &mut Vec<(String, String)>,
+    emitted: &mut Vec<String>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let scale = opts.scale;
     let mut runner = figures::runner_for(scale);
     if opts.trace.is_some() {
         runner.set_trace(Some(TraceConfig::on()));
+    }
+    if opts.attrib.is_some() {
+        runner.set_attrib(true);
     }
     let tables: Vec<Table> = match name {
         "table1" => vec![figures::table1()],
@@ -96,13 +109,19 @@ fn run_one(
         "ablation" => vec![figures::ablation(&mut runner, scale)?],
         "profile" => figures::profile(&mut runner, scale)?,
         "phases" => figures::phases(&mut runner, scale)?,
+        "attrib" => figures::attrib(&mut runner, scale)?,
         "guidelines" => vec![figures::guidelines()],
         other => return Err(format!("unknown experiment {other:?} (try --help)").into()),
     };
-    emit_tables(&tables, opts)?;
+    emit_tables(&tables, opts, emitted)?;
     if opts.trace.is_some() {
         for (label, trace) in runner.take_traces() {
             traces.push((format!("{name}: {label}"), trace));
+        }
+    }
+    if opts.attrib.is_some() {
+        for (label, json) in runner.take_attribs() {
+            attribs.push((format!("{name}: {label}"), json));
         }
     }
     Ok(())
@@ -126,12 +145,15 @@ const ALL: &[&str] = &[
     "svm",
     "profile",
     "phases",
+    "attrib",
     "ablation",
     "guidelines",
 ];
 
 fn usage(code: i32) -> ! {
-    eprintln!("usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>]");
+    eprintln!(
+        "usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>] [--attrib <dir>]"
+    );
     eprintln!("experiments: {} all", ALL.join(" "));
     std::process::exit(code);
 }
@@ -142,6 +164,7 @@ fn parse_opts(args: &[String]) -> (Opts, Vec<String>) {
         scale: Scale::Full,
         trace: None,
         out: None,
+        attrib: None,
     };
     let mut names = Vec::new();
     let mut it = args.iter();
@@ -160,6 +183,13 @@ fn parse_opts(args: &[String]) -> (Opts, Vec<String>) {
                 Some(d) => opts.out = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("error: --out needs a directory argument");
+                    usage(2);
+                }
+            },
+            "--attrib" => match it.next() {
+                Some(d) => opts.attrib = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("error: --attrib needs a directory argument");
                     usage(2);
                 }
             },
@@ -203,10 +233,12 @@ fn main() {
         names
     };
     let mut traces: Vec<(String, Trace)> = Vec::new();
+    let mut attribs: Vec<(String, String)> = Vec::new();
+    let mut emitted: Vec<String> = Vec::new();
     for name in &selected {
         eprintln!("[repro] running {name} ({:?} scale)...", opts.scale);
         let t0 = std::time::Instant::now();
-        if let Err(e) = run_one(name, &opts, &mut traces) {
+        if let Err(e) = run_one(name, &opts, &mut traces, &mut attribs, &mut emitted) {
             eprintln!("error: {name}: {e}");
             std::process::exit(1);
         }
@@ -222,5 +254,70 @@ fn main() {
             eprintln!("error: writing trace file: {e}");
             std::process::exit(1);
         }
+        if opts.out.as_deref() == path.parent() {
+            if let Some(name) = path.file_name() {
+                emitted.push(name.to_string_lossy().into_owned());
+            }
+        }
     }
+    if let Some(dir) = &opts.attrib {
+        if let Err(e) = write_attrib_files(dir, &attribs, &opts, &mut emitted) {
+            eprintln!("error: writing attribution files: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(dir) = &opts.out {
+        if let Err(e) = write_manifest(dir, &emitted) {
+            eprintln!("error: writing manifest: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes one attribution JSON per run to `dir` (created if missing).
+/// Files written into the `--out` directory are also recorded in the
+/// manifest.
+fn write_attrib_files(
+    dir: &Path,
+    attribs: &[(String, String)],
+    opts: &Opts,
+    emitted: &mut Vec<String>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (label, json) in attribs {
+        let file = format!("{}.json", slug(label));
+        std::fs::write(dir.join(&file), json)?;
+        if opts.out.as_deref() == Some(dir) {
+            emitted.push(file);
+        }
+    }
+    eprintln!(
+        "[repro] wrote {} attribution file(s) to {}",
+        attribs.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+/// Writes `manifest.json` into the `--out` directory, listing every file
+/// emitted there by this invocation.
+fn write_manifest(dir: &Path, emitted: &[String]) -> std::io::Result<()> {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"files\": [");
+    for (i, f) in emitted.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\"",
+            f.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(dir.join("manifest.json"), s)?;
+    eprintln!(
+        "[repro] wrote manifest.json ({} file(s)) to {}",
+        emitted.len(),
+        dir.display()
+    );
+    Ok(())
 }

@@ -202,6 +202,230 @@ pub fn phase_breakdown_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
     t
 }
 
+/// Renders the memory-stall attribution of a run: for each machine
+/// resource, the uncontended service time vs. the queueing delay charged to
+/// it, plus the residual ("other": L2 hit time and prefetch overlap). The
+/// rows sum to the run's total memory stall exactly.
+pub fn stall_attribution_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
+    use ccnuma_sim::attrib::ResourceClass;
+    let mut t = Table::new(
+        "memory-stall attribution (service vs queueing)",
+        &["resource", "service", "queueing", "total", "share"],
+    );
+    let bd = stats.mem_breakdown();
+    let grand = stats.total(|p| p.mem_ns).max(1);
+    let span = |ns| ccnuma_sim::time::Span(ns).to_string();
+    for r in ResourceClass::ALL {
+        let (s, q) = bd.get(r);
+        t.row(vec![
+            r.name().to_string(),
+            span(s),
+            span(q),
+            span(s + q),
+            pct((s + q) as f64 / grand as f64),
+        ]);
+    }
+    t.row(vec![
+        "other (hit/overlap)".into(),
+        span(bd.other_ns),
+        span(0),
+        span(bd.other_ns),
+        pct(bd.other_ns as f64 / grand as f64),
+    ]);
+    t
+}
+
+/// Renders the miss-cause mix of a run: counts and stall time per cause
+/// (cold, capacity, conflict, true sharing, false sharing), plus the stall
+/// charged to unclassified accesses (hits, upgrades, and everything when
+/// classification is off).
+pub fn miss_cause_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
+    use ccnuma_sim::attrib::{MissCause, CAUSE_OTHER};
+    let mut t = Table::new(
+        "miss-cause mix",
+        &["cause", "misses", "share", "stall", "stall share"],
+    );
+    let counts = stats.cause_counts();
+    let stall = stats.cause_stall_ns();
+    let misses = stats.total(|p| p.misses()).max(1);
+    let grand: u64 = stall.iter().sum::<u64>().max(1);
+    let span = |ns| ccnuma_sim::time::Span(ns).to_string();
+    for c in MissCause::ALL {
+        t.row(vec![
+            c.name().to_string(),
+            counts[c.index()].to_string(),
+            pct(counts[c.index()] as f64 / misses as f64),
+            span(stall[c.index()]),
+            pct(stall[c.index()] as f64 / grand as f64),
+        ]);
+    }
+    t.row(vec![
+        "other (hit/upgrade)".into(),
+        "-".into(),
+        "-".into(),
+        span(stall[CAUSE_OTHER]),
+        pct(stall[CAUSE_OTHER] as f64 / grand as f64),
+    ]);
+    t
+}
+
+/// Renders the sharing-hottest cache lines of the labelled data structures:
+/// for each hot line, its coherence-miss count and the top
+/// producer→consumer processor pairs observed on it.
+pub fn sharing_hot_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
+    let mut t = Table::new(
+        "sharing-hot lines",
+        &["structure", "line", "coh misses", "producer→consumer"],
+    );
+    for r in &stats.ranges {
+        for h in &r.sharing_hot {
+            let pairs = h
+                .pairs
+                .iter()
+                .map(|(prod, cons, n)| format!("p{prod}→p{cons}×{n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            t.row(vec![
+                r.name.clone(),
+                format!("{:#x}", h.line_addr),
+                h.coherence_misses.to_string(),
+                pairs,
+            ]);
+        }
+    }
+    t
+}
+
+/// Renders the per-phase attribution: memory stall, the queueing slice of
+/// it, and the stall charged to each miss cause — the cause × phase plane
+/// of the attribution cube.
+pub fn phase_attribution_table(stats: &ccnuma_sim::stats::RunStats) -> Table {
+    use ccnuma_sim::attrib::MissCause;
+    let mut headers = vec!["phase", "memory", "queueing"];
+    headers.extend(MissCause::ALL.iter().map(|c| c.name()));
+    let mut t = Table::new("per-phase stall attribution", &headers);
+    let span = |ns| ccnuma_sim::time::Span(ns).to_string();
+    for ph in &stats.phases {
+        let tot = ph.total();
+        if tot.mem_ns == 0 {
+            continue;
+        }
+        let mut row = vec![
+            ph.name.clone(),
+            span(tot.mem_ns),
+            span(tot.mem_breakdown.queue_total()),
+        ];
+        row.extend(
+            MissCause::ALL
+                .iter()
+                .map(|c| span(tot.mem_cause_ns[c.index()])),
+        );
+        t.row(row);
+    }
+    t
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a run's attribution data — stall breakdown by resource,
+/// miss-cause mix, and per-structure sharing hot spots — as a small
+/// self-contained JSON document (no external dependencies).
+pub fn attrib_json(label: &str, stats: &ccnuma_sim::stats::RunStats) -> String {
+    use ccnuma_sim::attrib::{MissCause, ResourceClass, CAUSE_OTHER};
+    let bd = stats.mem_breakdown();
+    let counts = stats.cause_counts();
+    let stall = stats.cause_stall_ns();
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"version\": 1,\n  \"label\": \"{}\",\n",
+        json_escape(label)
+    ));
+    s.push_str(&format!("  \"wall_ns\": {},\n", stats.wall_ns));
+    s.push_str(&format!(
+        "  \"mem_stall_ns\": {},\n",
+        stats.total(|p| p.mem_ns)
+    ));
+    s.push_str(&format!(
+        "  \"avg_miss_hops\": {:.4},\n",
+        stats.avg_miss_hops()
+    ));
+    s.push_str("  \"resources\": {");
+    for (i, r) in ResourceClass::ALL.iter().enumerate() {
+        let (sv, q) = bd.get(*r);
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"service_ns\": {sv}, \"queue_ns\": {q}}}",
+            r.name()
+        ));
+    }
+    s.push_str(&format!("\n  }},\n  \"other_ns\": {},\n", bd.other_ns));
+    s.push_str("  \"causes\": {");
+    for (i, c) in MissCause::ALL.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"misses\": {}, \"stall_ns\": {}}}",
+            c.name(),
+            counts[c.index()],
+            stall[c.index()]
+        ));
+    }
+    s.push_str(&format!(
+        "\n  }},\n  \"unclassified_stall_ns\": {},\n",
+        stall[CAUSE_OTHER]
+    ));
+    s.push_str("  \"ranges\": [");
+    for (i, r) in stats.ranges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"stall_ns\": {}, \"cause_misses\": [{}], \"hot_lines\": [",
+            json_escape(&r.name),
+            r.stall_ns,
+            r.cause_misses
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        for (j, h) in r.sharing_hot.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let pairs = h
+                .pairs
+                .iter()
+                .map(|(p, c, n)| format!("[{p}, {c}, {n}]"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s.push_str(&format!(
+                "\n      {{\"line\": {}, \"coherence_misses\": {}, \"pairs\": [{pairs}]}}",
+                h.line_addr, h.coherence_misses
+            ));
+        }
+        s.push_str("]}");
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
 /// Renders a trace's machine-wide gauge time series (miss rate, resource
 /// occupancies, outstanding misses) as a table, one row per sample —
 /// mainly useful via [`Table::to_csv`].
@@ -314,6 +538,100 @@ mod tests {
         assert_eq!(t.len(), 4);
         let t1 = breakdown_continuum(&rs, 100); // clamped to nprocs
         assert_eq!(t1.len(), 8);
+    }
+
+    fn attrib_stats() -> ccnuma_sim::stats::RunStats {
+        use ccnuma_sim::attrib::LatencyBreakdown;
+        use ccnuma_sim::profile::{HotLine, RangeProfile};
+        use ccnuma_sim::stats::{ProcStats, RunStats};
+        let mut p = ProcStats {
+            misses_local: 10,
+            misses_remote_clean: 5,
+            misses_cold: 6,
+            misses_capacity: 5,
+            misses_conflict: 2,
+            misses_coherence: 4,
+            misses_false_share: 1,
+            miss_hops: 30,
+            mem_ns: 1_000,
+            ..Default::default()
+        };
+        p.mem_breakdown = LatencyBreakdown {
+            service: [100, 200, 300, 50],
+            queue: [40, 60, 0, 25],
+            other_ns: 225,
+        };
+        p.mem_cause_ns = [100, 200, 300, 150, 50, 200];
+        let range = RangeProfile {
+            name: "grid".into(),
+            stall_ns: 800,
+            cause_misses: [6, 3, 2, 3, 1],
+            sharing_hot: vec![HotLine {
+                line_addr: 0x1080,
+                coherence_misses: 4,
+                pairs: vec![(0, 1, 3), (0, 2, 1)],
+            }],
+            ..Default::default()
+        };
+        RunStats {
+            procs: vec![p],
+            wall_ns: 5_000,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: vec![range],
+            phases: Vec::new(),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn stall_attribution_sums_cover_mem_stall() {
+        let rs = attrib_stats();
+        let t = stall_attribution_table(&rs);
+        assert_eq!(t.len(), 5, "four resources plus the other row");
+        let s = t.to_string();
+        // 100+40 hub, 200+60 memory, 300 directory, 50+25 network, 225 other
+        // — shares of the 1000 ns stall.
+        assert!(s.contains("14.0%"), "{s}");
+        assert!(s.contains("22.5%"), "{s}");
+    }
+
+    #[test]
+    fn miss_cause_table_splits_refined_counters() {
+        let rs = attrib_stats();
+        let t = miss_cause_table(&rs);
+        let csv = t.to_csv();
+        // cold 6, capacity 5-2=3, conflict 2, coh-true 4-1=3, coh-false 1.
+        assert!(csv.contains("cold,6,"), "{csv}");
+        assert!(csv.contains("capacity,3,"), "{csv}");
+        assert!(csv.contains("conflict,2,"), "{csv}");
+        assert!(csv.contains("coh-true,3,"), "{csv}");
+        assert!(csv.contains("coh-false,1,"), "{csv}");
+    }
+
+    #[test]
+    fn sharing_hot_table_formats_pairs() {
+        let rs = attrib_stats();
+        let t = sharing_hot_table(&rs);
+        assert_eq!(t.len(), 1);
+        let s = t.to_string();
+        assert!(s.contains("grid") && s.contains("0x1080"), "{s}");
+        assert!(s.contains("p0→p1×3, p0→p2×1"), "{s}");
+    }
+
+    #[test]
+    fn attrib_json_is_structurally_sound() {
+        let rs = attrib_stats();
+        let j = attrib_json("fft/2^14 points/8p", &rs);
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"label\": \"fft/2^14 points/8p\""));
+        assert!(j.contains("\"hub\": {\"service_ns\": 100, \"queue_ns\": 40}"));
+        assert!(j.contains("\"cold\": {\"misses\": 6, \"stall_ns\": 100}"));
+        assert!(j.contains("\"cause_misses\": [6, 3, 2, 3, 1]"));
+        assert!(j.contains("\"pairs\": [[0, 1, 3], [0, 2, 1]]"));
+        // Balanced braces/brackets (no nested strings with braces here).
+        let bal = |open, close| j.matches(open).count() == j.matches(close).count();
+        assert!(bal('{', '}') && bal('[', ']'), "{j}");
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub struct Runner {
     /// resulting traces collected in [`Runner::traces`].
     trace: Option<TraceConfig>,
     traces: Vec<(String, Trace)>,
+    /// When true, parallel runs classify misses and each run's attribution
+    /// JSON is collected in `attribs`.
+    attrib: bool,
+    attribs: Vec<(String, String)>,
 }
 
 impl Runner {
@@ -99,6 +103,8 @@ impl Runner {
             baselines: HashMap::new(),
             trace: None,
             traces: Vec::new(),
+            attrib: false,
+            attribs: Vec::new(),
         }
     }
 
@@ -124,6 +130,26 @@ impl Runner {
     /// Takes the traces collected so far, labelled `"app/problem/NNp"`.
     pub fn take_traces(&mut self) -> Vec<(String, Trace)> {
         std::mem::take(&mut self.traces)
+    }
+
+    /// Enables (or disables) miss-classification and stall attribution of
+    /// parallel runs. While enabled, every parallel run forces
+    /// [`MachineConfig::classify_misses`] and its attribution JSON (see
+    /// [`crate::report::attrib_json`]) is collected under an
+    /// `"app/problem/NNp"` label; drain them with [`Runner::take_attribs`].
+    pub fn set_attrib(&mut self, on: bool) {
+        self.attrib = on;
+    }
+
+    /// Whether stall attribution of parallel runs is currently enabled.
+    pub fn attrib_enabled(&self) -> bool {
+        self.attrib
+    }
+
+    /// Takes the attribution JSON documents collected so far, labelled
+    /// `"app/problem/NNp"`.
+    pub fn take_attribs(&mut self) -> Vec<(String, String)> {
+        std::mem::take(&mut self.attribs)
     }
 
     /// The default scaled machine configuration for `nprocs` processors.
@@ -163,10 +189,17 @@ impl Runner {
         if let Some(tc) = &self.trace {
             cfg.trace = tc.clone();
         }
+        if self.attrib {
+            cfg.classify_misses = true;
+        }
         let (wall_ns, mut stats) = Self::execute(workload, cfg.clone())?;
+        let label = format!("{}/{}/{}p", workload.name(), workload.problem(), cfg.nprocs);
         if let Some(trace) = stats.trace.take() {
-            let label = format!("{}/{}/{}p", workload.name(), workload.problem(), cfg.nprocs);
-            self.traces.push((label, trace));
+            self.traces.push((label.clone(), trace));
+        }
+        if self.attrib {
+            let json = crate::report::attrib_json(&label, &stats);
+            self.attribs.push((label, json));
         }
         Ok(RunRecord {
             app: workload.name(),
@@ -259,6 +292,28 @@ mod tests {
         r.sequential_ns(&w, &cfg_a).unwrap();
         r.sequential_ns(&w, &cfg_b).unwrap();
         assert_eq!(r.baselines.len(), 2);
+    }
+
+    #[test]
+    fn attrib_collects_labelled_json() {
+        let mut r = Runner::new(64 << 10);
+        assert!(!r.attrib_enabled());
+        r.set_attrib(true);
+        let w = Sor::new(16);
+        r.run(&w, 4).unwrap();
+        let attribs = r.take_attribs();
+        assert_eq!(attribs.len(), 1);
+        let (label, json) = &attribs[0];
+        assert!(
+            label.starts_with("sor/") && label.ends_with("/4p"),
+            "{label}"
+        );
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"resources\""));
+        // Classification was forced on: the causes section carries counts.
+        assert!(json.contains("\"cold\""), "{json}");
+        // Drained: a second take returns nothing.
+        assert!(r.take_attribs().is_empty());
     }
 
     #[test]

@@ -209,6 +209,13 @@ impl Cache {
         self.ways.iter().flatten().count()
     }
 
+    /// Total line capacity (sets × associativity). An eviction while
+    /// `occupancy() < capacity_lines()` is a *conflict* (set pressure with
+    /// room elsewhere); at full occupancy it is a *capacity* eviction.
+    pub fn capacity_lines(&self) -> usize {
+        self.ways.len()
+    }
+
     /// All resident lines and their states (validation and debugging).
     pub fn resident_lines(&self) -> Vec<(u64, LineState)> {
         self.ways

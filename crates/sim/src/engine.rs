@@ -15,9 +15,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::mpsc::{Receiver, SyncSender};
 
+use crate::attrib::{word_mask, MissCause, CAUSE_OTHER};
 use crate::config::{BarrierImpl, LockImpl, MachineConfig};
 use crate::error::SimError;
-use crate::memsys::{AccessClass, AccessKind, MemorySystem, MissOrigin, Outcome};
+use crate::memsys::{AccessClass, AccessKind, MemorySystem, Outcome};
 use crate::page::Addr;
 use crate::profile::Profiler;
 use crate::proto::{MemOp, OpKind, Reply, Request};
@@ -304,12 +305,30 @@ impl Engine {
         stats.invals_sent += u64::from(o.invals);
         stats.writebacks += u64::from(o.writeback);
         stats.prefetch_late += u64::from(o.late_prefetch);
-        match o.miss_origin {
-            Some(MissOrigin::Cold) => stats.misses_cold += 1,
-            Some(MissOrigin::Coherence) => stats.misses_coherence += 1,
-            Some(MissOrigin::Capacity) => stats.misses_capacity += 1,
-            None => {}
-        }
+        stats.miss_hops += u64::from(o.hops);
+        stats.mem_breakdown.add(&o.breakdown);
+        let cause_slot = match o.miss_cause {
+            Some(MissCause::Cold) => {
+                stats.misses_cold += 1;
+                MissCause::Cold.index()
+            }
+            Some(c @ (MissCause::CoherenceTrueShare | MissCause::CoherenceFalseShare)) => {
+                stats.misses_coherence += 1;
+                if c == MissCause::CoherenceFalseShare {
+                    stats.misses_false_share += 1;
+                }
+                c.index()
+            }
+            Some(c @ (MissCause::Capacity | MissCause::Conflict)) => {
+                stats.misses_capacity += 1;
+                if c == MissCause::Conflict {
+                    stats.misses_conflict += 1;
+                }
+                c.index()
+            }
+            None => CAUSE_OTHER,
+        };
+        stats.mem_cause_ns[cause_slot] += o.latency;
         let (t0, ph) = (rt.clock, rt.phase);
         rt.clock += o.latency;
         let s = self.slice(p, ph);
@@ -319,6 +338,8 @@ impl Engine {
         } else {
             s.mem_remote_ns += o.latency;
         }
+        s.mem_breakdown.add(&o.breakdown);
+        s.mem_cause_ns[cause_slot] += o.latency;
         if self.tracer.enabled() {
             let k = if o.home_local {
                 SpanKind::MemLocal
@@ -354,9 +375,16 @@ impl Engine {
                         } else {
                             AccessKind::Write
                         };
-                        let o = self.mem.access(p, addr, kind, self.procs[p].clock);
+                        // The op's true byte range, clipped to this line,
+                        // is the word footprint false-sharing detection
+                        // runs on.
+                        let mask = word_mask(addr, line_bytes, op.addr, op.addr + op.bytes);
+                        let o = self
+                            .mem
+                            .access_masked(p, addr, kind, self.procs[p].clock, mask);
                         if !self.profiler.is_empty() {
-                            self.profiler.attribute(addr, kind, &o, self.procs[p].phase);
+                            self.profiler
+                                .attribute(p, addr, kind, &o, self.procs[p].phase);
                         }
                         self.charge_access(p, kind, &o);
                     }
@@ -382,12 +410,19 @@ impl Engine {
     fn sample_gauges(&mut self, now: Ns) {
         if let Some(t) = self.tracer.gauge_due(now) {
             let (mut acc, mut miss, mut stall) = (0u64, 0u64, 0);
+            let (mut coh, mut false_share, mut queue) = (0u64, 0u64, 0);
             for p in &self.procs {
                 acc += p.stats.accesses();
                 miss += p.stats.misses();
                 stall += p.stats.mem_ns;
+                coh += p.stats.misses_coherence;
+                false_share += p.stats.misses_false_share;
+                queue += p.stats.mem_breakdown.queue_total();
             }
-            let totals = gauge_totals(acc, miss, stall, &self.mem.contention.summary());
+            let mut totals = gauge_totals(acc, miss, stall, &self.mem.contention.summary());
+            totals.coherence_misses = coh;
+            totals.false_share_misses = false_share;
+            totals.queue_wait_ns = queue;
             self.tracer.push_gauge(t, totals);
         }
     }

@@ -27,6 +27,10 @@
 //! * **Tracing** — time- and phase-resolved execution traces with
 //!   Chrome-trace/Perfetto export and machine-wide gauge sampling
 //!   ([`trace`]), plus per-phase time breakdowns in [`stats`].
+//! * **Attribution** — every miss classified by cause (cold / capacity /
+//!   conflict / true- and false-sharing coherence) and every stalled
+//!   nanosecond split into uncontended service vs. queueing per resource
+//!   ([`attrib`]), down to named data ranges ([`profile`]).
 //!
 //! Applications are ordinary Rust closures run on one OS thread per
 //! simulated processor; they compute *real, verifiable results* on data in
@@ -71,6 +75,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod cache;
 pub mod config;
 pub mod contend;
@@ -95,6 +100,7 @@ mod proto;
 
 /// The types most applications need, in one import.
 pub mod prelude {
+    pub use crate::attrib::{LatencyBreakdown, MissCause, ResourceClass};
     pub use crate::config::{
         BarrierImpl, CacheConfig, CostModel, LockImpl, MachineConfig, MigrationConfig,
         PagePlacement,

@@ -1,6 +1,7 @@
 //! Execution statistics: the per-processor Busy / Memory / Synchronization
 //! breakdown that drives every figure in the paper, plus event counters.
 
+use crate::attrib::{LatencyBreakdown, CAUSE_SLOTS};
 use crate::contend::ResourceTotals;
 use crate::time::Ns;
 
@@ -60,6 +61,21 @@ pub struct ProcStats {
     /// Misses to lines this processor once cached and then evicted —
     /// capacity/conflict misses (ditto).
     pub misses_capacity: u64,
+    /// Of `misses_capacity`, misses whose eviction left free lines in other
+    /// sets — pure conflict (mapping) misses (ditto).
+    pub misses_conflict: u64,
+    /// Of `misses_coherence`, misses where the invalidating write touched
+    /// only words this processor never accessed — false sharing (ditto).
+    pub misses_false_share: u64,
+    /// One-way network hops traversed by this processor's misses (divide by
+    /// remote misses for the average distance to data).
+    pub miss_hops: u64,
+    /// Exact decomposition of `mem_ns` into per-resource service/queueing;
+    /// `mem_breakdown.total() == mem_ns` always holds.
+    pub mem_breakdown: LatencyBreakdown,
+    /// `mem_ns` split by miss cause ([`MissCause::index`](crate::attrib::MissCause::index) slots, plus
+    /// [`CAUSE_OTHER`](crate::attrib::CAUSE_OTHER) for hits/upgrades/unclassified stall).
+    pub mem_cause_ns: [Ns; CAUSE_SLOTS],
 }
 
 impl ProcStats {
@@ -81,6 +97,20 @@ impl ProcStats {
     /// All misses.
     pub fn misses(&self) -> u64 {
         self.misses_local + self.misses_remote_clean + self.misses_remote_dirty
+    }
+
+    /// Classified miss counts by [`MissCause::index`](crate::attrib::MissCause::index) slot:
+    /// `[cold, capacity (excl. conflict), conflict, coh-true, coh-false]`.
+    /// All zeros unless `classify_misses` was enabled. The five slots sum
+    /// to [`misses`](Self::misses) when classification was on.
+    pub fn cause_counts(&self) -> [u64; 5] {
+        [
+            self.misses_cold,
+            self.misses_capacity - self.misses_conflict,
+            self.misses_conflict,
+            self.misses_coherence - self.misses_false_share,
+            self.misses_false_share,
+        ]
     }
 
     /// The (busy, memory, sync) shares of this processor's time, in percent.
@@ -115,6 +145,11 @@ pub struct PhaseBreakdown {
     pub sync_wait_ns: Ns,
     /// Overhead of synchronization operations themselves.
     pub sync_op_ns: Ns,
+    /// Exact per-resource service/queueing decomposition of `mem_ns`.
+    pub mem_breakdown: LatencyBreakdown,
+    /// `mem_ns` split by miss cause (see
+    /// [`ProcStats::mem_cause_ns`]).
+    pub mem_cause_ns: [Ns; CAUSE_SLOTS],
 }
 
 impl PhaseBreakdown {
@@ -136,6 +171,10 @@ impl PhaseBreakdown {
         self.mem_remote_ns += o.mem_remote_ns;
         self.sync_wait_ns += o.sync_wait_ns;
         self.sync_op_ns += o.sync_op_ns;
+        self.mem_breakdown.add(&o.mem_breakdown);
+        for i in 0..CAUSE_SLOTS {
+            self.mem_cause_ns[i] += o.mem_cause_ns[i];
+        }
     }
 }
 
@@ -232,6 +271,52 @@ impl RunStats {
     pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
         self.phases.iter().find(|p| p.name == name)
     }
+
+    /// Machine-wide memory-stall decomposition: the sum of every
+    /// processor's [`ProcStats::mem_breakdown`]. Its `total()` equals the
+    /// summed `mem_ns` exactly.
+    pub fn mem_breakdown(&self) -> LatencyBreakdown {
+        let mut b = LatencyBreakdown::default();
+        for p in &self.procs {
+            b.add(&p.mem_breakdown);
+        }
+        b
+    }
+
+    /// Machine-wide classified miss counts by [`MissCause::index`](crate::attrib::MissCause::index) slot
+    /// (all zeros unless `classify_misses` was enabled).
+    pub fn cause_counts(&self) -> [u64; 5] {
+        let mut c = [0u64; 5];
+        for p in &self.procs {
+            let pc = p.cause_counts();
+            for i in 0..5 {
+                c[i] += pc[i];
+            }
+        }
+        c
+    }
+
+    /// Machine-wide memory stall by cause slot (the five [`MissCause`](crate::attrib::MissCause)s
+    /// plus [`CAUSE_OTHER`](crate::attrib::CAUSE_OTHER)); sums to the machine's total `mem_ns`.
+    pub fn cause_stall_ns(&self) -> [Ns; CAUSE_SLOTS] {
+        let mut c = [0; CAUSE_SLOTS];
+        for p in &self.procs {
+            for (slot, ns) in c.iter_mut().zip(&p.mem_cause_ns) {
+                *slot += ns;
+            }
+        }
+        c
+    }
+
+    /// Average one-way network hops per miss — the run's distance-to-data
+    /// (local misses count as 0 hops). 0.0 when there were no misses.
+    pub fn avg_miss_hops(&self) -> f64 {
+        let misses = self.total(|p| p.misses());
+        if misses == 0 {
+            return 0.0;
+        }
+        self.total(|p| p.miss_hops) as f64 / misses as f64
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +408,68 @@ mod tests {
     }
 
     #[test]
+    fn cause_counts_split_subset_counters() {
+        let p = ProcStats {
+            misses_cold: 3,
+            misses_capacity: 10,
+            misses_conflict: 4,
+            misses_coherence: 7,
+            misses_false_share: 2,
+            ..Default::default()
+        };
+        assert_eq!(p.cause_counts(), [3, 6, 4, 5, 2]);
+        let rs = RunStats {
+            procs: vec![p.clone(), p],
+            wall_ns: 0,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: Vec::new(),
+            phases: Vec::new(),
+            trace: None,
+        };
+        assert_eq!(rs.cause_counts(), [6, 12, 8, 10, 4]);
+        assert_eq!(rs.cause_counts().iter().sum::<u64>(), 2 * (3 + 10 + 7));
+    }
+
+    #[test]
+    fn run_breakdown_and_hops_aggregate() {
+        let mut p = ProcStats {
+            mem_ns: 100,
+            misses_local: 2,
+            misses_remote_clean: 2,
+            miss_hops: 8,
+            ..Default::default()
+        };
+        p.mem_breakdown.queue[0] = 60;
+        p.mem_breakdown.other_ns = 40;
+        let rs = RunStats {
+            procs: vec![p.clone(), p],
+            wall_ns: 0,
+            page_migrations: 0,
+            resources: Default::default(),
+            ranges: Vec::new(),
+            phases: Vec::new(),
+            trace: None,
+        };
+        assert_eq!(rs.mem_breakdown().total(), rs.total(|p| p.mem_ns));
+        assert_eq!(rs.mem_breakdown().queue_total(), 120);
+        assert!((rs.avg_miss_hops() - 2.0).abs() < 1e-12);
+        assert_eq!(
+            RunStats {
+                procs: vec![],
+                wall_ns: 0,
+                page_migrations: 0,
+                resources: Default::default(),
+                ranges: Vec::new(),
+                phases: Vec::new(),
+                trace: None,
+            }
+            .avg_miss_hops(),
+            0.0
+        );
+    }
+
+    #[test]
     fn phase_breakdown_totals_and_shares() {
         let b = PhaseBreakdown {
             busy_ns: 50,
@@ -331,6 +478,7 @@ mod tests {
             mem_remote_ns: 20,
             sync_wait_ns: 15,
             sync_op_ns: 5,
+            ..Default::default()
         };
         assert_eq!(b.sync_ns(), 20);
         assert_eq!(b.total_ns(), 100);

@@ -184,6 +184,14 @@ pub struct GaugeSample {
     pub router_occ_pct: f64,
     /// Mean number of outstanding misses (memory stall ns per ns).
     pub outstanding: f64,
+    /// Coherence misses over the interval, percent of misses (zero unless
+    /// `classify_misses` was enabled).
+    pub coherence_pct: f64,
+    /// False-sharing misses over the interval, percent of misses (ditto).
+    pub false_share_pct: f64,
+    /// Share of the interval's memory stall spent queueing for contended
+    /// resources, percent.
+    pub queue_pct: f64,
 }
 
 /// Cumulative machine counters handed to the buffer at each sample point;
@@ -195,6 +203,12 @@ pub(crate) struct GaugeTotals {
     pub mem_stall_ns: Ns,
     /// Cumulative busy ns of hubs, memories, routers.
     pub busy_ns: [Ns; 3],
+    /// Cumulative coherence misses (zero unless classification is on).
+    pub coherence_misses: u64,
+    /// Cumulative false-sharing misses (ditto).
+    pub false_share_misses: u64,
+    /// Cumulative queueing delay inside the memory stall.
+    pub queue_wait_ns: Ns,
 }
 
 const DEFAULT_EPOCH_NS: Ns = 4096;
@@ -392,6 +406,19 @@ impl TraceBuffer {
             let busy = totals.busy_ns[i] - self.last.busy_ns[i];
             100.0 * busy as f64 / (dt as f64 * self.counts[i].max(1) as f64)
         };
+        let of_misses = |d: u64| {
+            if d_miss == 0 {
+                0.0
+            } else {
+                100.0 * d as f64 / d_miss as f64
+            }
+        };
+        let d_stall = totals.mem_stall_ns - self.last.mem_stall_ns;
+        let queue_pct = if d_stall == 0 {
+            0.0
+        } else {
+            100.0 * (totals.queue_wait_ns - self.last.queue_wait_ns) as f64 / d_stall as f64
+        };
         self.gauges.push(GaugeSample {
             t,
             interval_ns: dt,
@@ -399,7 +426,10 @@ impl TraceBuffer {
             hub_occ_pct: occ(0),
             mem_occ_pct: occ(1),
             router_occ_pct: occ(2),
-            outstanding: (totals.mem_stall_ns - self.last.mem_stall_ns) as f64 / dt as f64,
+            outstanding: d_stall as f64 / dt as f64,
+            coherence_pct: of_misses(totals.coherence_misses - self.last.coherence_misses),
+            false_share_pct: of_misses(totals.false_share_misses - self.last.false_share_misses),
+            queue_pct,
         });
         self.last_t = t;
         self.last = totals;
@@ -428,6 +458,9 @@ impl TraceBuffer {
                 mem_occ_pct: avg(a.mem_occ_pct, b.mem_occ_pct),
                 router_occ_pct: avg(a.router_occ_pct, b.router_occ_pct),
                 outstanding: avg(a.outstanding, b.outstanding),
+                coherence_pct: avg(a.coherence_pct, b.coherence_pct),
+                false_share_pct: avg(a.false_share_pct, b.false_share_pct),
+                queue_pct: avg(a.queue_pct, b.queue_pct),
             });
         }
         out.extend(it.remainder().iter().copied());
@@ -600,6 +633,19 @@ impl Trace {
                 us(g.t),
                 g.outstanding
             ));
+            emit(format!(
+                "{{\"name\":\"miss causes %\",\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"coherence\":{:.3},\"false_share\":{:.3}}}}}",
+                us(g.t),
+                g.coherence_pct,
+                g.false_share_pct
+            ));
+            emit(format!(
+                "{{\"name\":\"stall queueing %\",\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"pct\":{:.3}}}}}",
+                us(g.t),
+                g.queue_pct
+            ));
         }
     }
 }
@@ -661,6 +707,7 @@ pub(crate) fn gauge_totals(
             resources[1].busy_ns,
             resources[2].busy_ns,
         ],
+        ..GaugeTotals::default()
     }
 }
 
