@@ -1,7 +1,7 @@
-//! `bench` — attribution regression harness.
+//! `bench` — attribution regression harness and matrix sweep driver.
 //!
 //! ```text
-//! bench regress [--check] [--baseline <file>] [--tolerance <pct>]
+//! bench regress [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]
 //!
 //! regress             run the pinned workload matrix and write the
 //!                     attribution snapshot to BENCH_attrib.json
@@ -11,14 +11,57 @@
 //!                     BENCH_attrib.current.json for inspection)
 //! --baseline <file>   baseline path (default BENCH_attrib.json)
 //! --tolerance <pct>   allowed relative drift per metric (default 2.0)
+//! --jobs <n>          simulate matrix points on n host threads (default 1;
+//!                     results are bit-identical at any job count)
+//!
+//! bench sweep [key=value ...] [--jobs <n>] [--store <file>] [--resume]
+//!             [--retry-quarantined] [--retries <n>] [--timeout-s <s>]
+//!             [--attrib-dir <dir>] [--trace-dir <dir>]
+//!             [--inject-panic <label>] [--require-cached] [--quiet]
+//!
+//! sweep               expand an apps × versions × procs matrix and run
+//!                     every cell, appending results to a crash-safe JSONL
+//!                     store keyed by content hash
+//!   key=value ...     matrix DSL, e.g.:
+//!                       apps=fft,ocean versions=orig procs=2,4,8
+//!                       scale=quick sizes=sweep attrib=on trace=on
+//!                     defaults: scale=quick apps=all versions=both
+//!                     procs=scale sizes=basic attrib=off trace=off
+//! --jobs <n>          worker threads (default 1)
+//! --store <file>      JSONL result store (default sweep_results.jsonl)
+//! --resume            skip cells whose key hash is already in the store
+//! --retry-quarantined with --resume, also re-run non-ok cells
+//! --retries <n>       extra attempts after a panic/timeout (default 0)
+//! --timeout-s <s>     per-attempt wall-clock budget in seconds
+//! --attrib-dir <dir>  write per-cell attribution JSON here (use attrib=on)
+//! --trace-dir <dir>   write per-cell Chrome traces here (use trace=on)
+//! --inject-panic <l>  make the cell labelled <l> panic (fault injection)
+//! --require-cached    exit 2 if any cell had to execute (CI resume check)
+//! --quiet             suppress per-cell progress lines
+//!
+//! exit status: 0 clean; 1 quarantined cells or drift; 2 usage or a
+//! --require-cached miss.
 //! ```
 
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ccnuma_sweep::matrix::MatrixSpec;
+use ccnuma_sweep::{sweep, SweepConfig};
 use study_bench::regress;
 
 const DEFAULT_BASELINE: &str = "BENCH_attrib.json";
 
 fn usage(code: i32) -> ! {
-    eprintln!("usage: bench regress [--check] [--baseline <file>] [--tolerance <pct>]");
+    eprintln!(
+        "usage: bench regress [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]"
+    );
+    eprintln!(
+        "       bench sweep [key=value ...] [--jobs <n>] [--store <file>] [--resume]\n\
+         \x20                  [--retry-quarantined] [--retries <n>] [--timeout-s <s>]\n\
+         \x20                  [--attrib-dir <dir>] [--trace-dir <dir>]\n\
+         \x20                  [--inject-panic <label>] [--require-cached] [--quiet]"
+    );
     std::process::exit(code);
 }
 
@@ -29,10 +72,29 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("regress") => cmd_regress(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("--help" | "-h") => usage(0),
+        _ => usage(2),
+    }
+}
+
+fn parse_count(it: &mut std::slice::Iter<'_, String>, flag: &str) -> usize {
+    match it.next().map(|v| v.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => n,
+        _ => {
+            eprintln!("error: {flag} needs a positive integer");
+            usage(2);
+        }
+    }
+}
+
+fn cmd_regress(args: &[String]) -> ! {
     let mut check = false;
     let mut baseline = DEFAULT_BASELINE.to_string();
     let mut tolerance = 100.0 * regress::DEFAULT_TOLERANCE;
-    let mut subcommand = None;
+    let mut jobs = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -45,25 +107,22 @@ fn main() {
                 Some(Ok(t)) if t >= 0.0 => tolerance = t,
                 _ => usage(2),
             },
+            "--jobs" => jobs = parse_count(&mut it, "--jobs"),
             "--help" | "-h" => usage(0),
-            "regress" if subcommand.is_none() => subcommand = Some("regress"),
             other => {
                 eprintln!("error: unexpected argument {other:?}");
                 usage(2);
             }
         }
     }
-    if subcommand != Some("regress") {
-        usage(2);
-    }
 
     eprintln!(
-        "[bench] measuring the pinned matrix ({} apps x {} proc counts)...",
+        "[bench] measuring the pinned matrix ({} apps x {} proc counts, {jobs} job(s))...",
         regress::MATRIX_APPS.len(),
         regress::MATRIX_PROCS.len()
     );
     let t0 = std::time::Instant::now();
-    let current = match regress::measure() {
+    let current = match regress::measure_with_jobs(jobs) {
         Ok(c) => c,
         Err(e) => fail(&format!("measurement failed: {e}")),
     };
@@ -78,7 +137,7 @@ fn main() {
             fail(&format!("cannot write {baseline}: {e}"));
         }
         eprintln!("[bench] wrote baseline {baseline}");
-        return;
+        std::process::exit(0);
     }
 
     let doc = match std::fs::read_to_string(&baseline) {
@@ -97,7 +156,7 @@ fn main() {
             "[bench] OK: {} points within {tolerance}% of {baseline}",
             current.len()
         );
-        return;
+        std::process::exit(0);
     }
     let current_path = format!("{baseline}.current.json");
     let current_path = current_path.replace(".json.current.json", ".current.json");
@@ -111,4 +170,118 @@ fn main() {
         eprintln!("  {m}");
     }
     std::process::exit(1);
+}
+
+fn cmd_sweep(args: &[String]) -> ! {
+    let mut dsl: Vec<&str> = Vec::new();
+    let mut cfg = SweepConfig {
+        progress: true,
+        ..Default::default()
+    };
+    let mut require_cached = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => cfg.jobs = parse_count(&mut it, "--jobs"),
+            "--store" => match it.next() {
+                Some(f) => cfg.store_path = PathBuf::from(f),
+                None => usage(2),
+            },
+            "--resume" => cfg.resume = true,
+            "--retry-quarantined" => cfg.retry_quarantined = true,
+            "--retries" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => cfg.opts.retries = n,
+                _ => usage(2),
+            },
+            "--timeout-s" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) if s >= 1 => cfg.opts.timeout = Some(Duration::from_secs(s)),
+                _ => usage(2),
+            },
+            "--attrib-dir" => match it.next() {
+                Some(d) => cfg.attrib_dir = Some(PathBuf::from(d)),
+                None => usage(2),
+            },
+            "--trace-dir" => match it.next() {
+                Some(d) => cfg.trace_dir = Some(PathBuf::from(d)),
+                None => usage(2),
+            },
+            "--inject-panic" => match it.next() {
+                Some(l) => cfg.opts.inject_panic = Some(l.clone()),
+                None => usage(2),
+            },
+            "--require-cached" => require_cached = true,
+            "--quiet" => cfg.progress = false,
+            "--help" | "-h" => usage(0),
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                usage(2);
+            }
+            tok => dsl.push(tok),
+        }
+    }
+    if cfg.retry_quarantined && !cfg.resume {
+        eprintln!("error: --retry-quarantined only makes sense with --resume");
+        usage(2);
+    }
+
+    let matrix = match MatrixSpec::parse(&dsl.join(" ")) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: bad matrix: {e}");
+            usage(2);
+        }
+    };
+    let cells = matrix.cells();
+    eprintln!(
+        "[sweep] {} cell(s), {} job(s), store {}",
+        cells.len(),
+        cfg.jobs,
+        cfg.store_path.display()
+    );
+    let t0 = std::time::Instant::now();
+    let out = match sweep(&matrix, &cfg) {
+        Ok(o) => o,
+        Err(e) => fail(&format!("sweep failed: {e}")),
+    };
+    if out.dropped_lines > 0 {
+        eprintln!(
+            "[sweep] dropped {} torn/foreign store line(s); their cells re-ran",
+            out.dropped_lines
+        );
+    }
+    eprintln!(
+        "[sweep] done in {:.1?}: {} cell(s) — executed {}, cached {}, quarantined {}, steals {}",
+        t0.elapsed(),
+        out.records.len(),
+        out.executed,
+        out.cached,
+        out.quarantined.len(),
+        out.steals,
+    );
+    if !out.quarantined.is_empty() {
+        for label in &out.quarantined {
+            let rec = out
+                .records
+                .iter()
+                .find(|r| &r.label == label)
+                .expect("quarantined label has a record");
+            eprintln!(
+                "[sweep] quarantined: {label} ({}{})",
+                rec.status.name(),
+                rec.error
+                    .as_deref()
+                    .map(|e| format!(": {e}"))
+                    .unwrap_or_default()
+            );
+        }
+        std::process::exit(1);
+    }
+    if require_cached && out.executed > 0 {
+        eprintln!(
+            "error: --require-cached, but {} cell(s) executed (resume cache miss)",
+            out.executed
+        );
+        std::process::exit(2);
+    }
+    std::process::exit(0);
 }

@@ -882,9 +882,99 @@ pub fn guidelines() -> Table {
     t
 }
 
+/// Every experiment `repro` can run, in `repro all` order. The names
+/// `fig5` through `fig8` are accepted as aliases of `"fig5-8"` by
+/// [`run_experiment`] but are not listed here.
+pub const EXPERIMENT_NAMES: &[&str] = &[
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5-8",
+    "fig9",
+    "fig10",
+    "table3",
+    "prefetch",
+    "migration",
+    "sync",
+    "mapping",
+    "nodeshare",
+    "svm",
+    "profile",
+    "phases",
+    "attrib",
+    "ablation",
+    "guidelines",
+];
+
+/// Whether `name` is a known experiment (including the `fig5`..`fig8`
+/// aliases).
+pub fn is_experiment(name: &str) -> bool {
+    EXPERIMENT_NAMES.contains(&name) || matches!(name, "fig5" | "fig6" | "fig7" | "fig8")
+}
+
+/// Runs one named experiment and returns its tables, or `None` for an
+/// unknown name — the single dispatch point shared by the `repro`
+/// binary and the test suite, so the two cannot drift apart.
+///
+/// # Errors
+///
+/// Propagates any simulation or verification failure.
+pub fn run_experiment(
+    name: &str,
+    runner: &mut Runner,
+    scale: Scale,
+) -> Option<Result<Vec<Table>, StudyError>> {
+    let tables = match name {
+        "table1" => Ok(vec![table1()]),
+        "table2" => table2(runner, scale).map(|t| vec![t]),
+        "fig2" => fig2(runner, scale).map(|t| vec![t]),
+        "fig3" => fig3(runner, scale).map(|t| vec![t]),
+        "fig4" => fig4(runner, scale),
+        "fig5-8" | "fig5" | "fig6" | "fig7" | "fig8" => figs5to8(runner, scale),
+        "fig9" => fig9(runner, scale).map(|t| vec![t]),
+        "fig10" => fig10(runner, scale).map(|t| vec![t]),
+        "table3" => table3(runner, scale).map(|t| vec![t]),
+        "prefetch" => prefetch(runner, scale).map(|t| vec![t]),
+        "migration" => migration(runner, scale).map(|t| vec![t]),
+        "sync" => sync(runner, scale),
+        "mapping" => mapping(runner, scale).map(|t| vec![t]),
+        "nodeshare" => nodeshare(runner, scale).map(|t| vec![t]),
+        "svm" => svm(runner, scale).map(|t| vec![t]),
+        "ablation" => ablation(runner, scale).map(|t| vec![t]),
+        "profile" => profile(runner, scale),
+        "phases" => phases(runner, scale),
+        "attrib" => attrib(runner, scale),
+        "guidelines" => Ok(vec![guidelines()]),
+        _ => return None,
+    };
+    Some(tables)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_listed_experiment_dispatches() {
+        let mut r = runner_for(Scale::Quick);
+        for name in EXPERIMENT_NAMES {
+            assert!(is_experiment(name), "{name}");
+            // table1/guidelines actually run here; the rest only need to
+            // resolve — the full quick execution lives in the
+            // experiments_all integration test.
+            if matches!(*name, "table1" | "guidelines") {
+                let tables = run_experiment(name, &mut r, Scale::Quick)
+                    .expect("known name")
+                    .expect("static experiment");
+                assert!(!tables.is_empty());
+            }
+        }
+        assert!(run_experiment("nope", &mut r, Scale::Quick).is_none());
+        assert!(!is_experiment("nope"));
+        assert!(is_experiment("fig7"), "aliases resolve");
+    }
 
     #[test]
     fn table1_reports_five_machines() {

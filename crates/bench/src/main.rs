@@ -90,29 +90,8 @@ fn run_one(
     if opts.attrib.is_some() {
         runner.set_attrib(true);
     }
-    let tables: Vec<Table> = match name {
-        "table1" => vec![figures::table1()],
-        "table2" => vec![figures::table2(&mut runner, scale)?],
-        "fig2" => vec![figures::fig2(&mut runner, scale)?],
-        "fig3" => vec![figures::fig3(&mut runner, scale)?],
-        "fig4" => figures::fig4(&mut runner, scale)?,
-        "fig5-8" | "fig5" | "fig6" | "fig7" | "fig8" => figures::figs5to8(&mut runner, scale)?,
-        "fig9" => vec![figures::fig9(&mut runner, scale)?],
-        "fig10" => vec![figures::fig10(&mut runner, scale)?],
-        "table3" => vec![figures::table3(&mut runner, scale)?],
-        "prefetch" => vec![figures::prefetch(&mut runner, scale)?],
-        "migration" => vec![figures::migration(&mut runner, scale)?],
-        "sync" => figures::sync(&mut runner, scale)?,
-        "mapping" => vec![figures::mapping(&mut runner, scale)?],
-        "nodeshare" => vec![figures::nodeshare(&mut runner, scale)?],
-        "svm" => vec![figures::svm(&mut runner, scale)?],
-        "ablation" => vec![figures::ablation(&mut runner, scale)?],
-        "profile" => figures::profile(&mut runner, scale)?,
-        "phases" => figures::phases(&mut runner, scale)?,
-        "attrib" => figures::attrib(&mut runner, scale)?,
-        "guidelines" => vec![figures::guidelines()],
-        other => return Err(format!("unknown experiment {other:?} (try --help)").into()),
-    };
+    let tables: Vec<Table> = figures::run_experiment(name, &mut runner, scale)
+        .ok_or_else(|| format!("unknown experiment {name:?} (try --help)"))??;
     emit_tables(&tables, opts, emitted)?;
     if opts.trace.is_some() {
         for (label, trace) in runner.take_traces() {
@@ -127,34 +106,11 @@ fn run_one(
     Ok(())
 }
 
-const ALL: &[&str] = &[
-    "table1",
-    "table2",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5-8",
-    "fig9",
-    "fig10",
-    "table3",
-    "prefetch",
-    "migration",
-    "sync",
-    "mapping",
-    "nodeshare",
-    "svm",
-    "profile",
-    "phases",
-    "attrib",
-    "ablation",
-    "guidelines",
-];
-
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>] [--attrib <dir>]"
     );
-    eprintln!("experiments: {} all", ALL.join(" "));
+    eprintln!("experiments: {} all", figures::EXPERIMENT_NAMES.join(" "));
     std::process::exit(code);
 }
 
@@ -228,10 +184,27 @@ fn main() {
         }
     }
     let selected: Vec<String> = if names.iter().any(|n| n == "all") {
-        ALL.iter().map(|s| s.to_string()).collect()
+        figures::EXPERIMENT_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         names
     };
+    // Validate every name up front: a typo anywhere in the list fails
+    // fast with the catalog on stderr, instead of surfacing only after
+    // the experiments before it have run.
+    let unknown: Vec<&String> = selected
+        .iter()
+        .filter(|n| !figures::is_experiment(n))
+        .collect();
+    if !unknown.is_empty() {
+        for n in &unknown {
+            eprintln!("error: unknown experiment {n:?}");
+        }
+        eprintln!("experiments: {} all", figures::EXPERIMENT_NAMES.join(" "));
+        std::process::exit(2);
+    }
     let mut traces: Vec<(String, Trace)> = Vec::new();
     let mut attribs: Vec<(String, String)> = Vec::new();
     let mut emitted: Vec<String> = Vec::new();

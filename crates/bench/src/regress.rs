@@ -82,6 +82,43 @@ pub fn measure() -> Result<Vec<RegressEntry>, StudyError> {
     Ok(out)
 }
 
+/// [`measure`] fanned out over the sweep engine's work-stealing pool:
+/// the same pinned matrix, the same entries in the same order, but each
+/// point simulated on its own host thread. The entries skip the
+/// sequential baselines [`Runner`] would compute (no field of
+/// [`RegressEntry`] needs one), so this is strictly less work per point
+/// as well as parallel across points — and still bit-identical to
+/// [`measure`], which `measure_is_jobs_invariant` pins.
+///
+/// # Errors
+///
+/// Propagates the first simulation or verification failure in matrix
+/// order.
+pub fn measure_with_jobs(jobs: usize) -> Result<Vec<RegressEntry>, StudyError> {
+    let scale = Scale::Quick;
+    let points: Vec<(&str, usize)> = MATRIX_APPS
+        .iter()
+        .flat_map(|&id| MATRIX_PROCS.iter().map(move |&np| (id, np)))
+        .collect();
+    let (results, _) = ccnuma_sweep::pool::run(&points, jobs, |&(id, np)| {
+        let w = basic(id, scale);
+        let mut cfg = ccnuma_sim::config::MachineConfig::origin2000_scaled(np, scale.cache_bytes());
+        cfg.classify_misses = true;
+        let (wall_ns, stats) = scaling_study::runner::execute_workload(w.as_ref(), cfg)?;
+        Ok(RegressEntry {
+            app: w.name(),
+            problem: w.problem(),
+            nprocs: np,
+            wall_ns,
+            mem_stall_ns: stats.total(|p| p.mem_ns),
+            queue_ns: stats.mem_breakdown().queue_total(),
+            misses: stats.total(|p| p.misses()),
+            causes: stats.cause_counts(),
+        })
+    });
+    results.into_iter().collect()
+}
+
 /// Serializes entries as the `BENCH_attrib.json` document.
 pub fn to_json(entries: &[RegressEntry]) -> String {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
@@ -315,5 +352,15 @@ mod tests {
         // Determinism: measuring again reproduces the snapshot bit-exactly.
         let again = measure().unwrap();
         assert_eq!(entries, again);
+    }
+
+    #[test]
+    fn measure_is_jobs_invariant() {
+        // The parallel path must reproduce the serial snapshot bit for
+        // bit, in the same pinned order — otherwise routing `bench
+        // regress` through the pool would churn BENCH_attrib.json.
+        let serial = measure().unwrap();
+        let parallel = measure_with_jobs(4).unwrap();
+        assert_eq!(serial, parallel);
     }
 }

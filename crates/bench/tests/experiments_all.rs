@@ -1,0 +1,33 @@
+//! Every experiment `repro` advertises must actually run at quick scale
+//! and produce at least one non-empty table — the guarantee behind
+//! `repro all --quick`, checked through the same dispatch function the
+//! binary uses so the catalog and the dispatcher cannot drift apart.
+
+use scaling_study::experiments::Scale;
+use study_bench::figures;
+
+#[test]
+fn every_advertised_experiment_runs_at_quick_scale() {
+    let mut runner = figures::runner_for(Scale::Quick);
+    for name in figures::EXPERIMENT_NAMES {
+        let tables = figures::run_experiment(name, &mut runner, Scale::Quick)
+            .unwrap_or_else(|| panic!("{name} is advertised but not dispatchable"))
+            .unwrap_or_else(|e| panic!("{name} failed at quick scale: {e}"));
+        assert!(!tables.is_empty(), "{name} produced no tables");
+        for t in &tables {
+            assert!(!t.title.is_empty(), "{name} produced an untitled table");
+        }
+    }
+}
+
+#[test]
+fn unknown_experiments_are_rejected_not_dispatched() {
+    let mut runner = figures::runner_for(Scale::Quick);
+    for bogus in ["fig11", "table9", "", "al", "allx"] {
+        assert!(
+            figures::run_experiment(bogus, &mut runner, Scale::Quick).is_none(),
+            "{bogus:?} must not dispatch"
+        );
+        assert!(!figures::is_experiment(bogus));
+    }
+}

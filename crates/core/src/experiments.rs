@@ -234,6 +234,59 @@ pub fn restructurings(s: Scale) -> Vec<Restructuring> {
     out
 }
 
+/// The canonical version identifier of an application's original form.
+pub const ORIGINAL_VERSION: &str = "orig";
+
+/// The version identifiers available for an application:
+/// [`ORIGINAL_VERSION`] first, then each restructured form of
+/// [`restructurings`] in restructuring-depth order. Restructured version
+/// ids are the suffix of the workload name (`"barnes/merge"` → `"merge"`),
+/// or the whole name when the restructuring is a different program
+/// (`"samplesort"` for radix). Apps without restructurings get only
+/// `["orig"]`.
+pub fn version_ids(app: &str) -> Vec<String> {
+    let mut out = vec![ORIGINAL_VERSION.to_string()];
+    for r in restructurings(Scale::Quick) {
+        if r.app == app {
+            for w in &r.restructured {
+                let name = w.name();
+                out.push(
+                    name.strip_prefix(&format!("{app}/"))
+                        .unwrap_or(&name)
+                        .to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Builds the workload for an `(application, version)` pair at scale `s`:
+/// `"orig"` is the basic workload of [`basic`]; any other id selects the
+/// matching restructured form from [`restructurings`] (which uses the
+/// paper's Figure-9 problem sizes — identical to the basic sizes at
+/// [`Scale::Quick`]). Returns `None` for an unknown app or version.
+pub fn versioned(app: &str, version: &str, s: Scale) -> Option<Box<dyn Workload>> {
+    if !APP_IDS.contains(&app) {
+        return None;
+    }
+    if version == ORIGINAL_VERSION {
+        return Some(basic(app, s));
+    }
+    for r in restructurings(s) {
+        if r.app != app {
+            continue;
+        }
+        for w in r.restructured {
+            let name = w.name();
+            if name == version || name == format!("{app}/{version}") {
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
 fn with_barnes(n: usize, variant: TreeBuild) -> Barnes {
     let mut a = Barnes::new(n);
     a.variant = variant;
@@ -313,6 +366,31 @@ mod tests {
     #[should_panic(expected = "unknown application")]
     fn unknown_id_panics() {
         basic("nope", Scale::Quick);
+    }
+
+    #[test]
+    fn version_catalog_matches_restructurings() {
+        assert_eq!(version_ids("barnes"), ["orig", "merge", "spatial"]);
+        assert_eq!(version_ids("radix"), ["orig", "samplesort"]);
+        assert_eq!(version_ids("ocean"), ["orig"]);
+        // Every advertised version builds, and its name round-trips.
+        for &app in APP_IDS {
+            for v in version_ids(app) {
+                let w = versioned(app, &v, Scale::Quick)
+                    .unwrap_or_else(|| panic!("{app}/{v} did not build"));
+                if v == ORIGINAL_VERSION {
+                    assert_eq!(w.name(), app);
+                } else {
+                    assert!(
+                        w.name() == v || w.name() == format!("{app}/{v}"),
+                        "{app}/{v} built {}",
+                        w.name()
+                    );
+                }
+            }
+        }
+        assert!(versioned("barnes", "nope", Scale::Quick).is_none());
+        assert!(versioned("nope", "orig", Scale::Quick).is_none());
     }
 
     #[test]

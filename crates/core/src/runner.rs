@@ -245,13 +245,32 @@ impl Runner {
     }
 
     fn execute(workload: &dyn Workload, cfg: MachineConfig) -> Result<(Ns, RunStats), StudyError> {
-        let mut machine = Machine::new(cfg)?;
-        let job = workload.build(&mut machine);
-        let body = job.body;
-        let stats = machine.run(move |ctx| body(ctx))?;
-        (job.verify)().map_err(StudyError::Verify)?;
-        Ok((stats.wall_ns, stats))
+        execute_workload(workload, cfg)
     }
+}
+
+/// Runs `workload` once on a machine configured by `cfg`, verifying the
+/// computed result, and returns the wall-clock and full statistics.
+///
+/// This is the stateless core of [`Runner::run_on`] — it needs no `&mut
+/// Runner`, holds no caches, and everything it touches is plain data, so
+/// parallel drivers (the `sweep` engine) can call it concurrently from
+/// many host threads, constructing the workload inside each worker.
+///
+/// # Errors
+///
+/// Returns [`StudyError::Sim`] on simulation failure and
+/// [`StudyError::Verify`] if the computed result is wrong.
+pub fn execute_workload(
+    workload: &dyn Workload,
+    cfg: MachineConfig,
+) -> Result<(Ns, RunStats), StudyError> {
+    let mut machine = Machine::new(cfg)?;
+    let job = workload.build(&mut machine);
+    let body = job.body;
+    let stats = machine.run(move |ctx| body(ctx))?;
+    (job.verify)().map_err(StudyError::Verify)?;
+    Ok((stats.wall_ns, stats))
 }
 
 #[cfg(test)]

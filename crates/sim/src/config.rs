@@ -17,6 +17,39 @@ use crate::trace::TraceConfig;
 /// Maximum number of simulated processors (directory sharer sets are `u128`).
 pub const MAX_PROCS: usize = 128;
 
+/// A 64-bit FNV-1a streaming hash — the dependency-free content hash
+/// behind [`MachineConfig::stable_fingerprint`] and the sweep engine's
+/// run keys. Unlike [`std::hash::DefaultHasher`], its output is pinned:
+/// it will never change across Rust releases, so hashes can be persisted.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// The standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Geometry of the per-processor second-level cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -289,6 +322,95 @@ impl MachineConfig {
         })
     }
 
+    /// The semantically relevant fields of this configuration as sorted
+    /// `key=value` lines — the canonical form behind
+    /// [`MachineConfig::stable_fingerprint`].
+    ///
+    /// Everything that can change a run's *results* is included: machine
+    /// shape, cache geometry, paging, latencies, topology, mapping,
+    /// placement/migration, synchronization primitives, prefetch, miss
+    /// classification (it adds counters to the stats), and the cost model.
+    /// Tracing is excluded — it observes a run without perturbing it.
+    pub fn stable_fields(&self) -> Vec<(String, String)> {
+        let l = &self.latency;
+        let mut kv: Vec<(String, String)> = vec![
+            ("nprocs".into(), self.nprocs.to_string()),
+            ("procs_per_node".into(), self.procs_per_node.to_string()),
+            ("nodes_per_router".into(), self.nodes_per_router.to_string()),
+            ("cache.size_bytes".into(), self.cache.size_bytes.to_string()),
+            ("cache.assoc".into(), self.cache.assoc.to_string()),
+            ("cache.line_bytes".into(), self.cache.line_bytes.to_string()),
+            ("page_bytes".into(), self.page_bytes.to_string()),
+            (
+                "mem_per_node_bytes".into(),
+                self.mem_per_node_bytes.to_string(),
+            ),
+            ("latency.name".into(), l.name.to_string()),
+            ("latency.l2_hit_ns".into(), l.l2_hit_ns.to_string()),
+            ("latency.local_ns".into(), l.local_ns.to_string()),
+            (
+                "latency.remote_clean_ns".into(),
+                l.remote_clean_ns.to_string(),
+            ),
+            (
+                "latency.remote_dirty_ns".into(),
+                l.remote_dirty_ns.to_string(),
+            ),
+            ("latency.link_ns".into(), l.link_ns.to_string()),
+            ("latency.metarouter_ns".into(), l.metarouter_ns.to_string()),
+            ("latency.hub_occ_ns".into(), l.hub_occ_ns.to_string()),
+            ("latency.mem_occ_ns".into(), l.mem_occ_ns.to_string()),
+            ("latency.router_occ_ns".into(), l.router_occ_ns.to_string()),
+            (
+                "latency.metarouter_occ_ns".into(),
+                l.metarouter_occ_ns.to_string(),
+            ),
+            ("latency.inval_ns".into(), l.inval_ns.to_string()),
+            ("latency.llsc_extra_ns".into(), l.llsc_extra_ns.to_string()),
+            ("latency.fetchop_ns".into(), l.fetchop_ns.to_string()),
+            (
+                "latency.prefetch_issue_ns".into(),
+                l.prefetch_issue_ns.to_string(),
+            ),
+            (
+                "latency.page_migrate_ns".into(),
+                l.page_migrate_ns.to_string(),
+            ),
+            ("topology".into(), format!("{:?}", self.topology_kind())),
+            ("mapping".into(), format!("{:?}", self.mapping)),
+            ("placement".into(), format!("{:?}", self.placement)),
+            ("migration".into(), format!("{:?}", self.migration)),
+            ("lock_impl".into(), format!("{:?}", self.lock_impl)),
+            ("barrier_impl".into(), format!("{:?}", self.barrier_impl)),
+            ("prefetch_enabled".into(), self.prefetch_enabled.to_string()),
+            ("classify_misses".into(), self.classify_misses.to_string()),
+            ("cost.flop_ns".into(), self.cost.flop_ns.to_string()),
+            ("cost.int_op_ns".into(), self.cost.int_op_ns.to_string()),
+            ("cost.step_ns".into(), self.cost.step_ns.to_string()),
+        ];
+        kv.sort();
+        kv
+    }
+
+    /// A stable content fingerprint of the configuration: a 64-bit FNV-1a
+    /// hash over the sorted `key=value` lines of
+    /// [`MachineConfig::stable_fields`], rendered as 16 hex digits.
+    ///
+    /// Because the lines are sorted by key before hashing, the fingerprint
+    /// is a pure function of the *set* of field values — reordering the
+    /// struct's declaration (or this method's pushes) cannot change it.
+    /// Result caches (the `sweep` engine's JSONL store) key on this.
+    pub fn stable_fingerprint(&self) -> String {
+        let mut h = Fnv1a::new();
+        for (k, v) in self.stable_fields() {
+            h.update(k.as_bytes());
+            h.update(b"=");
+            h.update(v.as_bytes());
+            h.update(b"\n");
+        }
+        format!("{:016x}", h.finish())
+    }
+
     /// Checks the configuration for consistency.
     ///
     /// # Errors
@@ -405,6 +527,53 @@ mod tests {
                 cfg.latency.remote_clean_ns > 50 * LatencyProfile::origin2000().remote_clean_ns
             );
         }
+    }
+
+    #[test]
+    fn stable_fingerprint_tracks_semantic_fields_only() {
+        let a = MachineConfig::origin2000(8);
+        let mut b = MachineConfig::origin2000(8);
+        assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+        // Tracing is observational: it must not change the fingerprint.
+        b.trace = crate::trace::TraceConfig::on();
+        assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+        // Anything that changes results must change the fingerprint.
+        for (i, mutate) in [
+            (&|c: &mut MachineConfig| c.nprocs = 16) as &dyn Fn(&mut MachineConfig),
+            &|c| c.cache.size_bytes = 1 << 20,
+            &|c| c.prefetch_enabled = true,
+            &|c| c.classify_misses = true,
+            &|c| c.placement = PagePlacement::RoundRobin,
+            &|c| c.migration = Some(MigrationConfig::default()),
+            &|c| c.lock_impl = LockImpl::TicketFetchOp,
+            &|c| c.cost.flop_ns = 1,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut m = MachineConfig::origin2000(8);
+            mutate(&mut m);
+            assert_ne!(
+                a.stable_fingerprint(),
+                m.stable_fingerprint(),
+                "mutation {i} did not change the fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_fields_are_sorted_and_fnv_is_pinned() {
+        let fields = MachineConfig::origin2000(8).stable_fields();
+        let keys: Vec<&String> = fields.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "stable_fields must come out sorted");
+        // The FNV-1a constants are pinned forever: hashes are persisted in
+        // sweep result stores across sessions and toolchains.
+        let mut h = Fnv1a::new();
+        h.update(b"hello");
+        assert_eq!(h.finish(), 0xa430_d846_80aa_bd0b);
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

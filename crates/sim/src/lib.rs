@@ -75,6 +75,14 @@
 
 #![warn(missing_docs)]
 
+/// Content fingerprint of the simulator's *timing model*. Bump the revision
+/// whenever a change alters any run's statistics for an unchanged
+/// configuration (latency values, protocol hops, queueing math, cost
+/// accounting, …). Persistent result caches — the sweep engine's JSONL
+/// store — fold this into their run keys, so bumping it invalidates every
+/// cached simulation at once.
+pub const MODEL_FINGERPRINT: &str = "ccnuma-sim-model-r2";
+
 pub mod attrib;
 pub mod cache;
 pub mod config;

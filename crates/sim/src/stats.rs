@@ -215,7 +215,12 @@ impl PhaseStats {
 }
 
 /// Result of one simulated run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — two runs of the same program on the
+/// same configuration are expected to compare equal bit-for-bit (see the
+/// determinism note in the crate docs); the sweep engine's replay audit
+/// relies on this.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Per-processor statistics, indexed by process id.
     pub procs: Vec<ProcStats>,

@@ -491,7 +491,7 @@ impl TraceBuffer {
 ///
 /// Track `i < nprocs` holds processor `i`'s spans; the final track is the
 /// synthetic machine track carrying barrier episodes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Interned phase names; span `phase` fields index into this.
     pub phase_names: Vec<String>,

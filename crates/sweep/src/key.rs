@@ -1,0 +1,106 @@
+//! Content-addressed run identity.
+//!
+//! A [`RunKey`] names one cell of the experiment matrix by *content*, not
+//! by position: the application and version, the problem it solves, the
+//! machine configuration's [stable
+//! fingerprint](ccnuma_sim::config::MachineConfig::stable_fingerprint),
+//! and the simulator's [model
+//! fingerprint](ccnuma_sim::MODEL_FINGERPRINT). Two cells with equal key
+//! hashes are guaranteed to produce bit-identical statistics (the
+//! simulator is deterministic), which is what makes the result store a
+//! safe cache: `--resume` skips a cell if and only if its key hash is
+//! already recorded.
+
+use ccnuma_sim::config::Fnv1a;
+
+/// The identity of one simulation cell, as named field/value pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunKey {
+    /// Application id (`"fft"`, `"barnes"`, …).
+    pub app: String,
+    /// Version id (`"orig"`, `"merge"`, `"samplesort"`, …).
+    pub version: String,
+    /// Problem description, e.g. `"2^10 points"` — distinguishes
+    /// problem-size sweep cells of the same app/version.
+    pub problem: String,
+    /// Simulated processor count.
+    pub nprocs: usize,
+    /// Experiment scale name (`"quick"` or `"full"`).
+    pub scale: String,
+    /// [`MachineConfig::stable_fingerprint`](ccnuma_sim::config::MachineConfig::stable_fingerprint)
+    /// of the machine the cell runs on.
+    pub machine: String,
+    /// The simulator's [`MODEL_FINGERPRINT`](ccnuma_sim::MODEL_FINGERPRINT).
+    pub sim: String,
+    /// Whether miss classification / attribution was enabled (it adds
+    /// counters to the stored statistics, so it is part of the identity).
+    pub attrib: bool,
+}
+
+impl RunKey {
+    /// The key's fields as `(name, value)` pairs, in declaration order.
+    /// [`RunKey::hash_hex`] sorts them, so this order is cosmetic.
+    pub fn fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("app".into(), self.app.clone()),
+            ("version".into(), self.version.clone()),
+            ("problem".into(), self.problem.clone()),
+            ("nprocs".into(), self.nprocs.to_string()),
+            ("scale".into(), self.scale.clone()),
+            ("machine".into(), self.machine.clone()),
+            ("sim".into(), self.sim.clone()),
+            ("attrib".into(), self.attrib.to_string()),
+        ]
+    }
+
+    /// The 16-hex-digit content hash identifying this cell in the result
+    /// store. Fields are hashed as sorted `key=value` lines, so the hash
+    /// is a pure function of the field *set* — reordering fields (here or
+    /// in [`RunKey::fields`]) cannot change it.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", hash_fields(&self.fields()))
+    }
+}
+
+/// Hashes `(name, value)` pairs order-independently: the pairs are sorted
+/// before being absorbed as `name=value\n` lines into FNV-1a.
+pub fn hash_fields(fields: &[(String, String)]) -> u64 {
+    let mut sorted: Vec<&(String, String)> = fields.iter().collect();
+    sorted.sort();
+    let mut h = Fnv1a::new();
+    for (k, v) in sorted {
+        h.update(k.as_bytes());
+        h.update(b"=");
+        h.update(v.as_bytes());
+        h.update(b"\n");
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_field_order_independent() {
+        let fields = vec![
+            ("b".to_string(), "2".to_string()),
+            ("a".to_string(), "1".to_string()),
+            ("c".to_string(), "3".to_string()),
+        ];
+        let mut reordered = fields.clone();
+        reordered.reverse();
+        assert_eq!(hash_fields(&fields), hash_fields(&reordered));
+        reordered.swap(0, 1);
+        assert_eq!(hash_fields(&fields), hash_fields(&reordered));
+    }
+
+    #[test]
+    fn hash_distinguishes_values_and_names() {
+        let a = vec![("k".to_string(), "1".to_string())];
+        let b = vec![("k".to_string(), "2".to_string())];
+        let c = vec![("j".to_string(), "1".to_string())];
+        assert_ne!(hash_fields(&a), hash_fields(&b));
+        assert_ne!(hash_fields(&a), hash_fields(&c));
+    }
+}

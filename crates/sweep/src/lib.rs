@@ -1,0 +1,236 @@
+//! `ccnuma-sweep`: a parallel, resumable experiment-orchestration
+//! engine for the paper's full matrix.
+//!
+//! One simulation uses roughly one host core (the engine advances
+//! virtual time on a coordinator thread and parks the per-processor
+//! threads behind it), so the full `apps × versions × procs` matrix is
+//! embarrassingly parallel across *cells*. This crate fans the cells
+//! out over a std-only [work-stealing pool](pool), identifies every
+//! cell by a [content hash](key) of everything that determines its
+//! result, and appends finished cells to a [crash-safe JSONL
+//! store](store) — so `--resume` re-runs exactly the cells that are
+//! missing, torn, or (optionally) quarantined, and nothing else.
+//!
+//! The pieces:
+//!
+//! - [`matrix`] — the `apps × versions × procs` DSL and its expansion
+//!   into concrete cells;
+//! - [`key`] — content-addressed run identity ([`RunKey`](key::RunKey));
+//! - [`run`] — per-cell execution with panic isolation, timeout, and
+//!   retry ([`Executor`](run::Executor));
+//! - [`store`] — the append-only JSONL result store;
+//! - [`pool`] — the work-stealing scheduler;
+//! - [`sweep`] — the driver tying them together.
+
+pub mod key;
+pub mod matrix;
+pub mod pool;
+pub mod run;
+pub mod store;
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use matrix::{CellSpec, MatrixSpec};
+use run::{Executor, RunOptions};
+use store::{CellRecord, Store};
+
+/// How a sweep should be driven.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads (clamped to the number of pending cells; `1`
+    /// runs serially in-place).
+    pub jobs: usize,
+    /// Reuse the existing store: completed cells are skipped, missing
+    /// or torn ones re-run. When false the store is truncated first.
+    pub resume: bool,
+    /// With `resume`, also re-run quarantined (non-`Ok`) cells instead
+    /// of skipping them.
+    pub retry_quarantined: bool,
+    /// Path of the JSONL result store.
+    pub store_path: PathBuf,
+    /// Per-cell execution options (retries, timeout, fault injection).
+    pub opts: RunOptions,
+    /// Directory to write per-cell attribution JSON into (cells must
+    /// have been swept with `attrib=on` for the counts to be classified).
+    pub attrib_dir: Option<PathBuf>,
+    /// Directory to write per-cell Chrome/Perfetto traces into (only
+    /// cells swept with `trace=on` carry a trace).
+    pub trace_dir: Option<PathBuf>,
+    /// Print per-cell progress lines with an ETA to stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            jobs: 1,
+            resume: false,
+            retry_quarantined: false,
+            store_path: PathBuf::from("sweep_results.jsonl"),
+            opts: RunOptions::default(),
+            attrib_dir: None,
+            trace_dir: None,
+            progress: false,
+        }
+    }
+}
+
+/// What a sweep did, cell by cell.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Cells actually simulated this invocation.
+    pub executed: usize,
+    /// Cells satisfied from the store without running.
+    pub cached: usize,
+    /// Labels of cells whose record is quarantined (any non-`Ok`
+    /// status), whether from this invocation or a previous one.
+    pub quarantined: Vec<String>,
+    /// One record per matrix cell, in matrix order.
+    pub records: Vec<CellRecord>,
+    /// Lines dropped while loading the store (torn or foreign).
+    pub dropped_lines: usize,
+    /// Work-stealing batches performed by the pool.
+    pub steals: u64,
+}
+
+/// Expands `matrix` into cells and runs every cell that the store does
+/// not already answer for, fanned out over `cfg.jobs` workers. Each
+/// finished cell is appended to the store *by the worker that ran it*,
+/// before the sweep moves on — a crash loses at most the cells in
+/// flight, never a completed one.
+///
+/// # Errors
+///
+/// Any I/O error opening the store or writing reports; simulation
+/// failures are data ([`CellStatus`](store::CellStatus)), not errors.
+pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOutcome> {
+    let cells = matrix.cells();
+    let store = Store::open(&cfg.store_path, cfg.resume)?;
+
+    // Partition into cached hits and pending work.
+    let mut pending: Vec<&CellSpec> = Vec::new();
+    let mut cached: Vec<Option<CellRecord>> = vec![None; cells.len()];
+    for (i, cell) in cells.iter().enumerate() {
+        let hit = store
+            .get(&cell.key().hash_hex())
+            .filter(|rec| !(cfg.retry_quarantined && rec.status.quarantined()));
+        match hit {
+            Some(rec) => cached[i] = Some(rec.clone()),
+            None => pending.push(cell),
+        }
+    }
+    // Longest runs first: bigger simulated machines take longer, and
+    // scheduling them early keeps the tail of the sweep short.
+    pending.sort_by_key(|c| std::cmp::Reverse(c.nprocs));
+
+    let total = pending.len();
+    let done = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let executor = Executor::new(cfg.opts.clone());
+    let io_errors: Mutex<Vec<std::io::Error>> = Mutex::new(Vec::new());
+
+    let (ran, metrics) = pool::run(&pending, cfg.jobs, |spec| {
+        let (rec, stats) = executor.run_cell_full(spec);
+        // Persist before reporting progress: once a cell is announced
+        // done, a crash must not lose it.
+        let sink = |res: std::io::Result<()>| {
+            if let Err(e) = res {
+                io_errors.lock().expect("io error list poisoned").push(e);
+            }
+        };
+        sink(store.append(&rec));
+        if let Some(stats) = &stats {
+            if let Some(dir) = &cfg.attrib_dir {
+                sink(write_attrib(dir, spec, stats));
+            }
+            if let Some(dir) = &cfg.trace_dir {
+                if let Some(trace) = &stats.trace {
+                    sink(write_trace(dir, spec, trace));
+                }
+            }
+        }
+        if cfg.progress {
+            let n = done.fetch_add(1, Ordering::SeqCst) + 1;
+            let elapsed = t0.elapsed();
+            let eta = elapsed.mul_f64((total - n) as f64 / n as f64);
+            eprintln!(
+                "[sweep] {n}/{total} {} ({}) {:.1}s elapsed, ~{:.1}s left",
+                rec.label,
+                rec.status.name(),
+                elapsed.as_secs_f64(),
+                eta.as_secs_f64(),
+            );
+        }
+        rec
+    });
+    if let Some(e) = io_errors
+        .into_inner()
+        .expect("io error list poisoned")
+        .pop()
+    {
+        return Err(e);
+    }
+
+    // Stitch executed records back into matrix order.
+    let mut by_key: std::collections::HashMap<String, CellRecord> =
+        ran.into_iter().map(|rec| (rec.key.clone(), rec)).collect();
+    let mut records = Vec::with_capacity(cells.len());
+    let mut quarantined = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let rec = match cached[i].take() {
+            Some(rec) => rec,
+            None => by_key
+                .remove(&cell.key().hash_hex())
+                .expect("every pending cell produced a record"),
+        };
+        if rec.status.quarantined() {
+            quarantined.push(rec.label.clone());
+        }
+        records.push(rec);
+    }
+    Ok(SweepOutcome {
+        executed: total,
+        cached: cells.len() - total,
+        quarantined,
+        records,
+        dropped_lines: store.dropped_lines,
+        steals: metrics.steals,
+    })
+}
+
+/// File-name-safe form of a cell label (`fft/orig[2]/4p` →
+/// `fft_orig_2__4p`).
+fn safe_name(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn write_attrib(
+    dir: &Path,
+    spec: &CellSpec,
+    stats: &ccnuma_sim::stats::RunStats,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let label = spec.label();
+    let json = scaling_study::report::attrib_json(&label, stats);
+    let mut f = std::fs::File::create(dir.join(format!("{}.json", safe_name(&label))))?;
+    f.write_all(json.as_bytes())
+}
+
+fn write_trace(
+    dir: &Path,
+    spec: &CellSpec,
+    trace: &ccnuma_sim::trace::Trace,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let label = spec.label();
+    let json = ccnuma_sim::trace::chrome_trace_file(&[(label.clone(), trace)]);
+    let mut f = std::fs::File::create(dir.join(format!("{}.trace.json", safe_name(&label))))?;
+    f.write_all(json.as_bytes())
+}

@@ -1,0 +1,419 @@
+//! The matrix DSL: `apps × versions × procs` (× problem sizes).
+//!
+//! A [`MatrixSpec`] describes a rectangle of the paper's experiment space
+//! in one line, e.g.:
+//!
+//! ```text
+//! apps=all versions=both procs=scale scale=quick            # Figures 2/3 + 9
+//! apps=fft,ocean versions=orig procs=2,4,8 sizes=sweep      # Figure 4 slice
+//! apps=ocean versions=orig procs=8 attrib=on                # attrib experiment
+//! ```
+//!
+//! [`MatrixSpec::cells`] expands the rectangle into concrete
+//! [`CellSpec`]s, each of which knows how to build its workload and
+//! machine and derive its [`RunKey`].
+
+use ccnuma_sim::config::MachineConfig;
+use scaling_study::experiments::{self, Scale, APP_IDS, ORIGINAL_VERSION};
+use splash_apps::common::Workload;
+
+use crate::key::RunKey;
+
+/// Which versions of each application to include.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionSel {
+    /// Only the original version.
+    Orig,
+    /// Only restructured versions (apps without any are skipped).
+    Restructured,
+    /// Original plus every restructured version.
+    Both,
+    /// An explicit list of version ids; apps lacking one are skipped.
+    Named(Vec<String>),
+}
+
+/// Which problem sizes to include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeSel {
+    /// The basic (Table 2) problem size.
+    Basic,
+    /// Every point of the Figure-4 problem-size sweep (original version
+    /// only — the restructuring catalog is defined at the basic size).
+    Sweep,
+}
+
+/// A rectangle of the experiment matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixSpec {
+    /// Experiment scale (machine sizes and problem sizes).
+    pub scale: Scale,
+    /// Application ids to sweep.
+    pub apps: Vec<String>,
+    /// Version selection per app.
+    pub versions: VersionSel,
+    /// Processor counts; empty means the scale's default axis.
+    pub procs: Vec<usize>,
+    /// Problem-size selection.
+    pub sizes: SizeSel,
+    /// Classify misses and carry attribution data through every run.
+    pub attrib: bool,
+    /// Record a time-resolved trace of every executed run (cached cells
+    /// are skipped, so they re-emit nothing; tracing is observational and
+    /// deliberately *not* part of the run key).
+    pub trace: bool,
+}
+
+impl Default for MatrixSpec {
+    fn default() -> Self {
+        MatrixSpec {
+            scale: Scale::Quick,
+            apps: APP_IDS.iter().map(|s| s.to_string()).collect(),
+            versions: VersionSel::Both,
+            procs: Vec::new(),
+            sizes: SizeSel::Basic,
+            attrib: false,
+            trace: false,
+        }
+    }
+}
+
+/// The scale's canonical name, as stored in run keys and the JSONL store.
+pub fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "quick" => Ok(Scale::Quick),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale {other:?} (quick or full)")),
+    }
+}
+
+impl MatrixSpec {
+    /// Parses the whitespace-separated `key=value` DSL. Unset keys keep
+    /// their defaults (`apps=all versions=both procs=scale sizes=basic
+    /// scale=quick attrib=off trace=off`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown token;
+    /// unknown application ids are rejected here, not at run time.
+    pub fn parse(dsl: &str) -> Result<MatrixSpec, String> {
+        let mut spec = MatrixSpec::default();
+        for tok in dsl.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+            match k {
+                "scale" => spec.scale = parse_scale(v)?,
+                "apps" => {
+                    if v == "all" {
+                        spec.apps = APP_IDS.iter().map(|s| s.to_string()).collect();
+                    } else {
+                        let apps: Vec<String> = v.split(',').map(str::to_string).collect();
+                        for a in &apps {
+                            if !APP_IDS.contains(&a.as_str()) {
+                                return Err(format!(
+                                    "unknown application {a:?} (apps: {})",
+                                    APP_IDS.join(" ")
+                                ));
+                            }
+                        }
+                        spec.apps = apps;
+                    }
+                }
+                "versions" => {
+                    spec.versions = match v {
+                        "orig" => VersionSel::Orig,
+                        "restr" => VersionSel::Restructured,
+                        "both" => VersionSel::Both,
+                        list => VersionSel::Named(list.split(',').map(str::to_string).collect()),
+                    }
+                }
+                "procs" => {
+                    if v == "scale" {
+                        spec.procs = Vec::new();
+                    } else {
+                        spec.procs = v
+                            .split(',')
+                            .map(|p| {
+                                p.parse::<usize>()
+                                    .map_err(|_| format!("bad processor count {p:?}"))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if spec.procs.is_empty() || spec.procs.contains(&0) {
+                            return Err("processor counts must be positive".into());
+                        }
+                    }
+                }
+                "sizes" => {
+                    spec.sizes = match v {
+                        "basic" => SizeSel::Basic,
+                        "sweep" => SizeSel::Sweep,
+                        other => return Err(format!("unknown sizes {other:?} (basic or sweep)")),
+                    }
+                }
+                "attrib" => spec.attrib = parse_bool(v)?,
+                "trace" => spec.trace = parse_bool(v)?,
+                other => return Err(format!("unknown matrix key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The processor-count axis: the explicit list, or the scale's
+    /// default ([`Scale::procs`]).
+    pub fn proc_axis(&self) -> Vec<usize> {
+        if self.procs.is_empty() {
+            self.scale.procs().to_vec()
+        } else {
+            self.procs.clone()
+        }
+    }
+
+    fn versions_for(&self, app: &str) -> Vec<String> {
+        let available = experiments::version_ids(app);
+        match &self.versions {
+            VersionSel::Orig => vec![ORIGINAL_VERSION.to_string()],
+            VersionSel::Both => available,
+            VersionSel::Restructured => available
+                .into_iter()
+                .filter(|v| v != ORIGINAL_VERSION)
+                .collect(),
+            VersionSel::Named(names) => available
+                .into_iter()
+                .filter(|v| names.contains(v))
+                .collect(),
+        }
+    }
+
+    /// Expands the rectangle into concrete cells, in a stable order
+    /// (apps, then versions, then sizes, then processor counts).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let procs = self.proc_axis();
+        let mut out = Vec::new();
+        for app in &self.apps {
+            match self.sizes {
+                SizeSel::Basic => {
+                    for version in self.versions_for(app) {
+                        for &nprocs in &procs {
+                            out.push(CellSpec {
+                                app: app.clone(),
+                                version: version.clone(),
+                                size: None,
+                                nprocs,
+                                scale: self.scale,
+                                attrib: self.attrib,
+                                trace: self.trace,
+                            });
+                        }
+                    }
+                }
+                SizeSel::Sweep => {
+                    let n = experiments::sweep(app, self.scale).len();
+                    for size in 0..n {
+                        for &nprocs in &procs {
+                            out.push(CellSpec {
+                                app: app.clone(),
+                                version: ORIGINAL_VERSION.to_string(),
+                                size: Some(size),
+                                nprocs,
+                                scale: self.scale,
+                                attrib: self.attrib,
+                                trace: self.trace,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One concrete cell of the matrix: everything needed to (re)build and
+/// run its simulation, as plain `Send` data — workers construct the
+/// workload on their own thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Application id.
+    pub app: String,
+    /// Version id (see [`experiments::version_ids`]).
+    pub version: String,
+    /// Problem-size index into [`experiments::sweep`], or `None` for the
+    /// basic size.
+    pub size: Option<usize>,
+    /// Simulated processor count.
+    pub nprocs: usize,
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Classify misses during the run.
+    pub attrib: bool,
+    /// Record a time-resolved trace of the run.
+    pub trace: bool,
+}
+
+impl CellSpec {
+    /// Human-readable cell label, e.g. `"fft/orig/4p"` or
+    /// `"ocean/orig[2]/8p"` for the third sweep size.
+    pub fn label(&self) -> String {
+        match self.size {
+            None => format!("{}/{}/{}p", self.app, self.version, self.nprocs),
+            Some(i) => format!("{}/{}[{i}]/{}p", self.app, self.version, self.nprocs),
+        }
+    }
+
+    /// Builds the cell's workload. `None` if the version does not exist
+    /// for the app (possible only for hand-built specs —
+    /// [`MatrixSpec::cells`] never emits one).
+    pub fn workload(&self) -> Option<Box<dyn Workload>> {
+        match self.size {
+            None => experiments::versioned(&self.app, &self.version, self.scale),
+            Some(i) => {
+                let mut ws = experiments::sweep(&self.app, self.scale);
+                if i < ws.len() {
+                    Some(ws.swap_remove(i))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The machine configuration the cell runs on: the scale's default
+    /// scaled Origin2000, with miss classification folded in when
+    /// [`CellSpec::attrib`] is set and tracing when [`CellSpec::trace`].
+    pub fn machine(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::origin2000_scaled(self.nprocs, self.scale.cache_bytes());
+        cfg.classify_misses = self.attrib;
+        if self.trace {
+            cfg.trace = ccnuma_sim::trace::TraceConfig::on();
+        }
+        cfg
+    }
+
+    /// The content key identifying this cell in the result store.
+    /// Requires building the workload to read its problem description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's version does not exist for its app.
+    pub fn key(&self) -> RunKey {
+        let w = self
+            .workload()
+            .unwrap_or_else(|| panic!("no workload for cell {}", self.label()));
+        RunKey {
+            app: self.app.clone(),
+            version: self.version.clone(),
+            problem: w.problem(),
+            nprocs: self.nprocs,
+            scale: scale_name(self.scale).to_string(),
+            machine: self.machine().stable_fingerprint(),
+            sim: ccnuma_sim::MODEL_FINGERPRINT.to_string(),
+            attrib: self.attrib,
+        }
+    }
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        other => Err(format!("expected on/off, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_quick_matrix_covers_all_app_versions() {
+        let spec = MatrixSpec::default();
+        let cells = spec.cells();
+        // 11 originals + 6 restructured versions, × 3 quick proc counts.
+        assert_eq!(cells.len(), 17 * 3);
+        assert!(cells.iter().all(|c| c.scale == Scale::Quick));
+        assert!(cells.iter().any(|c| c.label() == "barnes/spatial/8p"));
+        assert!(cells.iter().any(|c| c.label() == "radix/samplesort/2p"));
+    }
+
+    #[test]
+    fn dsl_round_trip_and_errors() {
+        let spec = MatrixSpec::parse("apps=fft,ocean versions=orig procs=2,4 attrib=on").unwrap();
+        assert_eq!(spec.apps, ["fft", "ocean"]);
+        assert_eq!(spec.versions, VersionSel::Orig);
+        assert_eq!(spec.proc_axis(), [2, 4]);
+        assert!(spec.attrib);
+        assert_eq!(spec.cells().len(), 4);
+
+        assert!(MatrixSpec::parse("apps=nope").is_err());
+        assert!(MatrixSpec::parse("procs=0").is_err());
+        assert!(MatrixSpec::parse("bogus=1").is_err());
+        assert!(MatrixSpec::parse("procs").is_err());
+        assert!(MatrixSpec::parse("scale=medium").is_err());
+    }
+
+    #[test]
+    fn sweep_sizes_expand_figure4_axis() {
+        let spec = MatrixSpec::parse("apps=fft versions=orig procs=4 sizes=sweep").unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3, "quick fft sweep has three sizes");
+        let problems: Vec<String> = cells
+            .iter()
+            .map(|c| c.workload().unwrap().problem())
+            .collect();
+        let distinct: std::collections::HashSet<&String> = problems.iter().collect();
+        assert_eq!(distinct.len(), 3, "each sweep cell is a different size");
+        // Distinct problems mean distinct run keys.
+        assert_ne!(cells[0].key().hash_hex(), cells[1].key().hash_hex());
+    }
+
+    #[test]
+    fn restructured_only_selection_skips_apps_without_versions() {
+        let spec = MatrixSpec::parse("apps=ocean,barnes versions=restr procs=2").unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2, "ocean has no restructured version");
+        assert!(cells.iter().all(|c| c.app == "barnes"));
+    }
+
+    #[test]
+    fn attrib_changes_the_run_key() {
+        let mk = |attrib| {
+            CellSpec {
+                app: "fft".into(),
+                version: "orig".into(),
+                size: None,
+                nprocs: 4,
+                scale: Scale::Quick,
+                attrib,
+                trace: false,
+            }
+            .key()
+            .hash_hex()
+        };
+        assert_ne!(mk(false), mk(true));
+    }
+
+    #[test]
+    fn trace_does_not_change_the_run_key() {
+        let mk = |trace| {
+            CellSpec {
+                app: "fft".into(),
+                version: "orig".into(),
+                size: None,
+                nprocs: 4,
+                scale: Scale::Quick,
+                attrib: false,
+                trace,
+            }
+            .key()
+            .hash_hex()
+        };
+        assert_eq!(mk(false), mk(true));
+    }
+}

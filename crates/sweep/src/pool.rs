@@ -1,0 +1,207 @@
+//! A std-only work-stealing thread pool for coarse-grained tasks.
+//!
+//! Each worker owns a deque of task indices; it pops from the front of
+//! its own deque and, when empty, steals the back half of the fullest
+//! victim's deque. Tasks here are whole simulations (milliseconds to
+//! minutes), so the scheduling overhead of mutex-protected deques is
+//! noise — what matters is that a worker never idles while another has
+//! a backlog, which stealing half-batches guarantees.
+//!
+//! Results come back in item order regardless of execution
+//! interleaving, so parallel sweeps are deterministic end to end.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing one pool run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Number of successful steal operations (batches, not items).
+    pub steals: u64,
+    /// Worker threads actually spawned.
+    pub workers: usize,
+}
+
+/// Runs `f` over every item on `jobs` worker threads with work
+/// stealing; returns the results in item order plus scheduling
+/// metrics. `jobs` is clamped to `1..=items.len()`; `jobs <= 1` or a
+/// single item degenerates to an in-place serial loop (no threads).
+pub fn run<T, R, F>(items: &[T], jobs: usize, f: F) -> (Vec<R>, PoolMetrics)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return (
+            items.iter().map(f).collect(),
+            PoolMetrics {
+                steals: 0,
+                workers: 1,
+            },
+        );
+    }
+
+    // Round-robin initial distribution; stealing corrects any imbalance.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..n).step_by(jobs).collect()))
+        .collect();
+    let remaining = AtomicUsize::new(n);
+    let steals = AtomicU64::new(0);
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let slots: Vec<Mutex<&mut Option<R>>> = results.iter_mut().map(Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for w in 0..jobs {
+            let queues = &queues;
+            let remaining = &remaining;
+            let steals = &steals;
+            let slots = &slots;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                loop {
+                    let idx = pop_or_steal(queues, w, steals);
+                    match idx {
+                        Some(i) => {
+                            let r = f(&items[i]);
+                            **slots[i].lock().expect("result slot lock poisoned") = Some(r);
+                            remaining.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if remaining.load(Ordering::SeqCst) == 0 {
+                                return;
+                            }
+                            // Another worker holds the tail of the queue;
+                            // its items may yet fail and need no help.
+                            std::thread::yield_now();
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    });
+    drop(slots);
+
+    let collected: Vec<R> = results
+        .into_iter()
+        .map(|r| r.expect("worker completed without storing a result"))
+        .collect();
+    (
+        collected,
+        PoolMetrics {
+            steals: steals.load(Ordering::SeqCst),
+            workers: jobs,
+        },
+    )
+}
+
+/// Pops from worker `w`'s own deque, or steals the back half of the
+/// currently fullest other deque.
+fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("queue lock poisoned").pop_front() {
+        return Some(i);
+    }
+    // Pick the victim with the longest queue at a glance, then take the
+    // back half of whatever it still holds under the lock.
+    let victim = queues
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| v != w)
+        .map(|(v, q)| (v, q.lock().expect("queue lock poisoned").len()))
+        .max_by_key(|&(_, len)| len)?;
+    if victim.1 == 0 {
+        return None;
+    }
+    let mut vq = queues[victim.0].lock().expect("queue lock poisoned");
+    if vq.is_empty() {
+        return None;
+    }
+    // Owner keeps the front half; a lone item is taken whole so it can't
+    // sit unexecuted behind a busy owner.
+    let keep = vq.len() / 2;
+    let mut stolen: VecDeque<usize> = vq.split_off(keep);
+    drop(vq);
+    let first = stolen.pop_front();
+    if first.is_some() {
+        steals.fetch_add(1, Ordering::SeqCst);
+        if !stolen.is_empty() {
+            let mut own = queues[w].lock().expect("queue lock poisoned");
+            own.extend(stolen);
+        }
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let (out, m) = run(&items, 4, |&i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(m.workers, 4);
+    }
+
+    #[test]
+    fn serial_degenerate_cases() {
+        let items = [1, 2, 3];
+        let (out, m) = run(&items, 1, |&i| i + 1);
+        assert_eq!(out, [2, 3, 4]);
+        assert_eq!(m.workers, 1);
+        let (out, _) = run(&items, 0, |&i| i);
+        assert_eq!(out, [1, 2, 3]);
+        let empty: [u32; 0] = [];
+        let (out, _) = run(&empty, 8, |&i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_clamp_to_item_count() {
+        let items = [5];
+        let (out, m) = run(&items, 16, |&i| i);
+        assert_eq!(out, [5]);
+        assert_eq!(m.workers, 1);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_the_backlogged_one() {
+        // Round-robin over 2 workers: w0 gets {0, 2}, w1 gets {1, 3}.
+        // Item 0 pins w0 for a while; w1 races through its two items and
+        // must steal item 2 off w0's deque to finish early.
+        let items: Vec<u64> = vec![80, 0, 0, 0];
+        let concurrent_max = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let (out, m) = run(&items, 2, |&ms| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            concurrent_max.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            live.fetch_sub(1, Ordering::SeqCst);
+            ms
+        });
+        assert_eq!(out, items);
+        assert!(m.steals >= 1, "expected at least one steal, got {m:?}");
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..64).collect();
+        run(&items, 8, |&i| counters[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The crash-safe JSONL result store.
+//!
+//! One line per finished cell, appended atomically (a single
+//! `write_all` of the whole line on a file opened in append mode,
+//! flushed before the append returns). A crash can therefore lose at
+//! most the line being written; on load, any unterminated or
+//! unparsable trailing line is dropped and counted, and `--resume`
+//! simply re-runs the cells whose keys are missing — torn-write
+//! recovery costs exactly the torn cell, nothing else.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ccnuma_sim::stats::RunStats;
+use ccnuma_sim::time::Ns;
+
+/// Terminal state of one cell attempt sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Ran and verified.
+    Ok,
+    /// Panicked on every attempt — quarantined.
+    Panicked,
+    /// Exceeded the per-run timeout on every attempt — quarantined.
+    TimedOut,
+    /// Deterministic simulation or verification failure — quarantined.
+    Failed,
+}
+
+impl CellStatus {
+    /// Wire name stored in the JSONL line.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Panicked => "panic",
+            CellStatus::TimedOut => "timeout",
+            CellStatus::Failed => "failed",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "ok" => CellStatus::Ok,
+            "panic" => CellStatus::Panicked,
+            "timeout" => CellStatus::TimedOut,
+            "failed" => CellStatus::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the cell is quarantined (any terminal state but [`Ok`]:
+    /// resume will not re-run it unless quarantine retry is requested).
+    ///
+    /// [`Ok`]: CellStatus::Ok
+    pub fn quarantined(self) -> bool {
+        self != CellStatus::Ok
+    }
+}
+
+/// One finished cell, as persisted in the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// [`RunKey::hash_hex`](crate::key::RunKey::hash_hex) — the cache key.
+    pub key: String,
+    /// Human label (`"fft/orig/4p"`).
+    pub label: String,
+    /// Application id.
+    pub app: String,
+    /// Version id.
+    pub version: String,
+    /// Problem description.
+    pub problem: String,
+    /// Simulated processor count.
+    pub nprocs: usize,
+    /// Scale name (`"quick"`/`"full"`).
+    pub scale: String,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// Attempts consumed (1 unless retries happened).
+    pub attempts: u32,
+    /// Host-side wall clock spent on the cell, milliseconds.
+    pub host_ms: u64,
+    /// Simulated parallel wall-clock (0 unless `status == Ok`).
+    pub wall_ns: Ns,
+    /// Simulated sequential baseline (0 unless `status == Ok`).
+    pub seq_ns: Ns,
+    /// Total busy time across processors.
+    pub busy_ns: Ns,
+    /// Total memory-stall time across processors.
+    pub mem_ns: Ns,
+    /// Total synchronization time across processors.
+    pub sync_ns: Ns,
+    /// Total data misses.
+    pub misses: u64,
+    /// Classified miss counts `[cold, capacity, conflict, coh-true,
+    /// coh-false]`; zeros unless the cell ran with attribution.
+    pub causes: [u64; 5],
+    /// Failure description for quarantined cells.
+    pub error: Option<String>,
+}
+
+impl CellRecord {
+    /// Speedup over the sequential baseline (0.0 for failed cells).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.seq_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Fills the statistics fields from a finished run.
+    pub fn set_stats(&mut self, wall_ns: Ns, seq_ns: Ns, stats: &RunStats) {
+        self.wall_ns = wall_ns;
+        self.seq_ns = seq_ns;
+        self.busy_ns = stats.total(|p| p.busy_ns);
+        self.mem_ns = stats.total(|p| p.mem_ns);
+        self.sync_ns = stats.total(|p| p.sync_ns());
+        self.misses = stats.total(|p| p.misses());
+        self.causes = stats.cause_counts();
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut s = format!(
+            "{{\"key\": \"{}\", \"label\": \"{}\", \"app\": \"{}\", \"version\": \"{}\", \
+             \"problem\": \"{}\", \"nprocs\": {}, \"scale\": \"{}\", \"status\": \"{}\", \
+             \"attempts\": {}, \"host_ms\": {}, \"wall_ns\": {}, \"seq_ns\": {}, \
+             \"busy_ns\": {}, \"mem_ns\": {}, \"sync_ns\": {}, \"misses\": {}, \
+             \"causes\": [{}]",
+            esc(&self.key),
+            esc(&self.label),
+            esc(&self.app),
+            esc(&self.version),
+            esc(&self.problem),
+            self.nprocs,
+            esc(&self.scale),
+            self.status.name(),
+            self.attempts,
+            self.host_ms,
+            self.wall_ns,
+            self.seq_ns,
+            self.busy_ns,
+            self.mem_ns,
+            self.sync_ns,
+            self.misses,
+            self.causes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        if let Some(e) = &self.error {
+            s.push_str(&format!(", \"error\": \"{}\"", esc(e)));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line produced by [`CellRecord::to_json_line`].
+    /// A minimal parser for exactly that shape, like the regress
+    /// harness's — not a general JSON reader.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field.
+    pub fn parse_line(line: &str) -> Result<CellRecord, String> {
+        fn str_field(obj: &str, key: &str) -> Result<String, String> {
+            let pat = format!("\"{key}\": \"");
+            let start = obj.find(&pat).ok_or_else(|| format!("missing {key}"))? + pat.len();
+            let mut out = String::new();
+            let mut chars = obj[start..].chars();
+            loop {
+                match chars.next() {
+                    Some('"') => return Ok(out),
+                    Some('\\') => match chars.next() {
+                        Some(c @ ('"' | '\\')) => out.push(c),
+                        _ => return Err(format!("bad escape in {key}")),
+                    },
+                    Some(c) => out.push(c),
+                    None => return Err(format!("unterminated {key}")),
+                }
+            }
+        }
+        fn num_field(obj: &str, key: &str) -> Result<u64, String> {
+            let pat = format!("\"{key}\": ");
+            let start = obj.find(&pat).ok_or_else(|| format!("missing {key}"))? + pat.len();
+            let digits: String = obj[start..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().map_err(|_| format!("bad number for {key}"))
+        }
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err("not a JSON object line".into());
+        }
+        let status_name = str_field(line, "status")?;
+        let status = CellStatus::from_name(&status_name)
+            .ok_or_else(|| format!("unknown status {status_name:?}"))?;
+        let causes_pat = "\"causes\": [";
+        let cstart = line
+            .find(causes_pat)
+            .ok_or_else(|| "missing causes".to_string())?
+            + causes_pat.len();
+        let cend = line[cstart..]
+            .find(']')
+            .ok_or_else(|| "unterminated causes".to_string())?;
+        let parts: Vec<&str> = line[cstart..cstart + cend].split(',').collect();
+        if parts.len() != 5 {
+            return Err(format!("expected 5 causes, got {}", parts.len()));
+        }
+        let mut causes = [0u64; 5];
+        for (slot, p) in causes.iter_mut().zip(parts) {
+            *slot = p
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad cause count {p:?}"))?;
+        }
+        Ok(CellRecord {
+            key: str_field(line, "key")?,
+            label: str_field(line, "label")?,
+            app: str_field(line, "app")?,
+            version: str_field(line, "version")?,
+            problem: str_field(line, "problem")?,
+            nprocs: num_field(line, "nprocs")? as usize,
+            scale: str_field(line, "scale")?,
+            status,
+            attempts: num_field(line, "attempts")? as u32,
+            host_ms: num_field(line, "host_ms")?,
+            wall_ns: num_field(line, "wall_ns")?,
+            seq_ns: num_field(line, "seq_ns")?,
+            busy_ns: num_field(line, "busy_ns")?,
+            mem_ns: num_field(line, "mem_ns")?,
+            sync_ns: num_field(line, "sync_ns")?,
+            misses: num_field(line, "misses")?,
+            causes,
+            error: str_field(line, "error").ok(),
+        })
+    }
+}
+
+/// The open store: previously completed records (read at load) plus an
+/// append handle shared by the worker threads.
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    records: HashMap<String, CellRecord>,
+    /// Lines dropped at load: a torn trailing write or foreign garbage.
+    pub dropped_lines: usize,
+    file: Mutex<File>,
+}
+
+impl Store {
+    /// Opens `path` for appending, first reading every complete record.
+    /// With `resume` false the file is truncated instead — a fresh sweep.
+    ///
+    /// A trailing line without `\n` is treated as torn and dropped (the
+    /// cell it named re-runs); interior unparsable lines are dropped the
+    /// same way, counted in [`Store::dropped_lines`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening or reading the file.
+    pub fn open(path: &Path, resume: bool) -> std::io::Result<Store> {
+        let mut records = HashMap::new();
+        let mut dropped = 0;
+        if resume {
+            match std::fs::read_to_string(path) {
+                Ok(content) => {
+                    let mut rest = content.as_str();
+                    while let Some(nl) = rest.find('\n') {
+                        let line = &rest[..nl];
+                        rest = &rest[nl + 1..];
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match CellRecord::parse_line(line) {
+                            Ok(rec) => {
+                                records.insert(rec.key.clone(), rec);
+                            }
+                            Err(_) => dropped += 1,
+                        }
+                    }
+                    if !rest.trim().is_empty() {
+                        // No trailing newline: a torn final write.
+                        dropped += 1;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !resume {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Store {
+            path: path.to_path_buf(),
+            records,
+            dropped_lines: dropped,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The record cached for `key_hex`, if any.
+    pub fn get(&self, key_hex: &str) -> Option<&CellRecord> {
+        self.records.get(key_hex)
+    }
+
+    /// Number of complete records loaded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records were loaded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends one record: a single `write_all` of the full line plus
+    /// newline on an append-mode file, flushed before returning, so a
+    /// concurrent crash can tear at most this line.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the append lock.
+    pub fn append(&self, rec: &CellRecord) -> std::io::Result<()> {
+        let mut line = rec.to_json_line();
+        line.push('\n');
+        let mut f = self.file.lock().expect("store append lock poisoned");
+        f.write_all(line.as_bytes())?;
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: &str, status: CellStatus) -> CellRecord {
+        CellRecord {
+            key: key.into(),
+            label: "fft/orig/4p".into(),
+            app: "fft".into(),
+            version: "orig".into(),
+            problem: "2^10 \"points\"".into(),
+            nprocs: 4,
+            scale: "quick".into(),
+            status,
+            attempts: 2,
+            host_ms: 17,
+            wall_ns: 1000,
+            seq_ns: 3000,
+            busy_ns: 2000,
+            mem_ns: 700,
+            sync_ns: 300,
+            misses: 42,
+            causes: [10, 9, 8, 7, 8],
+            error: if status == CellStatus::Ok {
+                None
+            } else {
+                Some("boom \"quoted\"".into())
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        for status in [
+            CellStatus::Ok,
+            CellStatus::Panicked,
+            CellStatus::TimedOut,
+            CellStatus::Failed,
+        ] {
+            let r = record("abc123", status);
+            let back = CellRecord::parse_line(&r.to_json_line()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn speedup_is_zero_for_failed_cells() {
+        let mut r = record("k", CellStatus::Panicked);
+        r.wall_ns = 0;
+        assert_eq!(r.speedup(), 0.0);
+        assert_eq!(record("k", CellStatus::Ok).speedup(), 3.0);
+    }
+
+    #[test]
+    fn quarantine_covers_all_non_ok_states() {
+        assert!(!CellStatus::Ok.quarantined());
+        assert!(CellStatus::Panicked.quarantined());
+        assert!(CellStatus::TimedOut.quarantined());
+        assert!(CellStatus::Failed.quarantined());
+    }
+}
