@@ -84,7 +84,8 @@ impl Default for SweepConfig {
 pub struct SweepOutcome {
     /// Cells actually simulated this invocation.
     pub executed: usize,
-    /// Cells satisfied from the store without running.
+    /// Cells satisfied without a fresh simulation: store hits, plus
+    /// duplicates of a cell executed this invocation.
     pub cached: usize,
     /// Labels of cells whose record is quarantined (any non-`Ok`
     /// status), whether from this invocation or a previous one.
@@ -111,16 +112,24 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
     let cells = matrix.cells();
     let store = Store::open(&cfg.store_path, cfg.resume)?;
 
-    // Partition into cached hits and pending work.
+    // Partition into cached hits and pending work. Duplicate cells
+    // (identical run keys, possible in hand-built specs) collapse onto
+    // one pending run and share its record at stitch time.
+    let keys: Vec<String> = cells.iter().map(|c| c.key().hash_hex()).collect();
     let mut pending: Vec<&CellSpec> = Vec::new();
+    let mut pending_keys: std::collections::HashSet<&str> = std::collections::HashSet::new();
     let mut cached: Vec<Option<CellRecord>> = vec![None; cells.len()];
     for (i, cell) in cells.iter().enumerate() {
         let hit = store
-            .get(&cell.key().hash_hex())
+            .get(&keys[i])
             .filter(|rec| !(cfg.retry_quarantined && rec.status.quarantined()));
         match hit {
             Some(rec) => cached[i] = Some(rec.clone()),
-            None => pending.push(cell),
+            None => {
+                if pending_keys.insert(&keys[i]) {
+                    pending.push(cell);
+                }
+            }
         }
     }
     // Longest runs first: bigger simulated machines take longer, and
@@ -175,17 +184,19 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
         return Err(e);
     }
 
-    // Stitch executed records back into matrix order.
-    let mut by_key: std::collections::HashMap<String, CellRecord> =
+    // Stitch executed records back into matrix order (lookup, not
+    // removal — duplicate cells share the one executed record).
+    let by_key: std::collections::HashMap<String, CellRecord> =
         ran.into_iter().map(|rec| (rec.key.clone(), rec)).collect();
     let mut records = Vec::with_capacity(cells.len());
     let mut quarantined = Vec::new();
-    for (i, cell) in cells.iter().enumerate() {
+    for i in 0..cells.len() {
         let rec = match cached[i].take() {
             Some(rec) => rec,
             None => by_key
-                .remove(&cell.key().hash_hex())
-                .expect("every pending cell produced a record"),
+                .get(keys[i].as_str())
+                .expect("every pending cell produced a record")
+                .clone(),
         };
         if rec.status.quarantined() {
             quarantined.push(rec.label.clone());

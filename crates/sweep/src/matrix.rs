@@ -114,13 +114,18 @@ impl MatrixSpec {
                     if v == "all" {
                         spec.apps = APP_IDS.iter().map(|s| s.to_string()).collect();
                     } else {
-                        let apps: Vec<String> = v.split(',').map(str::to_string).collect();
-                        for a in &apps {
-                            if !APP_IDS.contains(&a.as_str()) {
+                        // Dedup while keeping order: a repeated app would
+                        // expand into cells with identical run keys.
+                        let mut apps: Vec<String> = Vec::new();
+                        for a in v.split(',') {
+                            if !APP_IDS.contains(&a) {
                                 return Err(format!(
                                     "unknown application {a:?} (apps: {})",
                                     APP_IDS.join(" ")
                                 ));
+                            }
+                            if !apps.iter().any(|x| x == a) {
+                                apps.push(a.to_string());
                             }
                         }
                         spec.apps = apps;
@@ -138,16 +143,20 @@ impl MatrixSpec {
                     if v == "scale" {
                         spec.procs = Vec::new();
                     } else {
-                        spec.procs = v
-                            .split(',')
-                            .map(|p| {
-                                p.parse::<usize>()
-                                    .map_err(|_| format!("bad processor count {p:?}"))
-                            })
-                            .collect::<Result<_, _>>()?;
-                        if spec.procs.is_empty() || spec.procs.contains(&0) {
-                            return Err("processor counts must be positive".into());
+                        // Dedup while keeping order, as for apps.
+                        let mut procs: Vec<usize> = Vec::new();
+                        for p in v.split(',') {
+                            let p: usize = p
+                                .parse()
+                                .map_err(|_| format!("bad processor count {p:?}"))?;
+                            if p == 0 {
+                                return Err("processor counts must be positive".into());
+                            }
+                            if !procs.contains(&p) {
+                                procs.push(p);
+                            }
                         }
+                        spec.procs = procs;
                     }
                 }
                 "sizes" => {
@@ -356,6 +365,14 @@ mod tests {
         assert!(MatrixSpec::parse("bogus=1").is_err());
         assert!(MatrixSpec::parse("procs").is_err());
         assert!(MatrixSpec::parse("scale=medium").is_err());
+    }
+
+    #[test]
+    fn duplicate_apps_and_procs_are_deduped() {
+        let spec = MatrixSpec::parse("apps=fft,ocean,fft versions=orig procs=4,4,2").unwrap();
+        assert_eq!(spec.apps, ["fft", "ocean"]);
+        assert_eq!(spec.proc_axis(), [4, 2]);
+        assert_eq!(spec.cells().len(), 4);
     }
 
     #[test]

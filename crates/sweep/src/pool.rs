@@ -69,9 +69,19 @@ where
                     let idx = pop_or_steal(queues, w, steals);
                     match idx {
                         Some(i) => {
+                            // Count the item done even if `f` panics —
+                            // otherwise `remaining` never reaches zero and
+                            // the idle workers spin forever instead of
+                            // letting the panic propagate through join().
+                            struct Done<'a>(&'a AtomicUsize);
+                            impl Drop for Done<'_> {
+                                fn drop(&mut self) {
+                                    self.0.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                            let _done = Done(remaining);
                             let r = f(&items[i]);
                             **slots[i].lock().expect("result slot lock poisoned") = Some(r);
-                            remaining.fetch_sub(1, Ordering::SeqCst);
                         }
                         None => {
                             if remaining.load(Ordering::SeqCst) == 0 {
@@ -193,6 +203,20 @@ mod tests {
         });
         assert_eq!(out, items);
         assert!(m.steals >= 1, "expected at least one steal, got {m:?}");
+    }
+
+    #[test]
+    fn task_panic_propagates_instead_of_hanging() {
+        let items: Vec<usize> = (0..16).collect();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&items, 4, |&i| {
+                if i == 5 {
+                    panic!("injected task panic");
+                }
+                i
+            })
+        }));
+        assert!(res.is_err(), "the task panic must reach the caller");
     }
 
     #[test]

@@ -102,6 +102,28 @@ pub struct CellRecord {
     pub error: Option<String>,
 }
 
+/// Escapes a string for embedding in a JSON line. Control characters
+/// must not survive literally: a raw `\n` in an error message would
+/// split the record across two physical lines and break the
+/// one-record-per-line invariant the crash-safety analysis relies on.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl CellRecord {
     /// Speedup over the sequential baseline (0.0 for failed cells).
     pub fn speedup(&self) -> f64 {
@@ -125,7 +147,6 @@ impl CellRecord {
 
     /// Serializes the record as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
-        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
         let mut s = format!(
             "{{\"key\": \"{}\", \"label\": \"{}\", \"app\": \"{}\", \"version\": \"{}\", \
              \"problem\": \"{}\", \"nprocs\": {}, \"scale\": \"{}\", \"status\": \"{}\", \
@@ -179,6 +200,18 @@ impl CellRecord {
                     Some('"') => return Ok(out),
                     Some('\\') => match chars.next() {
                         Some(c @ ('"' | '\\')) => out.push(c),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let hex: String = chars.by_ref().take(4).collect();
+                            let c = (hex.len() == 4)
+                                .then(|| u32::from_str_radix(&hex, 16).ok())
+                                .flatten()
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape in {key}"))?;
+                            out.push(c);
+                        }
                         _ => return Err(format!("bad escape in {key}")),
                     },
                     Some(c) => out.push(c),
@@ -259,9 +292,12 @@ impl Store {
     /// Opens `path` for appending, first reading every complete record.
     /// With `resume` false the file is truncated instead — a fresh sweep.
     ///
-    /// A trailing line without `\n` is treated as torn and dropped (the
-    /// cell it named re-runs); interior unparsable lines are dropped the
-    /// same way, counted in [`Store::dropped_lines`].
+    /// A trailing line without `\n` is treated as torn: it is dropped,
+    /// and the file is truncated back to the last complete line so that
+    /// records appended during the resume start on a fresh line (the
+    /// cell the fragment named re-runs). Interior unparsable lines are
+    /// dropped the same way; both are counted in
+    /// [`Store::dropped_lines`].
     ///
     /// # Errors
     ///
@@ -269,6 +305,11 @@ impl Store {
     pub fn open(path: &Path, resume: bool) -> std::io::Result<Store> {
         let mut records = HashMap::new();
         let mut dropped = 0;
+        // Byte length to cut the file back to before the first append:
+        // a torn trailing line must be physically removed, or the next
+        // appended record would be concatenated onto the fragment and
+        // both would be lost (or worse, mis-parsed as one merged record).
+        let mut truncate_to = None;
         if resume {
             match std::fs::read_to_string(path) {
                 Ok(content) => {
@@ -286,9 +327,12 @@ impl Store {
                             Err(_) => dropped += 1,
                         }
                     }
-                    if !rest.trim().is_empty() {
+                    if !rest.is_empty() {
                         // No trailing newline: a torn final write.
-                        dropped += 1;
+                        if !rest.trim().is_empty() {
+                            dropped += 1;
+                        }
+                        truncate_to = Some((content.len() - rest.len()) as u64);
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -303,6 +347,9 @@ impl Store {
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if let Some(len) = truncate_to {
+            file.set_len(len)?;
+        }
         Ok(Store {
             path: path.to_path_buf(),
             records,
@@ -394,6 +441,54 @@ mod tests {
             let back = CellRecord::parse_line(&r.to_json_line()).unwrap();
             assert_eq!(back, r);
         }
+    }
+
+    #[test]
+    fn control_characters_round_trip_on_one_line() {
+        let mut r = record("ctl", CellStatus::Failed);
+        r.error = Some("panicked at 'boom':\n\tline two\r\u{1}end".into());
+        r.problem = "multi\nline \"problem\"".into();
+        let line = r.to_json_line();
+        assert!(!line.contains('\n'), "record must stay on one line: {line}");
+        assert!(!line.contains('\r'), "record must stay on one line: {line}");
+        assert_eq!(CellRecord::parse_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn append_after_torn_tail_starts_on_a_fresh_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccnuma-sweep-store-test-{}-torn-append",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let store = Store::open(&path, false).unwrap();
+        store.append(&record("aaa", CellStatus::Ok)).unwrap();
+        store.append(&record("bbb", CellStatus::Ok)).unwrap();
+        drop(store);
+
+        // Tear the second record mid-line, as a crash during its append
+        // would.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let torn = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        torn.set_len((content.trim_end().len() - 15) as u64).unwrap();
+        drop(torn);
+
+        // Resume over the torn store and append the re-run cell — it
+        // must not be concatenated onto the torn fragment.
+        let store = Store::open(&path, true).unwrap();
+        assert_eq!(store.dropped_lines, 1);
+        assert_eq!(store.len(), 1);
+        store.append(&record("bbb", CellStatus::Ok)).unwrap();
+        drop(store);
+
+        let store = Store::open(&path, true).unwrap();
+        assert_eq!(store.dropped_lines, 0, "no torn fragment left behind");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("aaa"), Some(&record("aaa", CellStatus::Ok)));
+        assert_eq!(store.get("bbb"), Some(&record("bbb", CellStatus::Ok)));
     }
 
     #[test]

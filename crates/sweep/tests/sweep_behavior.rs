@@ -88,6 +88,27 @@ fn fresh_sweep_then_resume_hits_cache_completely() {
 }
 
 #[test]
+fn duplicate_cells_in_a_hand_built_matrix_run_once() {
+    // The DSL dedups apps/procs, but a hand-built spec can still carry
+    // duplicates; they must collapse onto one run, not panic the stitch.
+    let path = temp_store("dup");
+    let mut matrix = MatrixSpec::parse("apps=fft versions=orig procs=4").unwrap();
+    matrix.apps = vec!["fft".into(), "fft".into()];
+    let out = sweep(
+        &matrix,
+        &SweepConfig {
+            store_path: path,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.records.len(), 2, "one record per matrix cell");
+    assert_eq!(out.executed, 1, "duplicate cells collapse onto one run");
+    assert_eq!(out.cached, 1);
+    assert_eq!(out.records[0], out.records[1]);
+}
+
+#[test]
 fn torn_trailing_write_recovers_and_reruns_only_that_cell() {
     let path = temp_store("torn");
     let matrix = MatrixSpec::parse("apps=fft versions=orig procs=2,4,8").unwrap();
@@ -122,7 +143,7 @@ fn torn_trailing_write_recovers_and_reruns_only_that_cell() {
         &matrix,
         &SweepConfig {
             resume: true,
-            ..cfg
+            ..cfg.clone()
         },
     )
     .unwrap();
@@ -144,6 +165,21 @@ fn torn_trailing_write_recovers_and_reruns_only_that_cell() {
         strip_host(&first.records),
         "recovered to the same state"
     );
+
+    // The record appended during the resume must land on its own line
+    // (not glued onto the torn fragment): a further resume reloads all
+    // three cells and re-runs nothing.
+    let reloaded = sweep(
+        &matrix,
+        &SweepConfig {
+            resume: true,
+            ..cfg
+        },
+    )
+    .unwrap();
+    assert_eq!(reloaded.executed, 0, "re-appended record reloads cleanly");
+    assert_eq!(reloaded.cached, 3);
+    assert_eq!(reloaded.dropped_lines, 0, "torn fragment was truncated away");
 }
 
 #[test]
