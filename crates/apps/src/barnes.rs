@@ -940,6 +940,7 @@ impl Workload for Barnes {
 
                 // --- Forces & update -------------------------------------
                 ctx.phase("force-calc");
+                let mut newpos = Vec::with_capacity(my.len());
                 for b in my.clone() {
                     let a = acc_on_shared(ctx, &tree2, b, &pos2, &mass2, theta);
                     let mut v = vel2.read(ctx, b);
@@ -949,8 +950,17 @@ impl Workload for Barnes {
                         x[d] = (x[d] + v[d] * DT).clamp(0.001, WORLD - 0.001);
                     }
                     vel2.write(ctx, b, v);
-                    pos2.write(ctx, b, x);
+                    newpos.push(x);
                     ctx.compute_flops(12);
+                }
+                // Publish the new positions only after every processor has
+                // finished its force pass: the tree walk reads any body's
+                // position, so an in-place update races with (and
+                // numerically perturbs) the other processors' evaluations.
+                ctx.barrier(bar);
+                ctx.phase("position-update");
+                for (b, x) in my.clone().zip(newpos) {
+                    pos2.write(ctx, b, x);
                 }
                 ctx.barrier(bar);
             }

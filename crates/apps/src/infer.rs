@@ -220,6 +220,7 @@ impl Workload for Infer {
             machine.shared_vec::<i64>(total_tasks + machine.nprocs(), Placement::Interleaved);
         let q_head = machine.fetch_cell(0);
         let q_tail = machine.fetch_cell(0);
+        let q_lock = machine.lock();
         let items = machine.semaphore(0);
         let pending: Vec<_> = (0..c)
             .map(|i| machine.fetch_cell(t.children[i].len() as i64))
@@ -245,11 +246,18 @@ impl Workload for Infer {
                     let enc = |i: usize, phase: usize, chunk: usize| -> i64 {
                         ((i << 24) | (phase << 20) | chunk) as i64
                     };
+                    // Slot allocation and the slot write must be atomic
+                    // with respect to other enqueuers: without the lock a
+                    // later allocator can write its slots and post while an
+                    // earlier slot is still unwritten, and the consumer the
+                    // post wakes can pop the unwritten slot.
                     let enqueue = |ctx: &Ctx, i: usize, phase: usize, count: usize| {
+                        ctx.lock(q_lock);
                         for chunk in 0..count {
                             let slot = ctx.fetch_add(q_tail, 1);
                             q2.write(ctx, slot as usize, enc(i, phase, chunk));
                         }
+                        ctx.unlock(q_lock);
                         ctx.sem_post(items, count as u32);
                     };
                     // A clique's tasks once its children are complete:
@@ -257,10 +265,12 @@ impl Workload for Infer {
                     // chunks for (non-root) leaves, and completion for a
                     // leaf root.
                     let finish_root = |ctx: &Ctx| {
+                        ctx.lock(q_lock);
                         for _ in 0..np {
                             let slot = ctx.fetch_add(q_tail, 1);
                             q2.write(ctx, slot as usize, -1);
                         }
+                        ctx.unlock(q_lock);
                         ctx.sem_post(items, np as u32);
                     };
                     let activate = |ctx: &Ctx, i: usize| {

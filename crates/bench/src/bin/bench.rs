@@ -39,8 +39,20 @@
 //! --require-cached    exit 2 if any cell had to execute (CI resume check)
 //! --quiet             suppress per-cell progress lines
 //!
-//! exit status: 0 clean; 1 quarantined cells or drift; 2 usage or a
-//! --require-cached miss.
+//! bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]
+//!                [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]
+//!
+//! sanitize            run the matrix through the happens-before sanitizer
+//!                     and gate on its findings: exit 1 if any cell has
+//!                     races, lock cycles, or lints (or is quarantined)
+//!   key=value ...     matrix DSL, appended to the default
+//!                     `scale=quick procs=1,4,16`; `sanitize=on` is forced
+//! --out <file>        write a findings JSON document (counts per cell
+//!                     plus every full report) to <file>
+//!                     (other flags as for sweep)
+//!
+//! exit status: 0 clean; 1 quarantined cells, drift, or sanitizer
+//! findings; 2 usage or a --require-cached miss.
 //! ```
 
 use std::path::PathBuf;
@@ -62,6 +74,10 @@ fn usage(code: i32) -> ! {
          \x20                  [--attrib-dir <dir>] [--trace-dir <dir>]\n\
          \x20                  [--inject-panic <label>] [--require-cached] [--quiet]"
     );
+    eprintln!(
+        "       bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]\n\
+         \x20                  [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]"
+    );
     std::process::exit(code);
 }
 
@@ -75,6 +91,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("regress") => cmd_regress(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("sanitize") => cmd_sanitize(&args[1..]),
         Some("--help" | "-h") => usage(0),
         _ => usage(2),
     }
@@ -284,4 +301,177 @@ fn cmd_sweep(args: &[String]) -> ! {
         std::process::exit(2);
     }
     std::process::exit(0);
+}
+
+/// `bench sanitize`: sweep the matrix with the happens-before sanitizer
+/// on and gate on what it finds.
+fn cmd_sanitize(args: &[String]) -> ! {
+    let mut dsl: Vec<&str> = Vec::new();
+    let mut cfg = SweepConfig {
+        progress: true,
+        store_path: PathBuf::from("sanitize_results.jsonl"),
+        ..Default::default()
+    };
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => cfg.jobs = parse_count(&mut it, "--jobs"),
+            "--store" => match it.next() {
+                Some(f) => cfg.store_path = PathBuf::from(f),
+                None => usage(2),
+            },
+            "--resume" => cfg.resume = true,
+            "--retries" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => cfg.opts.retries = n,
+                _ => usage(2),
+            },
+            "--timeout-s" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) if s >= 1 => cfg.opts.timeout = Some(Duration::from_secs(s)),
+                _ => usage(2),
+            },
+            "--out" => match it.next() {
+                Some(f) => out_path = Some(PathBuf::from(f)),
+                None => usage(2),
+            },
+            "--quiet" => cfg.progress = false,
+            "--help" | "-h" => usage(0),
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                usage(2);
+            }
+            tok => dsl.push(tok),
+        }
+    }
+
+    // Defaults first so the user's tokens override them; `sanitize=on`
+    // last so it cannot be turned off — a clean exit must mean the
+    // sanitizer actually looked.
+    let dsl = format!("scale=quick procs=1,4,16 {} sanitize=on", dsl.join(" "));
+    let matrix = match MatrixSpec::parse(&dsl) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: bad matrix: {e}");
+            usage(2);
+        }
+    };
+    let cells = matrix.cells();
+    eprintln!(
+        "[sanitize] {} cell(s), {} job(s), store {}",
+        cells.len(),
+        cfg.jobs,
+        cfg.store_path.display()
+    );
+    let t0 = std::time::Instant::now();
+    let out = match sweep(&matrix, &cfg) {
+        Ok(o) => o,
+        Err(e) => fail(&format!("sweep failed: {e}")),
+    };
+    eprintln!(
+        "[sanitize] done in {:.1?}: executed {}, cached {}, quarantined {}",
+        t0.elapsed(),
+        out.executed,
+        out.cached,
+        out.quarantined.len(),
+    );
+
+    // Per-cell verdicts. A missing count on an ok cell cannot happen
+    // (sanitize=on is part of the run key), but if it ever does it must
+    // read as a failure, not a silent pass.
+    let mut rows = Vec::new();
+    let mut dirty = 0usize;
+    let mut missing = 0usize;
+    for rec in &out.records {
+        let counts = match rec.sanitize {
+            Some(c) => c,
+            None => {
+                if rec.status == ccnuma_sweep::store::CellStatus::Ok {
+                    eprintln!("[sanitize] {}: ok cell carries no report", rec.label);
+                    missing += 1;
+                }
+                continue;
+            }
+        };
+        if counts.iter().sum::<u64>() > 0 {
+            dirty += 1;
+        }
+        rows.push((rec.app.clone(), rec.version.clone(), rec.nprocs, counts));
+    }
+    println!("{}", scaling_study::report::sanitize_table(&rows));
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, findings_json(&dsl, &out)) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        eprintln!(
+            "[sanitize] wrote findings ({} full report(s)) to {}",
+            out.sanitizes.len(),
+            path.display()
+        );
+    }
+
+    for (label, rep) in &out.sanitizes {
+        if !rep.is_clean() {
+            eprintln!("[sanitize] {label}: {}", rep.summary());
+            for r in &rep.races {
+                eprintln!(
+                    "  race on {:#x}+{}: {} vs {}",
+                    r.addr, r.bytes, r.prior, r.current
+                );
+            }
+            for c in &rep.lock_cycles {
+                eprintln!("  lock cycle: {:?}", c.locks);
+            }
+            for l in &rep.lints {
+                eprintln!("  {}: {}", l.kind.name(), l.message);
+            }
+        }
+    }
+    if !out.quarantined.is_empty() {
+        for label in &out.quarantined {
+            eprintln!("[sanitize] quarantined: {label}");
+        }
+    }
+    if dirty > 0 || missing > 0 || !out.quarantined.is_empty() {
+        eprintln!(
+            "[sanitize] FAIL: {dirty} cell(s) with findings, {missing} missing report(s), {} quarantined",
+            out.quarantined.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("[sanitize] OK: {} cell(s) race-free", out.records.len());
+    std::process::exit(0);
+}
+
+/// The `--out` findings document: counts per cell plus every full
+/// report produced this invocation.
+fn findings_json(dsl: &str, out: &ccnuma_sweep::SweepOutcome) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut s = String::from("{\n  \"version\": 1,\n");
+    s.push_str(&format!("  \"matrix\": \"{}\",\n", esc(dsl)));
+    s.push_str("  \"cells\": [");
+    for (i, rec) in out.records.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let counts = rec
+            .sanitize
+            .map(|[r, c, l]| format!("[{r}, {c}, {l}]"))
+            .unwrap_or_else(|| "null".into());
+        s.push_str(&format!(
+            "\n    {{\"label\": \"{}\", \"status\": \"{}\", \"sanitize\": {counts}}}",
+            esc(&rec.label),
+            rec.status.name()
+        ));
+    }
+    s.push_str("\n  ],\n  \"reports\": [");
+    for (i, (label, rep)) in out.sanitizes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('\n');
+        s.push_str(scaling_study::report::sanitize_json(label, rep).trim_end());
+    }
+    s.push_str("\n  ]\n}\n");
+    s
 }

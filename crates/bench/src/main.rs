@@ -17,10 +17,15 @@
 //!                  plus a manifest.json listing every emitted file
 //! --attrib <dir>   classify misses on every parallel run and write one
 //!                  attribution JSON per run to <dir>
+//! --sanitize       race-check every parallel run with the happens-before
+//!                  sanitizer; findings are summarized on stderr and, with
+//!                  --out, written to sanitize-findings.json in the
+//!                  manifest
 //! ```
 
 use std::path::{Path, PathBuf};
 
+use ccnuma_sim::sanitize::SanitizeReport;
 use ccnuma_sim::trace::{chrome_trace_file, Trace, TraceConfig};
 use scaling_study::experiments::Scale;
 use scaling_study::report::Table;
@@ -32,6 +37,7 @@ struct Opts {
     trace: Option<PathBuf>,
     out: Option<PathBuf>,
     attrib: Option<PathBuf>,
+    sanitize: bool,
 }
 
 /// Turns a table title into a safe file stem, e.g.
@@ -75,11 +81,13 @@ fn emit_tables(tables: &[Table], opts: &Opts, emitted: &mut Vec<String>) -> std:
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     name: &str,
     opts: &Opts,
     traces: &mut Vec<(String, Trace)>,
     attribs: &mut Vec<(String, String)>,
+    sanitizes: &mut Vec<(String, SanitizeReport)>,
     emitted: &mut Vec<String>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let scale = opts.scale;
@@ -89,6 +97,9 @@ fn run_one(
     }
     if opts.attrib.is_some() {
         runner.set_attrib(true);
+    }
+    if opts.sanitize {
+        runner.set_sanitize(true);
     }
     let tables: Vec<Table> = figures::run_experiment(name, &mut runner, scale)
         .ok_or_else(|| format!("unknown experiment {name:?} (try --help)"))??;
@@ -103,12 +114,17 @@ fn run_one(
             attribs.push((format!("{name}: {label}"), json));
         }
     }
+    if opts.sanitize {
+        for (label, rep) in runner.take_sanitizes() {
+            sanitizes.push((format!("{name}: {label}"), rep));
+        }
+    }
     Ok(())
 }
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>] [--attrib <dir>]"
+        "usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>] [--attrib <dir>] [--sanitize]"
     );
     eprintln!("experiments: {} all", figures::EXPERIMENT_NAMES.join(" "));
     std::process::exit(code);
@@ -121,6 +137,7 @@ fn parse_opts(args: &[String]) -> (Opts, Vec<String>) {
         trace: None,
         out: None,
         attrib: None,
+        sanitize: false,
     };
     let mut names = Vec::new();
     let mut it = args.iter();
@@ -149,6 +166,7 @@ fn parse_opts(args: &[String]) -> (Opts, Vec<String>) {
                     usage(2);
                 }
             },
+            "--sanitize" => opts.sanitize = true,
             "--help" | "-h" => usage(0),
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other:?}");
@@ -207,11 +225,19 @@ fn main() {
     }
     let mut traces: Vec<(String, Trace)> = Vec::new();
     let mut attribs: Vec<(String, String)> = Vec::new();
+    let mut sanitizes: Vec<(String, SanitizeReport)> = Vec::new();
     let mut emitted: Vec<String> = Vec::new();
     for name in &selected {
         eprintln!("[repro] running {name} ({:?} scale)...", opts.scale);
         let t0 = std::time::Instant::now();
-        if let Err(e) = run_one(name, &opts, &mut traces, &mut attribs, &mut emitted) {
+        if let Err(e) = run_one(
+            name,
+            &opts,
+            &mut traces,
+            &mut attribs,
+            &mut sanitizes,
+            &mut emitted,
+        ) {
             eprintln!("error: {name}: {e}");
             std::process::exit(1);
         }
@@ -237,6 +263,35 @@ fn main() {
         if let Err(e) = write_attrib_files(dir, &attribs, &opts, &mut emitted) {
             eprintln!("error: writing attribution files: {e}");
             std::process::exit(1);
+        }
+    }
+    if opts.sanitize {
+        let dirty = sanitizes.iter().filter(|(_, r)| !r.is_clean()).count();
+        eprintln!(
+            "[repro] sanitize: {} run(s) checked, {dirty} with findings",
+            sanitizes.len()
+        );
+        for (label, rep) in &sanitizes {
+            if !rep.is_clean() {
+                eprintln!("[repro]   {label}: {}", rep.summary());
+            }
+        }
+        if let Some(dir) = &opts.out {
+            let mut doc = String::from("{\n  \"version\": 1,\n  \"reports\": [");
+            for (i, (label, rep)) in sanitizes.iter().enumerate() {
+                if i > 0 {
+                    doc.push(',');
+                }
+                doc.push('\n');
+                doc.push_str(scaling_study::report::sanitize_json(label, rep).trim_end());
+            }
+            doc.push_str("\n  ]\n}\n");
+            let file = "sanitize-findings.json";
+            if let Err(e) = std::fs::write(dir.join(file), doc) {
+                eprintln!("error: writing {file}: {e}");
+                std::process::exit(1);
+            }
+            emitted.push(file.to_string());
         }
     }
     if let Some(dir) = &opts.out {

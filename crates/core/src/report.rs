@@ -426,6 +426,103 @@ pub fn attrib_json(label: &str, stats: &ccnuma_sim::stats::RunStats) -> String {
     s
 }
 
+/// Renders sanitizer findings per experiment cell as a table: one row
+/// per `(app, version, procs)` with the `[races, lock cycles, lints]`
+/// counts and a pass/FAIL verdict.
+pub fn sanitize_table(rows: &[(String, String, usize, [u64; 3])]) -> Table {
+    let mut t = Table::new(
+        "sanitize findings",
+        &[
+            "app", "version", "procs", "races", "cycles", "lints", "verdict",
+        ],
+    );
+    for (app, version, procs, [races, cycles, lints]) in rows {
+        let clean = races + cycles + lints == 0;
+        t.row(vec![
+            app.clone(),
+            version.clone(),
+            procs.to_string(),
+            races.to_string(),
+            cycles.to_string(),
+            lints.to_string(),
+            if clean { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serializes one run's [`SanitizeReport`](ccnuma_sim::sanitize::SanitizeReport)
+/// as a small self-contained JSON document (hand-rolled, like
+/// [`attrib_json`]; the workspace takes no serde dependency).
+pub fn sanitize_json(label: &str, rep: &ccnuma_sim::sanitize::SanitizeReport) -> String {
+    let access = |a: &ccnuma_sim::sanitize::AccessInfo| {
+        format!(
+            "{{\"proc\": {}, \"phase\": \"{}\", \"addr\": {}, \"bytes\": {}, \
+             \"is_write\": {}, \"locks\": [{}]}}",
+            a.proc,
+            json_escape(&a.phase),
+            a.addr,
+            a.bytes,
+            a.is_write,
+            a.locks
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let mut s = String::with_capacity(512);
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"version\": 1,\n  \"label\": \"{}\",\n",
+        json_escape(label)
+    ));
+    s.push_str(&format!(
+        "  \"granularity\": \"{}\",\n",
+        rep.granularity.name()
+    ));
+    s.push_str("  \"races\": [");
+    for (i, r) in rep.races.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"addr\": {}, \"bytes\": {}, \"prior\": {}, \"current\": {}}}",
+            r.addr,
+            r.bytes,
+            access(&r.prior),
+            access(&r.current)
+        ));
+    }
+    s.push_str("\n  ],\n  \"lock_cycles\": [");
+    for (i, c) in rep.lock_cycles.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    [{}]",
+            c.locks
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    s.push_str("\n  ],\n  \"lints\": [");
+    for (i, l) in rep.lints.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"kind\": \"{}\", \"message\": \"{}\"}}",
+            l.kind.name(),
+            json_escape(&l.message)
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
 /// Renders a trace's machine-wide gauge time series (miss rate, resource
 /// occupancies, outstanding misses) as a table, one row per sample —
 /// mainly useful via [`Table::to_csv`].
@@ -533,6 +630,7 @@ mod tests {
             ranges: Vec::new(),
             phases: Vec::new(),
             trace: None,
+            sanitize: None,
         };
         let t = breakdown_continuum(&rs, 4);
         assert_eq!(t.len(), 4);
@@ -581,6 +679,7 @@ mod tests {
             ranges: vec![range],
             phases: Vec::new(),
             trace: None,
+            sanitize: None,
         }
     }
 
@@ -652,10 +751,73 @@ mod tests {
             ranges: Vec::new(),
             phases: vec![ph("main", 0), ph("solve", 300), ph("reduce", 100)],
             trace: None,
+            sanitize: None,
         };
         let t = phase_breakdown_table(&rs);
         assert_eq!(t.len(), 2, "the empty main phase is omitted");
         let csv = t.to_csv();
         assert!(csv.contains("solve") && csv.contains("75.0%"), "{csv}");
+    }
+
+    #[test]
+    fn sanitize_table_verdicts_and_csv_escaping() {
+        let rows = vec![
+            ("fft".to_string(), "base".to_string(), 4, [0u64, 0, 0]),
+            (
+                "water,nsq".to_string(),
+                "opt \"v2\"".to_string(),
+                16,
+                [2, 0, 1],
+            ),
+        ];
+        let t = sanitize_table(&rows);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        let mut lines = csv.lines().skip(1);
+        assert_eq!(lines.next().unwrap(), "fft,base,4,0,0,0,pass");
+        // App/version cells with commas and quotes survive round-trip
+        // escaping; nonzero counts flip the verdict.
+        assert_eq!(
+            lines.next().unwrap(),
+            "\"water,nsq\",\"opt \"\"v2\"\"\",16,2,0,1,FAIL"
+        );
+    }
+
+    #[test]
+    fn sanitize_json_shape() {
+        use ccnuma_sim::sanitize::{
+            AccessInfo, LintFinding, LintKind, RaceFinding, SanitizeGranularity, SanitizeReport,
+        };
+        let acc = |proc, is_write| AccessInfo {
+            proc,
+            phase: "solve".into(),
+            addr: 0x400,
+            bytes: 8,
+            is_write,
+            locks: vec![1],
+        };
+        let rep = SanitizeReport {
+            granularity: SanitizeGranularity::Word,
+            races: vec![RaceFinding {
+                addr: 0x400,
+                bytes: 8,
+                prior: acc(0, true),
+                current: acc(1, false),
+            }],
+            lock_cycles: Vec::new(),
+            lints: vec![LintFinding {
+                kind: LintKind::AtomicPlainMix,
+                message: "cell 0 at 0x80 \"mixed\"".into(),
+            }],
+        };
+        let json = sanitize_json("fft/2^14 points/4p", &rep);
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"granularity\": \"word\""));
+        assert!(json.contains("\"proc\": 0"));
+        assert!(json.contains("\"locks\": [1]"));
+        assert!(json.contains("\"kind\": \"atomic-plain-mix\""));
+        // Embedded quotes in lint messages are escaped.
+        assert!(json.contains("\\\"mixed\\\""), "{json}");
+        assert!(json.contains("\"lock_cycles\": ["));
     }
 }

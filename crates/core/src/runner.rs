@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use ccnuma_sim::config::MachineConfig;
 use ccnuma_sim::error::SimError;
 use ccnuma_sim::machine::Machine;
+use ccnuma_sim::sanitize::SanitizeReport;
 use ccnuma_sim::stats::RunStats;
 use ccnuma_sim::time::Ns;
 use ccnuma_sim::trace::{Trace, TraceConfig};
@@ -93,6 +94,10 @@ pub struct Runner {
     /// JSON is collected in `attribs`.
     attrib: bool,
     attribs: Vec<(String, String)>,
+    /// When true, parallel runs race-check their event stream and each
+    /// run's [`SanitizeReport`] is collected in `sanitizes`.
+    sanitize: bool,
+    sanitizes: Vec<(String, SanitizeReport)>,
 }
 
 impl Runner {
@@ -105,6 +110,8 @@ impl Runner {
             traces: Vec::new(),
             attrib: false,
             attribs: Vec::new(),
+            sanitize: false,
+            sanitizes: Vec::new(),
         }
     }
 
@@ -152,6 +159,27 @@ impl Runner {
         std::mem::take(&mut self.attribs)
     }
 
+    /// Enables (or disables) happens-before sanitizing of parallel runs.
+    /// While enabled, every parallel run forces
+    /// [`MachineConfig::sanitize`] on and the resulting
+    /// [`SanitizeReport`] is collected under an `"app/problem/NNp"`
+    /// label; drain them with [`Runner::take_sanitizes`]. Sanitizing is
+    /// observational: it never changes simulated timing.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
+    /// Whether happens-before sanitizing of parallel runs is enabled.
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Takes the sanitize reports collected so far, labelled
+    /// `"app/problem/NNp"`.
+    pub fn take_sanitizes(&mut self) -> Vec<(String, SanitizeReport)> {
+        std::mem::take(&mut self.sanitizes)
+    }
+
     /// The default scaled machine configuration for `nprocs` processors.
     pub fn machine_for(&self, nprocs: usize) -> MachineConfig {
         MachineConfig::origin2000_scaled(nprocs, self.cache_bytes)
@@ -192,6 +220,9 @@ impl Runner {
         if self.attrib {
             cfg.classify_misses = true;
         }
+        if self.sanitize {
+            cfg.sanitize.enabled = true;
+        }
         let (wall_ns, mut stats) = Self::execute(workload, cfg.clone())?;
         let label = format!("{}/{}/{}p", workload.name(), workload.problem(), cfg.nprocs);
         if let Some(trace) = stats.trace.take() {
@@ -199,7 +230,10 @@ impl Runner {
         }
         if self.attrib {
             let json = crate::report::attrib_json(&label, &stats);
-            self.attribs.push((label, json));
+            self.attribs.push((label.clone(), json));
+        }
+        if let Some(rep) = stats.sanitize.clone() {
+            self.sanitizes.push((label, rep));
         }
         Ok(RunRecord {
             app: workload.name(),

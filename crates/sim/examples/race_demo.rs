@@ -1,0 +1,84 @@
+//! Race-detection demo: two deliberately broken micro-workloads and the
+//! exact findings the sanitizer produces for them.
+//!
+//! 1. **Unsynchronized counter** — every processor read-modify-writes one
+//!    shared word with no lock; the happens-before engine reports exactly
+//!    one race on the counter's word, with both accesses' context.
+//! 2. **Barrier divergence** — processor 1 skips a barrier the others
+//!    wait at; the run deadlocks and the error carries the
+//!    `barrier-divergence` lint naming who never arrived.
+//!
+//! Run with: `cargo run --release -p ccnuma-sim --example race_demo`
+
+use ccnuma_sim::config::MachineConfig;
+use ccnuma_sim::error::SimError;
+use ccnuma_sim::machine::{Machine, Placement};
+
+const NPROCS: usize = 4;
+
+fn cfg() -> MachineConfig {
+    let mut c = MachineConfig::origin2000_scaled(NPROCS, 16 << 10);
+    c.sanitize.enabled = true;
+    c
+}
+
+/// A counter bumped by every processor without any synchronization.
+fn unsynchronized_counter() {
+    let mut m = Machine::new(cfg()).unwrap();
+    let x = m.shared_vec::<u64>(1, Placement::Blocked);
+    let word = x.addr_of(0) & !7;
+    let x2 = x.clone();
+    let stats = m
+        .run(move |ctx| {
+            ctx.phase("bump");
+            for _ in 0..8 {
+                x2.update(ctx, 0, |v| v + 1);
+                ctx.compute_ops(1);
+            }
+        })
+        .unwrap();
+
+    let rep = stats.sanitize.expect("sanitizer was enabled");
+    println!("unsynchronized counter: {}", rep.summary());
+    for r in &rep.races {
+        println!("  race on {:#x}+{}:", r.addr, r.bytes);
+        println!("    prior:   {}", r.prior);
+        println!("    current: {}", r.current);
+    }
+    // The lost updates are real: the final value is below NPROCS * 8
+    // whenever increments interleaved, and the sanitizer flags the cause
+    // as exactly one racy word.
+    assert_eq!(rep.counts(), [1, 0, 0]);
+    assert_eq!(rep.races[0].addr, word);
+    assert_eq!(rep.races[0].bytes, 8);
+    assert!(rep.races[0].prior.is_write || rep.races[0].current.is_write);
+}
+
+/// Processor 1 returns without arriving at the barrier the rest wait at.
+fn barrier_divergence() {
+    let mut m = Machine::new(cfg()).unwrap();
+    let b = m.barrier();
+    let err = m
+        .run(move |ctx| {
+            if ctx.id() != 1 {
+                ctx.barrier(b);
+            }
+        })
+        .unwrap_err();
+
+    println!("barrier divergence: {err}");
+    match err {
+        SimError::Deadlock(msg) => {
+            assert!(msg.contains("barrier-divergence"), "{msg}");
+            assert!(msg.contains("barrier 0"), "{msg}");
+            assert!(msg.contains("[1] never did"), "{msg}");
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+fn main() {
+    unsynchronized_counter();
+    barrier_divergence();
+    println!("both planted defects reported exactly");
+}

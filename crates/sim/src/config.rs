@@ -10,6 +10,7 @@
 use crate::error::ConfigError;
 use crate::latency::LatencyProfile;
 use crate::mapping::ProcessMapping;
+use crate::sanitize::SanitizeConfig;
 use crate::time::Ns;
 use crate::topology::TopologyKind;
 use crate::trace::TraceConfig;
@@ -220,6 +221,10 @@ pub struct MachineConfig {
     /// Time-resolved event tracing (off by default; see
     /// [`TraceConfig`](crate::trace::TraceConfig)).
     pub trace: TraceConfig,
+    /// Happens-before race detection, lock-order analysis and
+    /// synchronization lints (off by default; see
+    /// [`SanitizeConfig`](crate::sanitize::SanitizeConfig)).
+    pub sanitize: SanitizeConfig,
 }
 
 impl MachineConfig {
@@ -245,6 +250,7 @@ impl MachineConfig {
             classify_misses: false,
             cost: CostModel::default(),
             trace: TraceConfig::default(),
+            sanitize: SanitizeConfig::default(),
         }
     }
 
@@ -300,6 +306,7 @@ impl MachineConfig {
             classify_misses: false,
             cost: CostModel::default(),
             trace: TraceConfig::default(),
+            sanitize: SanitizeConfig::default(),
         }
     }
 
@@ -330,7 +337,8 @@ impl MachineConfig {
     /// shape, cache geometry, paging, latencies, topology, mapping,
     /// placement/migration, synchronization primitives, prefetch, miss
     /// classification (it adds counters to the stats), and the cost model.
-    /// Tracing is excluded — it observes a run without perturbing it.
+    /// Tracing and sanitizing are excluded — they observe a run without
+    /// perturbing it.
     pub fn stable_fields(&self) -> Vec<(String, String)> {
         let l = &self.latency;
         let mut kv: Vec<(String, String)> = vec![
@@ -536,6 +544,9 @@ mod tests {
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
         // Tracing is observational: it must not change the fingerprint.
         b.trace = crate::trace::TraceConfig::on();
+        assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+        // So is sanitizing: it never charges virtual time.
+        b.sanitize = crate::sanitize::SanitizeConfig::on();
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
         // Anything that changes results must change the fingerprint.
         for (i, mutate) in [

@@ -35,8 +35,12 @@ pub struct Ctx {
     line_bytes: u64,
     cost: CostModel,
     prefetch_enabled: bool,
+    /// When the sanitizer is on, `san` mirrors `ops` with exact
+    /// (lossless-merged) byte footprints for race detection.
+    sanitize: bool,
     busy: Cell<Ns>,
     ops: RefCell<Vec<MemOp>>,
+    san: RefCell<Vec<MemOp>>,
     tx: Sender<(usize, Request)>,
     rx: Receiver<Reply>,
 }
@@ -49,6 +53,7 @@ impl Ctx {
         line_bytes: u64,
         cost: CostModel,
         prefetch_enabled: bool,
+        sanitize: bool,
         tx: Sender<(usize, Request)>,
         rx: Receiver<Reply>,
     ) -> Self {
@@ -58,8 +63,10 @@ impl Ctx {
             line_bytes,
             cost,
             prefetch_enabled,
+            sanitize,
             busy: Cell::new(0),
             ops: RefCell::new(Vec::with_capacity(FLUSH_THRESHOLD + 1)),
+            san: RefCell::new(Vec::new()),
             tx,
             rx,
         }
@@ -131,6 +138,22 @@ impl Ctx {
 
     fn record(&self, addr: Addr, bytes: u64, kind: OpKind) {
         debug_assert!(bytes > 0);
+        if self.sanitize && kind != OpKind::Prefetch {
+            // Exact footprints for the sanitizer: only lossless merges
+            // (containment or contiguous extension), never the covering
+            // same-line merge the timing stream makes below. The flush
+            // decision stays a function of `ops` alone so enabling the
+            // sanitizer cannot change batching (and thus timing).
+            let mut san = self.san.borrow_mut();
+            match san.last_mut() {
+                Some(last)
+                    if last.kind == kind && addr >= last.addr && addr <= last.addr + last.bytes =>
+                {
+                    last.bytes = last.bytes.max(addr + bytes - last.addr);
+                }
+                _ => san.push(MemOp { addr, bytes, kind }),
+            }
+        }
         let mut ops = self.ops.borrow_mut();
         if let Some(last) = ops.last_mut() {
             if last.kind == kind {
@@ -157,10 +180,11 @@ impl Ctx {
         }
     }
 
-    fn take_pending(&self) -> (Ns, Vec<MemOp>) {
+    fn take_pending(&self) -> (Ns, Vec<MemOp>, Vec<MemOp>) {
         (
             self.busy.replace(0),
             std::mem::take(&mut *self.ops.borrow_mut()),
+            std::mem::take(&mut *self.san.borrow_mut()),
         )
     }
 
@@ -178,11 +202,11 @@ impl Ctx {
     /// advancing this processor's virtual clock. Called automatically by
     /// every synchronization operation and when the buffer fills.
     pub fn flush(&self) {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         if busy == 0 && ops.is_empty() {
             return;
         }
-        self.send(Request::Ops { busy, ops });
+        self.send(Request::Ops { busy, ops, san });
     }
 
     // ---- phases ----------------------------------------------------------
@@ -194,10 +218,11 @@ impl Ctx {
     /// tracing is enabled, label the exported timeline. Marking the same
     /// name again re-enters that phase (phase ids are interned by name).
     pub fn phase(&self, name: &str) {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         self.send(Request::Phase {
             busy,
             ops,
+            san,
             name: name.to_string(),
         });
     }
@@ -206,20 +231,22 @@ impl Ctx {
 
     /// Waits until every processor has arrived at barrier `b`.
     pub fn barrier(&self, b: BarrierRef) {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         self.send(Request::Barrier {
             busy,
             ops,
+            san,
             id: b.0 as usize,
         });
     }
 
     /// Acquires lock `l`, blocking in virtual time while it is held.
     pub fn lock(&self, l: LockRef) {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         self.send(Request::Lock {
             busy,
             ops,
+            san,
             id: l.0 as usize,
         });
     }
@@ -230,10 +257,11 @@ impl Ctx {
     ///
     /// The simulation fails if the calling processor does not hold `l`.
     pub fn unlock(&self, l: LockRef) {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         self.send(Request::Unlock {
             busy,
             ops,
+            san,
             id: l.0 as usize,
         });
     }
@@ -250,10 +278,11 @@ impl Ctx {
     /// value. The cost model follows the configured lock primitive (LL/SC
     /// read-modify-write or at-memory fetch&op).
     pub fn fetch_add(&self, c: FetchCellRef, delta: i64) -> i64 {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         self.send(Request::FetchAdd {
             busy,
             ops,
+            san,
             id: c.0 as usize,
             delta,
         })
@@ -262,20 +291,22 @@ impl Ctx {
 
     /// Decrements semaphore `s`, blocking in virtual time while it is zero.
     pub fn sem_wait(&self, s: SemRef) {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         self.send(Request::SemWait {
             busy,
             ops,
+            san,
             id: s.0 as usize,
         });
     }
 
     /// Increments semaphore `s` by `n`, waking blocked waiters.
     pub fn sem_post(&self, s: SemRef, n: u32) {
-        let (busy, ops) = self.take_pending();
+        let (busy, ops, san) = self.take_pending();
         self.send(Request::SemPost {
             busy,
             ops,
+            san,
             id: s.0 as usize,
             n,
         });
@@ -283,8 +314,8 @@ impl Ctx {
 
     /// Called by the runtime when the body returns.
     pub(crate) fn finish(&self) {
-        let (busy, ops) = self.take_pending();
-        let _ = self.tx.send((self.id, Request::Finish { busy, ops }));
+        let (busy, ops, san) = self.take_pending();
+        let _ = self.tx.send((self.id, Request::Finish { busy, ops, san }));
     }
 
     /// Called by the runtime when the body panics.

@@ -22,6 +22,7 @@ use crate::memsys::{AccessClass, AccessKind, MemorySystem, Outcome};
 use crate::page::Addr;
 use crate::profile::Profiler;
 use crate::proto::{MemOp, OpKind, Reply, Request};
+use crate::sanitize::Sanitizer;
 use crate::stats::{PhaseBreakdown, PhaseStats, ProcStats, RunStats};
 use crate::sync::{BarrierState, LockState, SemState};
 use crate::time::Ns;
@@ -72,9 +73,13 @@ pub(crate) struct Engine {
     phase_acc: Vec<Vec<PhaseBreakdown>>,
     /// Virtual time at which each lock was last acquired (for hold spans).
     lock_hold_start: Vec<Ns>,
+    /// Happens-before sanitizer, when `cfg.sanitize.enabled` is set.
+    /// Purely observational: it is never consulted for timing.
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cfg: MachineConfig,
         mem: MemorySystem,
@@ -83,6 +88,7 @@ impl Engine {
         req_rx: Receiver<(usize, Request)>,
         profiler: Profiler,
         tracer: TraceBuffer,
+        sanitizer: Option<Box<Sanitizer>>,
     ) -> Self {
         let n = cfg.nprocs;
         let nlocks = sync.locks.len();
@@ -111,6 +117,7 @@ impl Engine {
             phase_names: vec!["main".to_string()],
             phase_acc: (0..n).map(|_| vec![PhaseBreakdown::default()]).collect(),
             lock_hold_start: vec![0; nlocks],
+            sanitizer,
         }
     }
 
@@ -169,7 +176,22 @@ impl Engine {
                     .enumerate()
                     .filter_map(|(i, p)| p.parked_on.as_ref().map(|r| format!("proc {i} on {r}")))
                     .collect();
-                return Err(SimError::Deadlock(blocked.join(", ")));
+                let mut msg = blocked.join(", ");
+                // A deadlocked run produces no statistics to attach the
+                // sanitize report to; fold its lints (e.g. barrier
+                // divergence) into the error instead.
+                if let Some(san) = self.sanitizer.take() {
+                    let rep = san.finalize(&self.phase_names);
+                    if !rep.lints.is_empty() {
+                        let lints: Vec<String> = rep
+                            .lints
+                            .iter()
+                            .map(|l| format!("{}: {}", l.kind.name(), l.message))
+                            .collect();
+                        msg = format!("{msg}; sanitize: {}", lints.join("; "));
+                    }
+                }
+                return Err(SimError::Deadlock(msg));
             }
         }
         let wall = self
@@ -180,6 +202,7 @@ impl Engine {
             .unwrap_or(0);
         self.sample_gauges(wall);
         let phase_names = std::mem::take(&mut self.phase_names);
+        let sanitize = self.sanitizer.take().map(|s| s.finalize(&phase_names));
         let phases: Vec<PhaseStats> = phase_names
             .iter()
             .enumerate()
@@ -200,6 +223,7 @@ impl Engine {
             trace: self.tracer.finish(phase_names),
             phases,
             procs: self.procs.into_iter().map(|p| p.stats).collect(),
+            sanitize,
         })
     }
 
@@ -360,8 +384,17 @@ impl Engine {
         }
     }
 
-    fn apply_ops(&mut self, p: usize, busy: Ns, ops: &[MemOp]) {
+    fn apply_ops(&mut self, p: usize, busy: Ns, ops: &[MemOp], san: &[MemOp]) {
         self.charge_busy(p, busy);
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            for op in san {
+                match op.kind {
+                    OpKind::Read => s.read(p, op.addr, op.bytes),
+                    OpKind::Write => s.write(p, op.addr, op.bytes),
+                    OpKind::Prefetch => {}
+                }
+            }
+        }
         let line_bytes = self.mem.line_bytes();
         for op in ops {
             let first = op.addr / line_bytes;
@@ -433,26 +466,34 @@ impl Engine {
             .take()
             .expect("heap entry without pending request");
         match req {
-            Request::Ops { busy, ops } => {
-                self.apply_ops(p, busy, &ops);
+            Request::Ops { busy, ops, san } => {
+                self.apply_ops(p, busy, &ops, &san);
                 self.reply(p, 0);
             }
-            Request::Phase { busy, ops, name } => {
-                self.apply_ops(p, busy, &ops);
+            Request::Phase {
+                busy,
+                ops,
+                san,
+                name,
+            } => {
+                self.apply_ops(p, busy, &ops, &san);
                 let id = self.intern_phase(&name);
                 self.procs[p].phase = id;
+                if let Some(s) = self.sanitizer.as_deref_mut() {
+                    s.set_phase(p, id);
+                }
                 self.reply(p, 0);
             }
-            Request::Finish { busy, ops } => {
-                self.apply_ops(p, busy, &ops);
+            Request::Finish { busy, ops, san } => {
+                self.apply_ops(p, busy, &ops, &san);
                 let rt = &mut self.procs[p];
                 rt.stats.finish_ns = rt.clock;
                 rt.done = true;
                 rt.running = false;
                 self.done_count += 1;
             }
-            Request::Lock { busy, ops, id } => {
-                self.apply_ops(p, busy, &ops);
+            Request::Lock { busy, ops, san, id } => {
+                self.apply_ops(p, busy, &ops, &san);
                 let addr = self.sync.locks[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
@@ -460,6 +501,9 @@ impl Engine {
                 self.charge_sync_op(p, cost);
                 let t = self.procs[p].clock;
                 if self.sync.locks[id].acquire_or_enqueue(p, t) {
+                    if let Some(s) = self.sanitizer.as_deref_mut() {
+                        s.lock_acquire(p, id);
+                    }
                     self.procs[p].stats.lock_acquires += 1;
                     self.lock_hold_start[id] = t;
                     self.reply(p, 0);
@@ -467,8 +511,11 @@ impl Engine {
                     self.procs[p].parked_on = Some(format!("lock {id}"));
                 }
             }
-            Request::Unlock { busy, ops, id } => {
-                self.apply_ops(p, busy, &ops);
+            Request::Unlock { busy, ops, san, id } => {
+                self.apply_ops(p, busy, &ops, &san);
+                if let Some(s) = self.sanitizer.as_deref_mut() {
+                    s.lock_release(p, id);
+                }
                 let addr = self.sync.locks[id].addr;
                 let now = self.procs[p].clock;
                 // Releasing writes the lock word; usually a cache hit for
@@ -497,6 +544,9 @@ impl Engine {
                     // The release can complete before the waiter's acquire
                     // attempt has (they overlap in virtual time); the grant
                     // happens at whichever is later.
+                    if let Some(s) = self.sanitizer.as_deref_mut() {
+                        s.lock_acquire(w, id);
+                    }
                     let grant_t = release_t.max(arrived);
                     // Hand off: the new holder pulls the lock line over.
                     let handoff = self.rmw_cost(w, addr, grant_t);
@@ -509,8 +559,11 @@ impl Engine {
                 }
                 self.reply(p, 0);
             }
-            Request::Barrier { busy, ops, id } => {
-                self.apply_ops(p, busy, &ops);
+            Request::Barrier { busy, ops, san, id } => {
+                self.apply_ops(p, busy, &ops, &san);
+                if let Some(s) = self.sanitizer.as_deref_mut() {
+                    s.barrier_arrive(p, id);
+                }
                 let addr = self.sync.barriers[id].addr;
                 let now = self.procs[p].clock;
                 let arrive_cost = match self.cfg.barrier_impl {
@@ -526,6 +579,9 @@ impl Engine {
                 self.charge_sync_op(p, arrive_cost);
                 let t = self.procs[p].clock;
                 if let Some(mut arrivals) = self.sync.barriers[id].arrive(p, t) {
+                    if let Some(s) = self.sanitizer.as_deref_mut() {
+                        s.barrier_complete(id);
+                    }
                     let release_t = arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t);
                     let first_t = arrivals.iter().map(|&(_, a)| a).min().unwrap_or(t);
                     arrivals.sort_unstable();
@@ -567,10 +623,14 @@ impl Engine {
             Request::FetchAdd {
                 busy,
                 ops,
+                san,
                 id,
                 delta,
             } => {
-                self.apply_ops(p, busy, &ops);
+                self.apply_ops(p, busy, &ops, &san);
+                if let Some(s) = self.sanitizer.as_deref_mut() {
+                    s.fetch_add(p, id);
+                }
                 let addr = self.sync.cells[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
@@ -580,8 +640,8 @@ impl Engine {
                 self.sync.cells[id].value += delta;
                 self.reply(p, prev);
             }
-            Request::SemWait { busy, ops, id } => {
-                self.apply_ops(p, busy, &ops);
+            Request::SemWait { busy, ops, san, id } => {
+                self.apply_ops(p, busy, &ops, &san);
                 let addr = self.sync.sems[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
@@ -589,13 +649,25 @@ impl Engine {
                 self.charge_sync_op(p, cost);
                 let t = self.procs[p].clock;
                 if self.sync.sems[id].wait_or_enqueue(p, t) {
+                    if let Some(s) = self.sanitizer.as_deref_mut() {
+                        s.sem_acquire(p, id);
+                    }
                     self.reply(p, 0);
                 } else {
                     self.procs[p].parked_on = Some(format!("semaphore {id}"));
                 }
             }
-            Request::SemPost { busy, ops, id, n } => {
-                self.apply_ops(p, busy, &ops);
+            Request::SemPost {
+                busy,
+                ops,
+                san,
+                id,
+                n,
+            } => {
+                self.apply_ops(p, busy, &ops, &san);
+                if let Some(s) = self.sanitizer.as_deref_mut() {
+                    s.sem_post(p, id);
+                }
                 let addr = self.sync.sems[id].addr;
                 let now = self.procs[p].clock;
                 let cost = self.rmw_cost(p, addr, now);
@@ -603,6 +675,9 @@ impl Engine {
                 self.charge_sync_op(p, cost);
                 let t = self.procs[p].clock;
                 for (w, arrived) in self.sync.sems[id].post(n) {
+                    if let Some(s) = self.sanitizer.as_deref_mut() {
+                        s.sem_acquire(w, id);
+                    }
                     let grant_t = t.max(arrived);
                     let wake = self.mem.access(w, addr, AccessKind::Read, grant_t).latency;
                     self.charge_sync_wait(w, arrived, grant_t);

@@ -96,6 +96,7 @@ pub mod mapping;
 pub mod memsys;
 pub mod page;
 pub mod profile;
+pub mod sanitize;
 pub mod shared;
 pub mod stats;
 pub mod sync;
@@ -118,6 +119,7 @@ pub mod prelude {
     pub use crate::latency::LatencyProfile;
     pub use crate::machine::{Machine, Placement};
     pub use crate::mapping::ProcessMapping;
+    pub use crate::sanitize::{SanitizeConfig, SanitizeGranularity, SanitizeReport};
     pub use crate::shared::SharedVec;
     pub use crate::stats::{PhaseBreakdown, PhaseStats, ProcStats, RunStats};
     pub use crate::sync::{BarrierRef, FetchCellRef, LockRef, SemRef};

@@ -300,6 +300,19 @@ impl Machine {
                 mem.contention.routers.len(),
             ],
         );
+        let sanitizer = if cfg.sanitize.enabled {
+            let mut s = crate::sanitize::Sanitizer::new(
+                cfg.nprocs,
+                cfg.sanitize.granularity,
+                cfg.cache.line_bytes as u64,
+            );
+            for (i, &(addr, _)) in self.cells.iter().enumerate() {
+                s.register_fetch_cell(i, addr);
+            }
+            Some(Box::new(s))
+        } else {
+            None
+        };
         let (req_tx, req_rx) = channel();
         let mut reply_txs = Vec::with_capacity(cfg.nprocs);
         let body = Arc::new(body);
@@ -313,6 +326,7 @@ impl Machine {
                 cfg.cache.line_bytes as u64,
                 cfg.cost,
                 cfg.prefetch_enabled,
+                cfg.sanitize.enabled,
                 req_tx.clone(),
                 rep_rx,
             );
@@ -343,7 +357,16 @@ impl Machine {
         }
         drop(req_tx);
 
-        let engine = Engine::new(cfg, mem, sync, reply_txs.clone(), req_rx, profiler, tracer);
+        let engine = Engine::new(
+            cfg,
+            mem,
+            sync,
+            reply_txs.clone(),
+            req_rx,
+            profiler,
+            tracer,
+            sanitizer,
+        );
         let result = engine.run();
         // Unblock any still-parked threads so join cannot hang: dropping
         // the reply senders makes their next receive fail, unwinding them

@@ -25,34 +25,45 @@ pub(crate) struct MemOp {
 }
 
 /// A request from an application thread to the engine. Every variant
-/// carries the busy time accumulated since the previous request and the
-/// buffered memory operations to apply first.
+/// carries the busy time accumulated since the previous request, the
+/// buffered memory operations to apply first, and — when the sanitizer
+/// is enabled — the exact (uncoalesced) byte footprints of those
+/// operations in `san`, so race detection never sees the covering
+/// merges the timing stream makes (empty when sanitizing is off).
 #[derive(Debug)]
 pub(crate) enum Request {
     /// Flush buffered work only.
-    Ops { busy: Ns, ops: Vec<MemOp> },
+    Ops {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        san: Vec<MemOp>,
+    },
     /// Arrive at a barrier.
     Barrier {
         busy: Ns,
         ops: Vec<MemOp>,
+        san: Vec<MemOp>,
         id: usize,
     },
     /// Acquire a lock (blocks until granted).
     Lock {
         busy: Ns,
         ops: Vec<MemOp>,
+        san: Vec<MemOp>,
         id: usize,
     },
     /// Release a lock.
     Unlock {
         busy: Ns,
         ops: Vec<MemOp>,
+        san: Vec<MemOp>,
         id: usize,
     },
     /// Atomic fetch-and-add on a fetch cell; the reply carries the prior value.
     FetchAdd {
         busy: Ns,
         ops: Vec<MemOp>,
+        san: Vec<MemOp>,
         id: usize,
         delta: i64,
     },
@@ -60,12 +71,14 @@ pub(crate) enum Request {
     SemWait {
         busy: Ns,
         ops: Vec<MemOp>,
+        san: Vec<MemOp>,
         id: usize,
     },
     /// Increment a semaphore by `n`, waking blocked waiters.
     SemPost {
         busy: Ns,
         ops: Vec<MemOp>,
+        san: Vec<MemOp>,
         id: usize,
         n: u32,
     },
@@ -74,10 +87,15 @@ pub(crate) enum Request {
     Phase {
         busy: Ns,
         ops: Vec<MemOp>,
+        san: Vec<MemOp>,
         name: String,
     },
     /// The application body returned.
-    Finish { busy: Ns, ops: Vec<MemOp> },
+    Finish {
+        busy: Ns,
+        ops: Vec<MemOp>,
+        san: Vec<MemOp>,
+    },
     /// The application body panicked; the engine aborts the run.
     Panic(String),
 }

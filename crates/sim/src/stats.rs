@@ -245,6 +245,10 @@ pub struct RunStats {
     /// The time-resolved event trace, when
     /// [`TraceConfig::enabled`](crate::trace::TraceConfig) was set.
     pub trace: Option<crate::trace::Trace>,
+    /// Findings of the happens-before sanitizer, when `cfg.sanitize` was
+    /// enabled. Purely observational: two runs differing only in this
+    /// field had identical simulated timing.
+    pub sanitize: Option<crate::sanitize::SanitizeReport>,
 }
 
 impl RunStats {
@@ -362,6 +366,7 @@ mod tests {
             ranges: Vec::new(),
             phases: Vec::new(),
             trace: None,
+            sanitize: None,
         };
         let (b, m, s) = rs.avg_breakdown_pct();
         assert_eq!((b, m, s), (50.0, 0.0, 50.0));
@@ -385,6 +390,7 @@ mod tests {
             ranges: Vec::new(),
             phases: Vec::new(),
             trace: None,
+            sanitize: None,
         };
         assert_eq!(rs.total(|p| p.reads), 7);
     }
@@ -406,6 +412,7 @@ mod tests {
             ranges: Vec::new(),
             phases: vec![ph("main", 10), ph("solve", 90)],
             trace: None,
+            sanitize: None,
         };
         assert_eq!(rs.phase("solve").unwrap().total().busy_ns, 90);
         assert_eq!(rs.phase("main").unwrap().procs.len(), 1);
@@ -431,6 +438,7 @@ mod tests {
             ranges: Vec::new(),
             phases: Vec::new(),
             trace: None,
+            sanitize: None,
         };
         assert_eq!(rs.cause_counts(), [6, 12, 8, 10, 4]);
         assert_eq!(rs.cause_counts().iter().sum::<u64>(), 2 * (3 + 10 + 7));
@@ -455,6 +463,7 @@ mod tests {
             ranges: Vec::new(),
             phases: Vec::new(),
             trace: None,
+            sanitize: None,
         };
         assert_eq!(rs.mem_breakdown().total(), rs.total(|p| p.mem_ns));
         assert_eq!(rs.mem_breakdown().queue_total(), 120);
@@ -468,6 +477,7 @@ mod tests {
                 ranges: Vec::new(),
                 phases: Vec::new(),
                 trace: None,
+                sanitize: None,
             }
             .avg_miss_hops(),
             0.0

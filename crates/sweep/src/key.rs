@@ -35,13 +35,20 @@ pub struct RunKey {
     /// Whether miss classification / attribution was enabled (it adds
     /// counters to the stored statistics, so it is part of the identity).
     pub attrib: bool,
+    /// Whether happens-before sanitizing was enabled (it adds finding
+    /// counts to the stored record, so it is part of the identity).
+    pub sanitize: bool,
 }
 
 impl RunKey {
     /// The key's fields as `(name, value)` pairs, in declaration order.
     /// [`RunKey::hash_hex`] sorts them, so this order is cosmetic.
+    ///
+    /// `sanitize` is included only when set: a `false` value hashes to
+    /// the exact key the field's introduction found on disk, so stores
+    /// written before sanitizing existed stay valid.
     pub fn fields(&self) -> Vec<(String, String)> {
-        vec![
+        let mut fields = vec![
             ("app".into(), self.app.clone()),
             ("version".into(), self.version.clone()),
             ("problem".into(), self.problem.clone()),
@@ -50,7 +57,11 @@ impl RunKey {
             ("machine".into(), self.machine.clone()),
             ("sim".into(), self.sim.clone()),
             ("attrib".into(), self.attrib.to_string()),
-        ]
+        ];
+        if self.sanitize {
+            fields.push(("sanitize".into(), "true".into()));
+        }
+        fields
     }
 
     /// The 16-hex-digit content hash identifying this cell in the result

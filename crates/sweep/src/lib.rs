@@ -92,6 +92,10 @@ pub struct SweepOutcome {
     pub quarantined: Vec<String>,
     /// One record per matrix cell, in matrix order.
     pub records: Vec<CellRecord>,
+    /// Full sanitize reports of the cells *executed this invocation*
+    /// with sanitizing enabled, sorted by label (cached cells only
+    /// carry their counts, inside [`CellRecord::sanitize`]).
+    pub sanitizes: Vec<(String, ccnuma_sim::sanitize::SanitizeReport)>,
     /// Lines dropped while loading the store (torn or foreign).
     pub dropped_lines: usize,
     /// Work-stealing batches performed by the pool.
@@ -141,6 +145,8 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
     let t0 = Instant::now();
     let executor = Executor::new(cfg.opts.clone());
     let io_errors: Mutex<Vec<std::io::Error>> = Mutex::new(Vec::new());
+    let sanitizes: Mutex<Vec<(String, ccnuma_sim::sanitize::SanitizeReport)>> =
+        Mutex::new(Vec::new());
 
     let (ran, metrics) = pool::run(&pending, cfg.jobs, |spec| {
         let (rec, stats) = executor.run_cell_full(spec);
@@ -160,6 +166,12 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
                 if let Some(trace) = &stats.trace {
                     sink(write_trace(dir, spec, trace));
                 }
+            }
+            if let Some(rep) = &stats.sanitize {
+                sanitizes
+                    .lock()
+                    .expect("sanitize list poisoned")
+                    .push((spec.label(), rep.clone()));
             }
         }
         if cfg.progress {
@@ -203,11 +215,16 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
         }
         records.push(rec);
     }
+    // Worker completion order is scheduling-dependent; sort so the
+    // outcome is identical for any `--jobs` value.
+    let mut sanitizes = sanitizes.into_inner().expect("sanitize list poisoned");
+    sanitizes.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(SweepOutcome {
         executed: total,
         cached: cells.len() - total,
         quarantined,
         records,
+        sanitizes,
         dropped_lines: store.dropped_lines,
         steals: metrics.steals,
     })

@@ -61,6 +61,9 @@ pub struct MatrixSpec {
     /// are skipped, so they re-emit nothing; tracing is observational and
     /// deliberately *not* part of the run key).
     pub trace: bool,
+    /// Run the happens-before sanitizer over every cell and carry its
+    /// finding counts through the stored records.
+    pub sanitize: bool,
 }
 
 impl Default for MatrixSpec {
@@ -73,6 +76,7 @@ impl Default for MatrixSpec {
             sizes: SizeSel::Basic,
             attrib: false,
             trace: false,
+            sanitize: false,
         }
     }
 }
@@ -168,6 +172,7 @@ impl MatrixSpec {
                 }
                 "attrib" => spec.attrib = parse_bool(v)?,
                 "trace" => spec.trace = parse_bool(v)?,
+                "sanitize" => spec.sanitize = parse_bool(v)?,
                 other => return Err(format!("unknown matrix key {other:?}")),
             }
         }
@@ -218,6 +223,7 @@ impl MatrixSpec {
                                 scale: self.scale,
                                 attrib: self.attrib,
                                 trace: self.trace,
+                                sanitize: self.sanitize,
                             });
                         }
                     }
@@ -234,6 +240,7 @@ impl MatrixSpec {
                                 scale: self.scale,
                                 attrib: self.attrib,
                                 trace: self.trace,
+                                sanitize: self.sanitize,
                             });
                         }
                     }
@@ -264,6 +271,8 @@ pub struct CellSpec {
     pub attrib: bool,
     /// Record a time-resolved trace of the run.
     pub trace: bool,
+    /// Race-check the run's event stream.
+    pub sanitize: bool,
 }
 
 impl CellSpec {
@@ -299,6 +308,7 @@ impl CellSpec {
     pub fn machine(&self) -> MachineConfig {
         let mut cfg = MachineConfig::origin2000_scaled(self.nprocs, self.scale.cache_bytes());
         cfg.classify_misses = self.attrib;
+        cfg.sanitize.enabled = self.sanitize;
         if self.trace {
             cfg.trace = ccnuma_sim::trace::TraceConfig::on();
         }
@@ -324,6 +334,7 @@ impl CellSpec {
             machine: self.machine().stable_fingerprint(),
             sim: ccnuma_sim::MODEL_FINGERPRINT.to_string(),
             attrib: self.attrib,
+            sanitize: self.sanitize,
         }
     }
 }
@@ -409,11 +420,32 @@ mod tests {
                 scale: Scale::Quick,
                 attrib,
                 trace: false,
+                sanitize: false,
             }
             .key()
             .hash_hex()
         };
         assert_ne!(mk(false), mk(true));
+    }
+
+    #[test]
+    fn sanitize_changes_the_run_key_and_machine() {
+        let mk = |sanitize| CellSpec {
+            app: "fft".into(),
+            version: "orig".into(),
+            size: None,
+            nprocs: 4,
+            scale: Scale::Quick,
+            attrib: false,
+            trace: false,
+            sanitize,
+        };
+        assert_ne!(mk(false).key().hash_hex(), mk(true).key().hash_hex());
+        assert!(mk(true).machine().sanitize.enabled);
+        assert!(!mk(false).machine().sanitize.enabled);
+        let spec = MatrixSpec::parse("apps=fft versions=orig procs=2 sanitize=on").unwrap();
+        assert!(spec.sanitize);
+        assert!(spec.cells().iter().all(|c| c.sanitize));
     }
 
     #[test]
@@ -427,6 +459,7 @@ mod tests {
                 scale: Scale::Quick,
                 attrib: false,
                 trace,
+                sanitize: false,
             }
             .key()
             .hash_hex()

@@ -96,6 +96,7 @@ impl Executor {
             sync_ns: 0,
             misses: 0,
             causes: [0; 5],
+            sanitize: None,
             error: None,
         };
         let mut kept_stats = None;
@@ -249,6 +250,7 @@ mod tests {
             scale: Scale::Quick,
             attrib: false,
             trace: false,
+            sanitize: false,
         }
     }
 

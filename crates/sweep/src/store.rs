@@ -98,6 +98,9 @@ pub struct CellRecord {
     /// Classified miss counts `[cold, capacity, conflict, coh-true,
     /// coh-false]`; zeros unless the cell ran with attribution.
     pub causes: [u64; 5],
+    /// Sanitizer finding counts `[races, lock_cycles, lints]`; `None`
+    /// unless the cell ran with sanitizing enabled.
+    pub sanitize: Option<[u64; 3]>,
     /// Failure description for quarantined cells.
     pub error: Option<String>,
 }
@@ -143,6 +146,7 @@ impl CellRecord {
         self.sync_ns = stats.total(|p| p.sync_ns());
         self.misses = stats.total(|p| p.misses());
         self.causes = stats.cause_counts();
+        self.sanitize = stats.sanitize.as_ref().map(|r| r.counts());
     }
 
     /// Serializes the record as one JSON line (no trailing newline).
@@ -175,6 +179,9 @@ impl CellRecord {
                 .collect::<Vec<_>>()
                 .join(", "),
         );
+        if let Some([r, c, l]) = self.sanitize {
+            s.push_str(&format!(", \"sanitize\": [{r}, {c}, {l}]"));
+        }
         if let Some(e) = &self.error {
             s.push_str(&format!(", \"error\": \"{}\"", esc(e)));
         }
@@ -254,6 +261,27 @@ impl CellRecord {
                 .parse()
                 .map_err(|_| format!("bad cause count {p:?}"))?;
         }
+        let sanitize = match line.find("\"sanitize\": [") {
+            None => None,
+            Some(pos) => {
+                let sstart = pos + "\"sanitize\": [".len();
+                let send = line[sstart..]
+                    .find(']')
+                    .ok_or_else(|| "unterminated sanitize".to_string())?;
+                let parts: Vec<&str> = line[sstart..sstart + send].split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!("expected 3 sanitize counts, got {}", parts.len()));
+                }
+                let mut counts = [0u64; 3];
+                for (slot, p) in counts.iter_mut().zip(parts) {
+                    *slot = p
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad sanitize count {p:?}"))?;
+                }
+                Some(counts)
+            }
+        };
         Ok(CellRecord {
             key: str_field(line, "key")?,
             label: str_field(line, "label")?,
@@ -272,6 +300,7 @@ impl CellRecord {
             sync_ns: num_field(line, "sync_ns")?,
             misses: num_field(line, "misses")?,
             causes,
+            sanitize,
             error: str_field(line, "error").ok(),
         })
     }
@@ -421,6 +450,11 @@ mod tests {
             sync_ns: 300,
             misses: 42,
             causes: [10, 9, 8, 7, 8],
+            sanitize: if status == CellStatus::Ok {
+                Some([2, 0, 1])
+            } else {
+                None
+            },
             error: if status == CellStatus::Ok {
                 None
             } else {
@@ -473,7 +507,8 @@ mod tests {
         // would.
         let content = std::fs::read_to_string(&path).unwrap();
         let torn = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
-        torn.set_len((content.trim_end().len() - 15) as u64).unwrap();
+        torn.set_len((content.trim_end().len() - 15) as u64)
+            .unwrap();
         drop(torn);
 
         // Resume over the torn store and append the re-run cell — it

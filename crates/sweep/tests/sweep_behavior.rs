@@ -31,8 +31,17 @@ fn golden_run_key_hash_is_pinned() {
         machine: "00112233aabbccdd".into(),
         sim: "ccnuma-sim-model-r2".into(),
         attrib: false,
+        sanitize: false,
     };
     assert_eq!(key.hash_hex(), "ddc0dcc6b56be4f7");
+
+    // Sanitizing is part of the identity (it adds counts to the stored
+    // record), but only when on — off hashes to the pre-sanitize key.
+    let sanitized = RunKey {
+        sanitize: true,
+        ..key.clone()
+    };
+    assert_ne!(sanitized.hash_hex(), key.hash_hex());
 
     // And the hash is a function of the field *set*, not field order:
     // hashing the reversed field list gives the same digest.
@@ -179,7 +188,10 @@ fn torn_trailing_write_recovers_and_reruns_only_that_cell() {
     .unwrap();
     assert_eq!(reloaded.executed, 0, "re-appended record reloads cleanly");
     assert_eq!(reloaded.cached, 3);
-    assert_eq!(reloaded.dropped_lines, 0, "torn fragment was truncated away");
+    assert_eq!(
+        reloaded.dropped_lines, 0,
+        "torn fragment was truncated away"
+    );
 }
 
 #[test]
@@ -233,6 +245,44 @@ fn injected_panic_is_quarantined_without_aborting_the_sweep() {
     assert_eq!(healed.executed, 1, "only the quarantined cell re-runs");
     assert!(healed.quarantined.is_empty());
     assert!(healed.records.iter().all(|r| r.status == CellStatus::Ok));
+}
+
+#[test]
+fn sanitize_outcome_is_identical_across_job_counts() {
+    // The sanitizer consumes the engine's deterministic event stream, so
+    // its output must not depend on how cells are scheduled over host
+    // threads: `--jobs 1` and `--jobs 3` agree bit-for-bit.
+    let matrix = MatrixSpec::parse("apps=fft,radix versions=orig procs=2,4 sanitize=on").unwrap();
+    let run = |name: &str, jobs: usize| {
+        sweep(
+            &matrix,
+            &SweepConfig {
+                jobs,
+                store_path: temp_store(name),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let serial = run("san-jobs1", 1);
+    let parallel = run("san-jobs3", 3);
+    assert_eq!(serial.executed, 4);
+    let strip_host = |recs: &[ccnuma_sweep::store::CellRecord]| {
+        recs.iter()
+            .cloned()
+            .map(|mut r| {
+                r.host_ms = 0;
+                r
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip_host(&serial.records), strip_host(&parallel.records));
+    assert_eq!(serial.sanitizes, parallel.sanitizes, "full reports agree");
+    assert_eq!(serial.sanitizes.len(), 4);
+    assert!(
+        serial.records.iter().all(|r| r.sanitize.is_some()),
+        "every cell carries counts"
+    );
 }
 
 #[test]
