@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench regress [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]
+//!               [--telemetry]
 //!
 //! regress             run the pinned workload matrix and write the
 //!                     attribution snapshot to BENCH_attrib.json
@@ -13,6 +14,10 @@
 //! --tolerance <pct>   allowed relative drift per metric (default 2.0)
 //! --jobs <n>          simulate matrix points on n host threads (default 1;
 //!                     results are bit-identical at any job count)
+//! --telemetry         measure with the full live-telemetry observer
+//!                     running (registry, rate pipeline, loopback HTTP
+//!                     server); with --check this is the observer-
+//!                     passivity gate — results must stay bit-identical
 //!
 //! bench sweep [key=value ...] [--jobs <n>] [--store <file>] [--resume]
 //!             [--retry-quarantined] [--retries <n>] [--timeout-s <s>]
@@ -38,6 +43,23 @@
 //! --inject-panic <l>  make the cell labelled <l> panic (fault injection)
 //! --require-cached    exit 2 if any cell had to execute (CI resume check)
 //! --quiet             suppress per-cell progress lines
+//! --live <addr>       serve live telemetry over HTTP while the sweep
+//!                     runs: /metrics (Prometheus text), /snapshot
+//!                     (JSON epoch record), /events (SSE epoch samples
+//!                     + per-cell lifecycle events); e.g. 127.0.0.1:9100
+//! --live-log <file>   append one JSON epoch record per sampling epoch
+//!                     to <file> (crash-safe JSONL, `bench top --log`
+//!                     renders it)
+//! --epoch-ms <n>      telemetry sampling period (default 250)
+//!
+//! bench top (--addr <host:port> | --log <file>) [--watch]
+//!           [--interval-ms <n>] [--count <n>]
+//!
+//! top                 render a terminal dashboard from a live /snapshot
+//!                     endpoint or a --live-log JSONL file; one-shot by
+//!                     default, --watch redraws every --interval-ms
+//!                     (default 1000) until --count frames (default: no
+//!                     limit)
 //!
 //! bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]
 //!                [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]
@@ -60,23 +82,30 @@ use std::time::Duration;
 
 use ccnuma_sweep::matrix::MatrixSpec;
 use ccnuma_sweep::{sweep, SweepConfig};
-use study_bench::regress;
+use ccnuma_telemetry::hub::{Hub, HubConfig};
+use study_bench::{live, regress};
 
 const DEFAULT_BASELINE: &str = "BENCH_attrib.json";
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: bench regress [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]"
+        "usage: bench regress [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]\n\
+         \x20                  [--telemetry]"
     );
     eprintln!(
         "       bench sweep [key=value ...] [--jobs <n>] [--store <file>] [--resume]\n\
          \x20                  [--retry-quarantined] [--retries <n>] [--timeout-s <s>]\n\
          \x20                  [--attrib-dir <dir>] [--trace-dir <dir>]\n\
-         \x20                  [--inject-panic <label>] [--require-cached] [--quiet]"
+         \x20                  [--inject-panic <label>] [--require-cached] [--quiet]\n\
+         \x20                  [--live <addr>] [--live-log <file>] [--epoch-ms <n>]"
     );
     eprintln!(
         "       bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]\n\
          \x20                  [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]"
+    );
+    eprintln!(
+        "       bench top (--addr <host:port> | --log <file>) [--watch]\n\
+         \x20                  [--interval-ms <n>] [--count <n>]"
     );
     std::process::exit(code);
 }
@@ -92,6 +121,7 @@ fn main() {
         Some("regress") => cmd_regress(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("sanitize") => cmd_sanitize(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("--help" | "-h") => usage(0),
         _ => usage(2),
     }
@@ -112,6 +142,7 @@ fn cmd_regress(args: &[String]) -> ! {
     let mut baseline = DEFAULT_BASELINE.to_string();
     let mut tolerance = 100.0 * regress::DEFAULT_TOLERANCE;
     let mut jobs = 1;
+    let mut telemetry = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -125,6 +156,7 @@ fn cmd_regress(args: &[String]) -> ! {
                 _ => usage(2),
             },
             "--jobs" => jobs = parse_count(&mut it, "--jobs"),
+            "--telemetry" => telemetry = true,
             "--help" | "-h" => usage(0),
             other => {
                 eprintln!("error: unexpected argument {other:?}");
@@ -138,11 +170,37 @@ fn cmd_regress(args: &[String]) -> ! {
         regress::MATRIX_APPS.len(),
         regress::MATRIX_PROCS.len()
     );
+    // With --telemetry the whole observer stack runs during the
+    // measurement: the registry refresher, the rate pipeline, and the
+    // HTTP/SSE server on a loopback port. The comparison below is then
+    // the observer-passivity gate: telemetry on or off, the attribution
+    // numbers must be bit-identical.
+    let observer = telemetry.then(|| {
+        let wiring = live::Wiring::start(Duration::from_millis(100));
+        let hub = Hub::start(
+            wiring.registry.clone(),
+            HubConfig {
+                epoch: Duration::from_millis(100),
+                addr: Some("127.0.0.1:0".into()),
+                log_path: None,
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("cannot start telemetry hub: {e}")));
+        eprintln!(
+            "[bench] telemetry observer live at http://{}/metrics",
+            hub.local_addr().expect("hub bound")
+        );
+        (wiring, hub)
+    });
     let t0 = std::time::Instant::now();
     let current = match regress::measure_with_jobs(jobs) {
         Ok(c) => c,
         Err(e) => fail(&format!("measurement failed: {e}")),
     };
+    if let Some((wiring, hub)) = observer {
+        wiring.stop();
+        hub.shutdown();
+    }
     eprintln!(
         "[bench] measured {} points in {:.1?}",
         current.len(),
@@ -191,11 +249,12 @@ fn cmd_regress(args: &[String]) -> ! {
 
 fn cmd_sweep(args: &[String]) -> ! {
     let mut dsl: Vec<&str> = Vec::new();
-    let mut cfg = SweepConfig {
-        progress: true,
-        ..Default::default()
-    };
+    let mut cfg = SweepConfig::default();
     let mut require_cached = false;
+    let mut quiet = false;
+    let mut live_addr: Option<String> = None;
+    let mut live_log: Option<PathBuf> = None;
+    let mut epoch = Duration::from_millis(250);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -227,7 +286,18 @@ fn cmd_sweep(args: &[String]) -> ! {
                 None => usage(2),
             },
             "--require-cached" => require_cached = true,
-            "--quiet" => cfg.progress = false,
+            "--quiet" => quiet = true,
+            "--live" => match it.next() {
+                Some(a) => live_addr = Some(a.clone()),
+                None => usage(2),
+            },
+            "--live-log" => match it.next() {
+                Some(f) => live_log = Some(PathBuf::from(f)),
+                None => usage(2),
+            },
+            "--epoch-ms" => {
+                epoch = Duration::from_millis(parse_count(&mut it, "--epoch-ms") as u64)
+            }
             "--help" | "-h" => usage(0),
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other:?}");
@@ -255,11 +325,48 @@ fn cmd_sweep(args: &[String]) -> ! {
         cfg.jobs,
         cfg.store_path.display()
     );
+
+    // The observer stack. The wiring (registry + refresher) always
+    // runs so per-cell lifecycle lands in one registry; the hub (HTTP
+    // server and/or JSONL epoch log) only when asked for. Progress now
+    // comes from the event recorder — one line per finished cell —
+    // instead of the sweep driver's ETA lines, so the same summary is
+    // printed with or without --live.
+    let wiring = live::Wiring::start(epoch);
+    let hub = if live_addr.is_some() || live_log.is_some() {
+        let hub = Hub::start(
+            wiring.registry.clone(),
+            HubConfig {
+                epoch,
+                addr: live_addr,
+                log_path: live_log,
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("cannot start telemetry hub: {e}")));
+        if let Some(addr) = hub.local_addr() {
+            eprintln!("[sweep] live telemetry at http://{addr}/metrics | /snapshot | /events");
+        }
+        Some(hub)
+    } else {
+        None
+    };
+    cfg.events = Some(wiring.event_recorder(cells.len(), hub.as_ref().map(|h| h.handle()), !quiet));
+
     let t0 = std::time::Instant::now();
     let out = match sweep(&matrix, &cfg) {
         Ok(o) => o,
         Err(e) => fail(&format!("sweep failed: {e}")),
     };
+
+    // Teardown order: ingest post-mortem trace gauges first so the
+    // final epoch sample (taken by hub.shutdown) carries them, then a
+    // final counter mirror, then the hub's last sample + `end` frame.
+    wiring.ingest_traces(&out.gauges);
+    wiring.stop();
+    if let Some(hub) = hub {
+        hub.shutdown();
+    }
+
     if out.dropped_lines > 0 {
         eprintln!(
             "[sweep] dropped {} torn/foreign store line(s); their cells re-ran",
@@ -301,6 +408,73 @@ fn cmd_sweep(args: &[String]) -> ! {
         std::process::exit(2);
     }
     std::process::exit(0);
+}
+
+/// `bench top`: render the live dashboard from a `/snapshot` endpoint
+/// or a `--live-log` JSONL file.
+fn cmd_top(args: &[String]) -> ! {
+    let mut addr: Option<String> = None;
+    let mut log: Option<PathBuf> = None;
+    let mut watch = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut count: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => usage(2),
+            },
+            "--log" => match it.next() {
+                Some(f) => log = Some(PathBuf::from(f)),
+                None => usage(2),
+            },
+            "--watch" => watch = true,
+            "--interval-ms" => {
+                interval = Duration::from_millis(parse_count(&mut it, "--interval-ms") as u64)
+            }
+            "--count" => count = Some(parse_count(&mut it, "--count")),
+            "--help" | "-h" => usage(0),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                usage(2);
+            }
+        }
+    }
+    let fetch: Box<dyn Fn() -> Result<live::EpochRecord, String>> = match (&addr, &log) {
+        (Some(a), None) => {
+            let a = a.clone();
+            Box::new(move || live::fetch_snapshot(&a))
+        }
+        (None, Some(p)) => {
+            let p = p.clone();
+            Box::new(move || live::last_log_record(&p))
+        }
+        _ => {
+            eprintln!("error: top needs exactly one of --addr or --log");
+            usage(2);
+        }
+    };
+
+    let mut frames = 0usize;
+    loop {
+        match fetch() {
+            Ok(rec) => {
+                if watch {
+                    // Clear the screen and home the cursor between frames.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", live::render_top(&rec));
+            }
+            Err(e) if watch => eprintln!("[top] {e}"),
+            Err(e) => fail(&e),
+        }
+        frames += 1;
+        if !watch || count.is_some_and(|n| frames >= n) {
+            std::process::exit(0);
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// `bench sanitize`: sweep the matrix with the happens-before sanitizer

@@ -5,9 +5,12 @@
 //! [`probes`] holds the raw memory-system microbenchmarks (Table 1, §6.3).
 //! [`regress`] is the attribution regression harness behind the `bench`
 //! binary (`bench regress --check` gates CI on `BENCH_attrib.json`).
+//! [`live`] wires the `ccnuma-telemetry` registry, rate pipeline, and
+//! streaming observer into sweeps (`bench sweep --live`, `bench top`).
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod live;
 pub mod probes;
 pub mod regress;

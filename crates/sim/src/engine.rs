@@ -18,6 +18,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use crate::attrib::{word_mask, MissCause, CAUSE_OTHER};
 use crate::config::{BarrierImpl, LockImpl, MachineConfig};
 use crate::error::SimError;
+use crate::live::{LiveDelta, LIVE};
 use crate::memsys::{AccessClass, AccessKind, MemorySystem, Outcome};
 use crate::page::Addr;
 use crate::profile::Profiler;
@@ -76,6 +77,9 @@ pub(crate) struct Engine {
     /// Happens-before sanitizer, when `cfg.sanitize.enabled` is set.
     /// Purely observational: it is never consulted for timing.
     sanitizer: Option<Box<Sanitizer>>,
+    /// Buffered deltas for the process-wide live counters
+    /// ([`crate::live::LIVE`]); write-only from the engine's side.
+    live: LiveDelta,
 }
 
 impl Engine {
@@ -118,11 +122,14 @@ impl Engine {
             phase_acc: (0..n).map(|_| vec![PhaseBreakdown::default()]).collect(),
             lock_hold_start: vec![0; nlocks],
             sanitizer,
+            live: LiveDelta::default(),
         }
     }
 
     /// Runs the event loop to completion.
     pub(crate) fn run(mut self) -> Result<RunStats, SimError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        LIVE.runs_started.fetch_add(1, Relaxed);
         let n = self.procs.len();
         loop {
             // Drain already-arrived requests without blocking. An error
@@ -158,6 +165,9 @@ impl Engine {
                 // gauge sampling clock forward monotonically.
                 self.sample_gauges(t);
                 self.process(p)?;
+                if self.live.event() {
+                    self.live.flush();
+                }
             } else if frontier.is_some() {
                 // Block until a running thread submits.
                 match self.req_rx.recv() {
@@ -201,6 +211,9 @@ impl Engine {
             .max()
             .unwrap_or(0);
         self.sample_gauges(wall);
+        self.live.flush();
+        LIVE.sim_ns.fetch_add(wall, Relaxed);
+        LIVE.runs_finished.fetch_add(1, Relaxed);
         let phase_names = std::mem::take(&mut self.phase_names);
         let sanitize = self.sanitizer.take().map(|s| s.finalize(&phase_names));
         let phases: Vec<PhaseStats> = phase_names
@@ -353,6 +366,17 @@ impl Engine {
             None => CAUSE_OTHER,
         };
         stats.mem_cause_ns[cause_slot] += o.latency;
+        self.live.access(
+            o.class == AccessClass::Hit,
+            matches!(
+                o.class,
+                AccessClass::LocalMiss | AccessClass::RemoteClean | AccessClass::RemoteDirty
+            ),
+            o.miss_cause.map(|_| cause_slot),
+            o.latency,
+            &o.breakdown,
+        );
+        let rt = &mut self.procs[p];
         let (t0, ph) = (rt.clock, rt.phase);
         rt.clock += o.latency;
         let s = self.slice(p, ph);

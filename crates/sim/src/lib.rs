@@ -91,6 +91,7 @@ pub mod ctx;
 pub mod directory;
 pub mod error;
 pub mod latency;
+pub mod live;
 pub mod machine;
 pub mod mapping;
 pub mod memsys;

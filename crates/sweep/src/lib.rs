@@ -22,6 +22,7 @@
 //! - [`pool`] — the work-stealing scheduler;
 //! - [`sweep`] — the driver tying them together.
 
+pub mod events;
 pub mod key;
 pub mod matrix;
 pub mod pool;
@@ -39,7 +40,7 @@ use run::{Executor, RunOptions};
 use store::{CellRecord, Store};
 
 /// How a sweep should be driven.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SweepConfig {
     /// Worker threads (clamped to the number of pending cells; `1`
     /// runs serially in-place).
@@ -62,6 +63,25 @@ pub struct SweepConfig {
     pub trace_dir: Option<PathBuf>,
     /// Print per-cell progress lines with an ETA to stderr.
     pub progress: bool,
+    /// Per-cell lifecycle event sink ([`events::ExecEvent`]); called
+    /// from worker threads.
+    pub events: Option<events::EventSink>,
+}
+
+impl std::fmt::Debug for SweepConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepConfig")
+            .field("jobs", &self.jobs)
+            .field("resume", &self.resume)
+            .field("retry_quarantined", &self.retry_quarantined)
+            .field("store_path", &self.store_path)
+            .field("opts", &self.opts)
+            .field("attrib_dir", &self.attrib_dir)
+            .field("trace_dir", &self.trace_dir)
+            .field("progress", &self.progress)
+            .field("events", &self.events.is_some())
+            .finish()
+    }
 }
 
 impl Default for SweepConfig {
@@ -75,6 +95,7 @@ impl Default for SweepConfig {
             attrib_dir: None,
             trace_dir: None,
             progress: false,
+            events: None,
         }
     }
 }
@@ -100,6 +121,11 @@ pub struct SweepOutcome {
     pub dropped_lines: usize,
     /// Work-stealing batches performed by the pool.
     pub steals: u64,
+    /// Epoch-sampled machine gauges of the cells *executed this
+    /// invocation* with tracing enabled, sorted by label — the same
+    /// series the per-cell trace files carry, handed back so a live
+    /// observer can mirror post-mortem gauges without re-parsing files.
+    pub gauges: Vec<(String, Vec<ccnuma_sim::trace::GaugeSample>)>,
 }
 
 /// Expands `matrix` into cells and runs every cell that the store does
@@ -128,7 +154,19 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
             .get(&keys[i])
             .filter(|rec| !(cfg.retry_quarantined && rec.status.quarantined()));
         match hit {
-            Some(rec) => cached[i] = Some(rec.clone()),
+            Some(rec) => {
+                events::emit(
+                    &cfg.events,
+                    events::ExecEvent::Finished {
+                        label: rec.label.clone(),
+                        status: rec.status,
+                        cache_hit: true,
+                        attempts: 0,
+                        host_ms: 0,
+                    },
+                );
+                cached[i] = Some(rec.clone());
+            }
             None => {
                 if pending_keys.insert(&keys[i]) {
                     pending.push(cell);
@@ -143,10 +181,14 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
     let total = pending.len();
     let done = AtomicUsize::new(0);
     let t0 = Instant::now();
-    let executor = Executor::new(cfg.opts.clone());
+    let mut executor = Executor::new(cfg.opts.clone());
+    if let Some(sink) = &cfg.events {
+        executor = executor.with_events(sink.clone());
+    }
     let io_errors: Mutex<Vec<std::io::Error>> = Mutex::new(Vec::new());
     let sanitizes: Mutex<Vec<(String, ccnuma_sim::sanitize::SanitizeReport)>> =
         Mutex::new(Vec::new());
+    let gauges: Mutex<Vec<(String, Vec<ccnuma_sim::trace::GaugeSample>)>> = Mutex::new(Vec::new());
 
     let (ran, metrics) = pool::run(&pending, cfg.jobs, |spec| {
         let (rec, stats) = executor.run_cell_full(spec);
@@ -162,9 +204,15 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
             if let Some(dir) = &cfg.attrib_dir {
                 sink(write_attrib(dir, spec, stats));
             }
-            if let Some(dir) = &cfg.trace_dir {
-                if let Some(trace) = &stats.trace {
+            if let Some(trace) = &stats.trace {
+                if let Some(dir) = &cfg.trace_dir {
                     sink(write_trace(dir, spec, trace));
+                }
+                if !trace.gauges.is_empty() {
+                    gauges
+                        .lock()
+                        .expect("gauge list poisoned")
+                        .push((spec.label(), trace.gauges.clone()));
                 }
             }
             if let Some(rep) = &stats.sanitize {
@@ -219,6 +267,8 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
     // outcome is identical for any `--jobs` value.
     let mut sanitizes = sanitizes.into_inner().expect("sanitize list poisoned");
     sanitizes.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut gauges = gauges.into_inner().expect("gauge list poisoned");
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(SweepOutcome {
         executed: total,
         cached: cells.len() - total,
@@ -227,6 +277,7 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
         sanitizes,
         dropped_lines: store.dropped_lines,
         steals: metrics.steals,
+        gauges,
     })
 }
 

@@ -23,6 +23,47 @@ pub struct PoolMetrics {
     pub workers: usize,
 }
 
+/// Worker slots tracked individually by the live counters; workers
+/// beyond this fold onto slot `w % LIVE_WORKERS`.
+pub const LIVE_WORKERS: usize = 16;
+
+/// Process-wide live pool activity, updated as tasks complete and
+/// steals happen so an external observer can watch scheduling while a
+/// sweep runs. Write-only from the pool's side.
+#[derive(Debug)]
+pub struct PoolLive {
+    /// Tasks completed (across every pool run in the process).
+    pub tasks_done: AtomicU64,
+    /// Successful steal batches.
+    pub steals: AtomicU64,
+    /// Steal batches per worker slot.
+    pub worker_steals: [AtomicU64; LIVE_WORKERS],
+}
+
+/// The process-wide pool counters.
+pub static LIVE: PoolLive = PoolLive {
+    tasks_done: AtomicU64::new(0),
+    steals: AtomicU64::new(0),
+    worker_steals: [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ],
+};
+
 /// Runs `f` over every item on `jobs` worker threads with work
 /// stealing; returns the results in item order plus scheduling
 /// metrics. `jobs` is clamped to `1..=items.len()`; `jobs <= 1` or a
@@ -37,7 +78,14 @@ where
     let jobs = jobs.clamp(1, n.max(1));
     if jobs <= 1 {
         return (
-            items.iter().map(f).collect(),
+            items
+                .iter()
+                .map(|it| {
+                    let r = f(it);
+                    LIVE.tasks_done.fetch_add(1, Ordering::Relaxed);
+                    r
+                })
+                .collect(),
             PoolMetrics {
                 steals: 0,
                 workers: 1,
@@ -77,6 +125,7 @@ where
                             impl Drop for Done<'_> {
                                 fn drop(&mut self) {
                                     self.0.fetch_sub(1, Ordering::SeqCst);
+                                    LIVE.tasks_done.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                             let _done = Done(remaining);
@@ -144,6 +193,8 @@ fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64)
     let first = stolen.pop_front();
     if first.is_some() {
         steals.fetch_add(1, Ordering::SeqCst);
+        LIVE.steals.fetch_add(1, Ordering::Relaxed);
+        LIVE.worker_steals[w % LIVE_WORKERS].fetch_add(1, Ordering::Relaxed);
         if !stolen.is_empty() {
             let mut own = queues[w].lock().expect("queue lock poisoned");
             own.extend(stolen);

@@ -12,6 +12,7 @@ use ccnuma_sim::stats::RunStats;
 use ccnuma_sim::time::Ns;
 use scaling_study::runner::{execute_workload, StudyError};
 
+use crate::events::{emit, EventSink, ExecEvent};
 use crate::matrix::{scale_name, CellSpec};
 use crate::store::{CellRecord, CellStatus};
 
@@ -44,10 +45,20 @@ enum Attempt {
 /// machine fingerprint, computed once no matter how many processor
 /// counts share it — concurrent requesters block on the same
 /// [`OnceLock`] instead of duplicating the run).
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Executor {
     opts: RunOptions,
     baselines: Mutex<HashMap<String, BaselineSlot>>,
+    events: Option<EventSink>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("opts", &self.opts)
+            .field("events", &self.events.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// One baseline computation, shared by every cell that needs it.
@@ -59,7 +70,15 @@ impl Executor {
         Executor {
             opts,
             baselines: Mutex::new(HashMap::new()),
+            events: None,
         }
+    }
+
+    /// Installs a lifecycle-event sink ([`ExecEvent`]); called from
+    /// worker threads, so it must be cheap and panic-free.
+    pub fn with_events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
     }
 
     /// Runs one cell to a terminal [`CellRecord`] — this never panics
@@ -99,8 +118,15 @@ impl Executor {
             sanitize: None,
             error: None,
         };
+        emit(
+            &self.events,
+            ExecEvent::Started {
+                label: label.clone(),
+                nprocs: spec.nprocs,
+            },
+        );
         let mut kept_stats = None;
-        for _attempt in 0..=self.opts.retries {
+        for attempt in 0..=self.opts.retries {
             rec.attempts += 1;
             match self.attempt(spec, &label) {
                 Attempt::Done(res) => {
@@ -137,8 +163,29 @@ impl Executor {
                     break; // Deterministic: retrying cannot help.
                 }
             }
+            // Reaching here means a retryable failure (panic/timeout).
+            if attempt < self.opts.retries {
+                emit(
+                    &self.events,
+                    ExecEvent::Retried {
+                        label: label.clone(),
+                        attempt: rec.attempts,
+                        error: rec.error.clone().unwrap_or_default(),
+                    },
+                );
+            }
         }
         rec.host_ms = t0.elapsed().as_millis() as u64;
+        emit(
+            &self.events,
+            ExecEvent::Finished {
+                label,
+                status: rec.status,
+                cache_hit: false,
+                attempts: rec.attempts,
+                host_ms: rec.host_ms,
+            },
+        );
         (rec, kept_stats)
     }
 

@@ -109,7 +109,7 @@ pub struct CellRecord {
 /// must not survive literally: a raw `\n` in an error message would
 /// split the record across two physical lines and break the
 /// one-record-per-line invariant the crash-safety analysis relies on.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -423,9 +423,20 @@ impl Store {
         line.push('\n');
         let mut f = self.file.lock().expect("store append lock poisoned");
         f.write_all(line.as_bytes())?;
-        f.flush()
+        f.flush()?;
+        LIVE_BYTES_APPENDED.fetch_add(line.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        LIVE_RECORDS_APPENDED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
     }
 }
+
+/// Process-wide bytes appended to any store, for live observers (the
+/// telemetry registry mirrors this into `sweep_store_bytes_total`).
+pub static LIVE_BYTES_APPENDED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide records appended to any store, for live observers.
+pub static LIVE_RECORDS_APPENDED: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,438 @@
+//! The observer: an epoch sampler that snapshots a [`Registry`] on a
+//! host-time cadence, appends each sample to a crash-safe JSONL log, and
+//! serves live state over a minimal std-only HTTP server:
+//!
+//! * `GET /metrics` — Prometheus text exposition (fresh snapshot).
+//! * `GET /snapshot` — one JSON epoch record (fresh snapshot).
+//! * `GET /events` — `text/event-stream`: every epoch sample as an
+//!   `epoch` event plus any application-published `cell` lifecycle
+//!   events; a final `end` event announces clean shutdown.
+//!
+//! Epoch records are flat JSON objects,
+//! `{"seq":N,"t_ms":T,"metrics":{"name{label=v}":value,...}}`, written
+//! with the same single-flushed-write discipline as the sweep store so a
+//! crash can tear at most the final line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::expo;
+use crate::registry::Registry;
+
+/// How the hub observes and publishes.
+#[derive(Debug, Clone, Default)]
+pub struct HubConfig {
+    /// Sampling period; zero selects the 250 ms default.
+    pub epoch: Duration,
+    /// Listen address (e.g. `127.0.0.1:0`) for the HTTP server; `None`
+    /// disables serving.
+    pub addr: Option<String>,
+    /// Path of the JSONL epoch log; `None` disables logging.
+    pub log_path: Option<PathBuf>,
+}
+
+struct Shared {
+    registry: Registry,
+    stop: AtomicBool,
+    seq: AtomicU64,
+    started: Instant,
+    subscribers: Mutex<Vec<Sender<String>>>,
+}
+
+impl Shared {
+    /// One epoch record from a fresh registry snapshot.
+    fn epoch_record(&self, seq: u64) -> String {
+        let t_ms = self.started.elapsed().as_millis() as u64;
+        let metrics = expo::json(&self.registry.snapshot());
+        format!("{{\"seq\":{seq},\"t_ms\":{t_ms},\"metrics\":{metrics}}}")
+    }
+
+    /// Sends one pre-formatted SSE frame to every subscriber, dropping
+    /// the ones whose connection has gone away.
+    fn broadcast(&self, frame: &str) {
+        let mut subs = self.subscribers.lock().expect("subscriber lock poisoned");
+        subs.retain(|tx| tx.send(frame.to_string()).is_ok());
+    }
+}
+
+/// A cheap clonable handle for publishing application events (per-cell
+/// lifecycle) onto the `/events` stream.
+#[derive(Clone)]
+pub struct HubHandle(Arc<Shared>);
+
+impl std::fmt::Debug for HubHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HubHandle")
+    }
+}
+
+impl HubHandle {
+    /// Publishes one application event: `data` must be a complete JSON
+    /// value; it is framed as an SSE event of the given `kind`.
+    pub fn publish(&self, kind: &str, data: &str) {
+        self.0.broadcast(&sse_frame(kind, data));
+    }
+}
+
+/// The running observer; dropping it without [`Hub::shutdown`] aborts
+/// the threads un-joined (fine for tests, not for clean logs).
+pub struct Hub {
+    shared: Arc<Shared>,
+    addr: Option<SocketAddr>,
+    sampler: Option<JoinHandle<()>>,
+    server: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Hub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hub(addr: {:?})", self.addr)
+    }
+}
+
+/// Formats one SSE frame.
+fn sse_frame(kind: &str, data: &str) -> String {
+    format!("event: {kind}\ndata: {data}\n\n")
+}
+
+impl Hub {
+    /// Starts the sampler (and, when configured, the log writer and the
+    /// HTTP server) observing `registry`.
+    pub fn start(registry: Registry, cfg: HubConfig) -> std::io::Result<Hub> {
+        let epoch = if cfg.epoch.is_zero() {
+            Duration::from_millis(250)
+        } else {
+            cfg.epoch
+        };
+        let shared = Arc::new(Shared {
+            registry,
+            stop: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            started: Instant::now(),
+            subscribers: Mutex::new(Vec::new()),
+        });
+
+        let mut log = match &cfg.log_path {
+            None => None,
+            Some(p) => Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)?,
+            ),
+        };
+
+        let (addr, server) = match &cfg.addr {
+            None => (None, None),
+            Some(a) => {
+                let listener = TcpListener::bind(a)?;
+                let local = listener.local_addr()?;
+                let sh = Arc::clone(&shared);
+                let h = std::thread::Builder::new()
+                    .name("telemetry-http".into())
+                    .spawn(move || serve(listener, sh))?;
+                (Some(local), Some(h))
+            }
+        };
+
+        let sampler = {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("telemetry-sampler".into())
+                .spawn(move || {
+                    let mut next = Instant::now() + epoch;
+                    loop {
+                        // Sleep in short slices so shutdown is prompt.
+                        while Instant::now() < next {
+                            if sh.stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10).min(epoch));
+                        }
+                        let stopping = sh.stop.load(Ordering::SeqCst);
+                        next += epoch;
+                        let seq = sh.seq.fetch_add(1, Ordering::SeqCst) + 1;
+                        let rec = sh.epoch_record(seq);
+                        if let Some(f) = log.as_mut() {
+                            // Crash-safe JSONL: one buffered line, one
+                            // write, one flush — a crash tears at most
+                            // the final line.
+                            let line = format!("{rec}\n");
+                            let _ = f.write_all(line.as_bytes());
+                            let _ = f.flush();
+                        }
+                        sh.broadcast(&sse_frame("epoch", &rec));
+                        if stopping {
+                            // Final sample taken; announce the end and
+                            // release every subscriber.
+                            sh.broadcast(&sse_frame("end", "{}"));
+                            sh.subscribers
+                                .lock()
+                                .expect("subscriber lock poisoned")
+                                .clear();
+                            return;
+                        }
+                    }
+                })?
+        };
+
+        Ok(Hub {
+            shared,
+            addr,
+            sampler: Some(sampler),
+            server,
+        })
+    }
+
+    /// The HTTP server's bound address (useful with port 0).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// A clonable handle for publishing application events.
+    pub fn handle(&self) -> HubHandle {
+        HubHandle(Arc::clone(&self.shared))
+    }
+
+    /// Stops the sampler and server, taking one final epoch sample (so
+    /// the log ends with the terminal state) and closing every SSE
+    /// stream with an `end` event.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
+        // Unblock the accept loop with a throwaway connection.
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        }
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The accept loop: one handler thread per connection.
+fn serve(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let conn = listener.accept();
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        let sh = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("telemetry-conn".into())
+            .spawn(move || handle_conn(stream, sh));
+    }
+}
+
+/// Parses the request line and routes.
+fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = expo::prometheus(&shared.registry.snapshot());
+            respond(
+                stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/snapshot" => {
+            let seq = shared.seq.load(Ordering::SeqCst);
+            let body = format!("{}\n", shared.epoch_record(seq));
+            respond(stream, "200 OK", "application/json", &body);
+        }
+        "/events" => serve_events(stream, &shared),
+        _ => respond(
+            stream,
+            "404 Not Found",
+            "text/plain",
+            "try /metrics, /snapshot, /events\n",
+        ),
+    }
+}
+
+/// Writes one complete HTTP/1.1 response and closes.
+fn respond(mut stream: TcpStream, status: &str, ctype: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// The SSE endpoint: subscribes to the broadcast list and forwards
+/// frames until the hub shuts down or the client disconnects.
+fn serve_events(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    // Immediately confirm liveness with the current state, then follow
+    // the broadcast stream.
+    let seq = shared.seq.load(Ordering::SeqCst);
+    let first = sse_frame("epoch", &shared.epoch_record(seq));
+    if stream.write_all(first.as_bytes()).is_err() || stream.flush().is_err() {
+        return;
+    }
+    let rx: Receiver<String> = {
+        let (tx, rx) = std::sync::mpsc::channel();
+        shared
+            .subscribers
+            .lock()
+            .expect("subscriber lock poisoned")
+            .push(tx);
+        rx
+    };
+    // The sender side is dropped by the sampler at shutdown (after the
+    // `end` frame), which ends this loop; a client disconnect surfaces
+    // as a write error.
+    while let Ok(frame) = rx.recv() {
+        if stream.write_all(frame.as_bytes()).is_err() || stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("read");
+        buf
+    }
+
+    #[test]
+    fn metrics_and_snapshot_serve_fresh_state() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "a test counter");
+        let hub = Hub::start(
+            reg,
+            HubConfig {
+                epoch: Duration::from_millis(20),
+                addr: Some("127.0.0.1:0".into()),
+                log_path: None,
+            },
+        )
+        .expect("hub start");
+        let addr = hub.local_addr().expect("bound");
+        c.add(17);
+        let m = get(addr, "/metrics");
+        assert!(m.starts_with("HTTP/1.1 200 OK"), "{m}");
+        assert!(m.contains("t_total 17"), "{m}");
+        let s = get(addr, "/snapshot");
+        assert!(s.contains("application/json"), "{s}");
+        assert!(s.contains("\"t_total\":17"), "{s}");
+        assert!(s.contains("\"seq\":"), "{s}");
+        let nf = get(addr, "/unknown");
+        assert!(nf.starts_with("HTTP/1.1 404"), "{nf}");
+        hub.shutdown();
+    }
+
+    #[test]
+    fn events_stream_epochs_and_ends_cleanly() {
+        let reg = Registry::new();
+        let c = reg.counter("e_total", "events test");
+        let hub = Hub::start(
+            reg,
+            HubConfig {
+                epoch: Duration::from_millis(10),
+                addr: Some("127.0.0.1:0".into()),
+                log_path: None,
+            },
+        )
+        .expect("hub start");
+        let addr = hub.local_addr().expect("bound");
+        c.add(3);
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET /events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let handle = hub.handle();
+        // Give the subscription a moment to register, then publish an
+        // application event and shut down.
+        std::thread::sleep(Duration::from_millis(60));
+        handle.publish("cell", "{\"label\":\"fft/orig/4p\",\"kind\":\"started\"}");
+        std::thread::sleep(Duration::from_millis(30));
+        hub.shutdown();
+
+        let mut body = String::new();
+        s.read_to_string(&mut body).expect("stream closes at end");
+        assert!(body.contains("event: epoch"), "{body}");
+        assert!(body.contains("\"e_total\":3"), "{body}");
+        assert!(body.contains("event: cell"), "{body}");
+        assert!(body.contains("fft/orig/4p"), "{body}");
+        assert!(
+            body.trim_end().ends_with("data: {}"),
+            "ends with end frame: {body}"
+        );
+        assert!(body.contains("event: end"), "{body}");
+    }
+
+    #[test]
+    fn jsonl_log_is_appended_one_line_per_epoch() {
+        let dir = std::env::temp_dir().join(format!("telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epochs.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let reg = Registry::new();
+        reg.counter("l_total", "log test").add(9);
+        let hub = Hub::start(
+            reg,
+            HubConfig {
+                epoch: Duration::from_millis(10),
+                addr: None,
+                log_path: Some(path.clone()),
+            },
+        )
+        .expect("hub start");
+        std::thread::sleep(Duration::from_millis(80));
+        hub.shutdown();
+        let text = std::fs::read_to_string(&path).expect("log exists");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "several epochs: {}", lines.len());
+        let mut last_seq = 0u64;
+        for l in &lines {
+            assert!(l.starts_with("{\"seq\":"), "record shape: {l}");
+            assert!(l.ends_with('}'), "complete line: {l}");
+            assert!(l.contains("\"l_total\":9"), "{l}");
+            let seq: u64 = l["{\"seq\":".len()..]
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(seq > last_seq, "seq strictly increases");
+            last_seq = seq;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,144 @@
+//! The rate pipeline: a derivative + EWMA filter that turns monotonic
+//! counters into smoothed per-second rates, one epoch at a time.
+//!
+//! Each epoch the sampler feeds the filter the counter's current total
+//! and the host-time step. The filter differentiates (handling counter
+//! resets by treating the post-reset value as the delta) and smooths
+//! with a time-aware exponential moving average, so irregular epoch
+//! lengths do not distort the rate.
+
+/// Turns a monotonic counter into a smoothed events-per-second rate.
+#[derive(Debug, Clone)]
+pub struct RateFilter {
+    /// Smoothing time constant in seconds: after `tau` seconds of a new
+    /// steady rate, the output has covered ~63% of the step.
+    tau_s: f64,
+    last: Option<u64>,
+    ewma: f64,
+}
+
+impl RateFilter {
+    /// A filter with time constant `tau_s` seconds (clamped to a small
+    /// positive minimum so `tau_s = 0` degenerates to no smoothing).
+    pub fn new(tau_s: f64) -> Self {
+        RateFilter {
+            tau_s: tau_s.max(1e-9),
+            last: None,
+            ewma: 0.0,
+        }
+    }
+
+    /// Feeds the counter total at the end of an epoch `dt_s` seconds
+    /// long; returns the smoothed rate. `dt_s <= 0` is a no-op (the
+    /// previous rate is returned unchanged); the first observation
+    /// establishes the baseline and reports 0. A total below the
+    /// previous one is a counter reset: the new total itself is the
+    /// delta.
+    pub fn update(&mut self, total: u64, dt_s: f64) -> f64 {
+        // NaN falls through the first test; !is_finite() catches it.
+        if dt_s <= 0.0 || !dt_s.is_finite() {
+            return self.ewma;
+        }
+        let delta = match self.last {
+            None => {
+                self.last = Some(total);
+                return 0.0;
+            }
+            Some(prev) if total < prev => total, // counter reset
+            Some(prev) => total - prev,
+        };
+        self.last = Some(total);
+        let raw = delta as f64 / dt_s;
+        // Time-aware EWMA: the weight of the new sample grows with the
+        // epoch length, so one long epoch moves the average as far as
+        // many short ones covering the same span.
+        let alpha = 1.0 - (-dt_s / self.tau_s).exp();
+        self.ewma += alpha * (raw - self.ewma);
+        self.ewma
+    }
+
+    /// The current smoothed rate without feeding a new sample.
+    pub fn rate(&self) -> f64 {
+        self.ewma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_counter_converges_to_true_rate() {
+        let mut f = RateFilter::new(2.0);
+        assert_eq!(f.update(0, 1.0), 0.0, "first sample is the baseline");
+        let mut total = 0;
+        let mut r = 0.0;
+        for _ in 0..60 {
+            total += 500; // 500 events per 1-second epoch
+            r = f.update(total, 1.0);
+        }
+        assert!((r - 500.0).abs() < 1.0, "rate {r} should converge to 500");
+    }
+
+    #[test]
+    fn counter_reset_does_not_go_negative() {
+        let mut f = RateFilter::new(0.0); // no smoothing: output = raw rate
+        f.update(1000, 1.0);
+        f.update(2000, 1.0);
+        // Process restarted: counter fell back to 300 in one epoch.
+        let r = f.update(300, 1.0);
+        assert!(r >= 0.0, "reset must not produce a negative rate, got {r}");
+        assert!(
+            (r - 300.0).abs() < 1e-9,
+            "post-reset total is the delta, got {r}"
+        );
+    }
+
+    #[test]
+    fn empty_epoch_is_a_no_op() {
+        let mut f = RateFilter::new(1.0);
+        f.update(100, 1.0);
+        let r1 = f.update(600, 1.0);
+        assert!(r1 > 0.0);
+        let r2 = f.update(700, 0.0);
+        assert_eq!(r2, r1, "dt = 0 must not change the rate");
+        let r3 = f.update(700, -5.0);
+        assert_eq!(r3, r1, "negative dt must not change the rate");
+        let r4 = f.update(700, f64::NAN);
+        assert_eq!(r4, r1, "NaN dt must not change the rate");
+        assert_eq!(f.rate(), r1);
+    }
+
+    #[test]
+    fn idle_counter_decays_toward_zero() {
+        let mut f = RateFilter::new(1.0);
+        f.update(0, 1.0);
+        f.update(10_000, 1.0);
+        let mut r = f.rate();
+        for _ in 0..30 {
+            r = f.update(10_000, 1.0); // no new events
+        }
+        assert!(r < 1.0, "idle rate should decay toward 0, got {r}");
+    }
+
+    #[test]
+    fn long_epoch_weighs_like_many_short_ones() {
+        // Same total events over the same wall time, different epoch
+        // slicing: final rates should roughly agree.
+        let mut short = RateFilter::new(2.0);
+        let mut long = RateFilter::new(2.0);
+        short.update(0, 1.0);
+        long.update(0, 1.0);
+        let mut total = 0;
+        let mut rs = 0.0;
+        for _ in 0..10 {
+            total += 100;
+            rs = short.update(total, 1.0);
+        }
+        let rl = long.update(1000, 10.0);
+        assert!(
+            (rs - rl).abs() < 15.0,
+            "time-aware smoothing: short {rs} vs long {rl}"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s around
+//! atomics — updating one is a relaxed atomic op, never a lock. The
+//! registry's mutex guards only the series list, touched at registration
+//! time and when an observer takes a [`snapshot`](Registry::snapshot).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of finite histogram buckets; upper bounds are `2^0 .. 2^(N-1)`,
+/// plus an implicit `+Inf` overflow bucket.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the counter to `total` if it is below it — for mirroring an
+    /// external cumulative source (e.g. the sim's live counters) without
+    /// double counting. Never decreases the value.
+    #[inline]
+    pub fn mirror(&self, total: u64) {
+        self.0.fetch_max(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (stored as `f64` bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed log2 buckets: bucket `i` counts observations
+/// `v <= 2^i`, the overflow bucket everything larger. Recording is two
+/// relaxed atomic adds; reads snapshot all buckets.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS + 1],
+    sum: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Smallest `i` such that `v <= 2^i`, clamped to the overflow bucket.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    let i = 64 - (v - 1).leading_zeros() as usize;
+    i.min(HIST_BUCKETS)
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Snapshot: per-bucket (non-cumulative) counts, sum, and count.
+    pub fn read(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Non-cumulative bucket counts; index `i < HIST_BUCKETS` holds
+    /// observations in `(2^(i-1), 2^i]` (index 0: `<= 1`), the final
+    /// index the `+Inf` overflow.
+    pub buckets: [u64; HIST_BUCKETS + 1],
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// The value part of one snapshot row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram snapshot (boxed: ~30x the size of the other variants).
+    Histogram(Box<HistSnapshot>),
+}
+
+/// One series in a snapshot: base name, label pairs, help, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRow {
+    /// Metric base name (e.g. `sweep_cells_done`).
+    pub name: String,
+    /// Label key/value pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Help text (shared by all series of the same base name).
+    pub help: String,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Series {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    metric: Metric,
+}
+
+/// A collection of named metrics. Cloning shares the underlying series
+/// list, so one registry can be handed to many instrumented components.
+#[derive(Clone, Default)]
+pub struct Registry {
+    series: Arc<Mutex<Vec<Series>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.series.lock().map(|s| s.len()).unwrap_or(0);
+        write!(f, "Registry({n} series)")
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, labels: &[(&str, &str)], help: &str, metric: Metric) -> &Self {
+        let mut s = self.series.lock().expect("registry lock poisoned");
+        s.push(Series {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            metric,
+        });
+        self
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<Metric> {
+        let s = self.series.lock().expect("registry lock poisoned");
+        s.iter()
+            .find(|row| {
+                row.name == name
+                    && row.labels.len() == labels.len()
+                    && row
+                        .labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), &(lk, lv))| k == lk && v == lv)
+            })
+            .map(|row| match &row.metric {
+                Metric::Counter(c) => Metric::Counter(c.clone()),
+                Metric::Gauge(g) => Metric::Gauge(g.clone()),
+                Metric::Histogram(h) => Metric::Histogram(h.clone()),
+            })
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a labeled counter. Re-registering the
+    /// same (name, labels) returns the existing handle.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        if let Some(Metric::Counter(c)) = self.find(name, labels) {
+            return c;
+        }
+        let c = Counter::default();
+        self.register(name, labels, help, Metric::Counter(c.clone()));
+        c
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or retrieves) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        if let Some(Metric::Gauge(g)) = self.find(name, labels) {
+            return g;
+        }
+        let g = Gauge::default();
+        self.register(name, labels, help, Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        if let Some(Metric::Histogram(h)) = self.find(name, &[]) {
+            return h;
+        }
+        let h = Histogram::default();
+        self.register(name, &[], help, Metric::Histogram(h.clone()));
+        h
+    }
+
+    /// Samples every series in registration order.
+    pub fn snapshot(&self) -> Vec<SampleRow> {
+        let s = self.series.lock().expect("registry lock poisoned");
+        s.iter()
+            .map(|row| SampleRow {
+                name: row.name.clone(),
+                labels: row.labels.clone(),
+                help: row.help.clone(),
+                value: match &row.metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(Box::new(h.read())),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "a counter");
+        c.inc();
+        c.add(4);
+        c.mirror(3); // below current value: no effect
+        assert_eq!(c.get(), 5);
+        c.mirror(9);
+        assert_eq!(c.get(), 9);
+
+        let g = r.gauge("g", "a gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+
+        let h = r.histogram("h", "a histogram");
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(u64::MAX);
+        let snap = h.read();
+        assert_eq!(snap.buckets[0], 2, "0 and 1 land in the le=1 bucket");
+        assert_eq!(snap.buckets[1], 1, "2 lands in le=2");
+        assert_eq!(snap.buckets[2], 1, "3 lands in le=4");
+        assert_eq!(snap.buckets[HIST_BUCKETS], 1, "u64::MAX overflows");
+        assert_eq!(snap.count(), 5);
+
+        let rows = r.snapshot();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value, SampleValue::Counter(9));
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter_with("x_total", &[("app", "fft")], "x");
+        let b = r.counter_with("x_total", &[("app", "fft")], "x");
+        let other = r.counter_with("x_total", &[("app", "lu")], "x");
+        a.add(7);
+        assert_eq!(b.get(), 7, "same (name, labels) shares the cell");
+        assert_eq!(other.get(), 0, "different labels are a new series");
+        assert_eq!(r.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 31), 31);
+        assert_eq!(bucket_index((1 << 31) + 1), HIST_BUCKETS);
+    }
+}
