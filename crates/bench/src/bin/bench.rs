@@ -19,6 +19,35 @@
 //!                     server); with --check this is the observer-
 //!                     passivity gate — results must stay bit-identical
 //!
+//! bench perf [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]
+//!            [--reps <k>] [--json <file>] [--profile <file>] [--no-overhead]
+//!
+//! perf                time the pinned workload matrix on the host clock
+//!                     (median of --reps repetitions after a discarded
+//!                     warmup) and write the throughput snapshot to
+//!                     BENCH_engine.json; also measures the host-time
+//!                     overhead of each optional subsystem (attrib,
+//!                     trace, sanitize, profile, live) against an
+//!                     all-off pass
+//! --check             gate against the committed baseline instead of
+//!                     overwriting it; exit 1 on drift (the fresh
+//!                     measurement lands in BENCH_engine.current.json).
+//!                     Event counts must match exactly; ns/event drift
+//!                     is judged after dividing out the matrix-wide
+//!                     machine-speed factor, so only *relative* per-cell
+//!                     regressions fail
+//! --baseline <file>   baseline path (default BENCH_engine.json)
+//! --tolerance <pct>   allowed relative ns/event drift (default 35.0)
+//! --reps <k>          timed repetitions per cell (default 3)
+//! --json <file>       also write the full report (entries + overhead
+//!                     rows) to <file>
+//! --profile <file>    run one profiled pass (cfg.profile=on) and write
+//!                     the aggregate host profile as Chrome-trace JSON
+//!                     to <file> (chrome://tracing, Perfetto)
+//! --no-overhead       skip the subsystem-overhead passes
+//! --jobs <n>          measure cells on n host threads (events stay
+//!                     deterministic; timings are per-cell, not wall)
+//!
 //! bench sweep [key=value ...] [--jobs <n>] [--store <file>] [--resume]
 //!             [--retry-quarantined] [--retries <n>] [--timeout-s <s>]
 //!             [--attrib-dir <dir>] [--trace-dir <dir>]
@@ -83,14 +112,19 @@ use std::time::Duration;
 use ccnuma_sweep::matrix::MatrixSpec;
 use ccnuma_sweep::{sweep, SweepConfig};
 use ccnuma_telemetry::hub::{Hub, HubConfig};
-use study_bench::{live, regress};
+use study_bench::{live, perf, regress};
 
 const DEFAULT_BASELINE: &str = "BENCH_attrib.json";
+const DEFAULT_PERF_BASELINE: &str = "BENCH_engine.json";
 
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: bench regress [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]\n\
          \x20                  [--telemetry]"
+    );
+    eprintln!(
+        "       bench perf [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]\n\
+         \x20                  [--reps <k>] [--json <file>] [--profile <file>] [--no-overhead]"
     );
     eprintln!(
         "       bench sweep [key=value ...] [--jobs <n>] [--store <file>] [--resume]\n\
@@ -119,6 +153,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("regress") => cmd_regress(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("sanitize") => cmd_sanitize(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
@@ -241,6 +276,163 @@ fn cmd_regress(args: &[String]) -> ! {
         eprintln!("[bench] fresh measurement written to {current_path}");
     }
     eprintln!("[bench] FAIL: {} drift(s) vs {baseline}:", msgs.len());
+    for m in &msgs {
+        eprintln!("  {m}");
+    }
+    std::process::exit(1);
+}
+
+/// `bench perf`: time the pinned matrix, report subsystem overhead, and
+/// (with `--check`) gate host throughput against `BENCH_engine.json`.
+fn cmd_perf(args: &[String]) -> ! {
+    let mut check = false;
+    let mut baseline = DEFAULT_PERF_BASELINE.to_string();
+    let mut tolerance = 100.0 * perf::DEFAULT_TOLERANCE;
+    let mut jobs = 1;
+    let mut reps = perf::DEFAULT_REPS;
+    let mut json_out: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
+    let mut overhead = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--baseline" => match it.next() {
+                Some(f) => baseline = f.clone(),
+                None => usage(2),
+            },
+            "--tolerance" => match it.next().map(|t| t.parse::<f64>()) {
+                Some(Ok(t)) if t >= 0.0 => tolerance = t,
+                _ => usage(2),
+            },
+            "--jobs" => jobs = parse_count(&mut it, "--jobs"),
+            "--reps" => reps = parse_count(&mut it, "--reps"),
+            "--json" => match it.next() {
+                Some(f) => json_out = Some(PathBuf::from(f)),
+                None => usage(2),
+            },
+            "--profile" => match it.next() {
+                Some(f) => profile_out = Some(PathBuf::from(f)),
+                None => usage(2),
+            },
+            "--no-overhead" => overhead = false,
+            "--help" | "-h" => usage(0),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                usage(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "[bench] timing the pinned matrix ({} apps x {} proc counts, \
+         {reps} rep(s) + warmup, {jobs} job(s))...",
+        regress::MATRIX_APPS.len(),
+        regress::MATRIX_PROCS.len()
+    );
+    let t0 = std::time::Instant::now();
+    let current = match perf::measure_with_jobs(jobs, reps) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("measurement failed: {e}")),
+    };
+    eprintln!(
+        "[bench] measured {} cells in {:.1?}",
+        current.len(),
+        t0.elapsed()
+    );
+    print!("{}", perf::table(&current));
+
+    let overheads = if overhead {
+        eprintln!(
+            "[bench] measuring optional-subsystem overhead (min of {reps} passes per mode)..."
+        );
+        let rows = match perf::measure_overheads(jobs, reps) {
+            Ok(r) => r,
+            Err(e) => fail(&format!("overhead measurement failed: {e}")),
+        };
+        print!("{}", perf::overhead_table(&rows));
+        Some(rows)
+    } else {
+        None
+    };
+
+    if let Some(path) = &profile_out {
+        eprintln!("[bench] profiling one matrix pass...");
+        let p = match perf::profile_matrix(jobs) {
+            Ok(p) => p,
+            Err(e) => fail(&format!("profiled pass failed: {e}")),
+        };
+        print!("{}", p.text_table());
+        if let Err(e) = std::fs::write(path, p.chrome_trace()) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        eprintln!(
+            "[bench] wrote Chrome-trace host profile to {}",
+            path.display()
+        );
+    }
+
+    if let Some(path) = &json_out {
+        let mut doc = perf::to_json(reps, &current)
+            .trim_end()
+            .strip_suffix('}')
+            .expect("to_json ends with }")
+            .trim_end()
+            .to_string();
+        if let Some(rows) = &overheads {
+            doc.push_str(",\n  \"overheads\": [");
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    doc.push(',');
+                }
+                doc.push_str(&format!(
+                    "\n    {{\"mode\": \"{}\", \"total_ns\": {}, \"overhead_pct\": {:.3}}}",
+                    r.mode, r.total_ns, r.overhead_pct
+                ));
+            }
+            doc.push_str("\n  ]");
+        }
+        doc.push_str("\n}\n");
+        if let Err(e) = std::fs::write(path, doc) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        eprintln!("[bench] wrote perf report to {}", path.display());
+    }
+
+    if !check {
+        if let Err(e) = std::fs::write(&baseline, perf::to_json(reps, &current)) {
+            fail(&format!("cannot write {baseline}: {e}"));
+        }
+        eprintln!("[bench] wrote baseline {baseline}");
+        std::process::exit(0);
+    }
+
+    let doc = match std::fs::read_to_string(&baseline) {
+        Ok(d) => d,
+        Err(e) => fail(&format!(
+            "cannot read baseline {baseline}: {e} (generate it with `bench perf`)"
+        )),
+    };
+    let (model, _, base) = match perf::parse(&doc) {
+        Ok(p) => p,
+        Err(e) => fail(&format!("malformed baseline {baseline}: {e}")),
+    };
+    let msgs = perf::compare(&model, &base, &current, tolerance / 100.0);
+    if msgs.is_empty() {
+        eprintln!(
+            "[bench] OK: {} cells within {tolerance}% (relative) of {baseline}",
+            current.len()
+        );
+        std::process::exit(0);
+    }
+    let current_path = format!("{baseline}.current.json");
+    let current_path = current_path.replace(".json.current.json", ".current.json");
+    if let Err(e) = std::fs::write(&current_path, perf::to_json(reps, &current)) {
+        eprintln!("warning: cannot write {current_path}: {e}");
+    } else {
+        eprintln!("[bench] fresh measurement written to {current_path}");
+    }
+    eprintln!("[bench] FAIL: {} violation(s) vs {baseline}:", msgs.len());
     for m in &msgs {
         eprintln!("  {m}");
     }

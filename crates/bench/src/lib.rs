@@ -7,10 +7,13 @@
 //! binary (`bench regress --check` gates CI on `BENCH_attrib.json`).
 //! [`live`] wires the `ccnuma-telemetry` registry, rate pipeline, and
 //! streaming observer into sweeps (`bench sweep --live`, `bench top`).
+//! [`perf`] is the host-throughput harness behind `bench perf`
+//! (`bench perf --check` gates CI on `BENCH_engine.json`).
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod live;
+pub mod perf;
 pub mod probes;
 pub mod regress;

@@ -127,7 +127,46 @@ impl Wiring {
             "Records appended to result stores",
         );
 
+        // --- host self-profiler (ccnuma_sim::prof) -----------------
+        let prof_series: Vec<(Counter, Counter, Gauge, RateFilter)> = ccnuma_sim::prof::Region::ALL
+            .iter()
+            .map(|reg| {
+                let name = reg.name();
+                (
+                    r.counter_with(
+                        "host_prof_self_ns_total",
+                        &[("region", name)],
+                        "Host nanoseconds of self time per profiled region",
+                    ),
+                    r.counter_with(
+                        "host_prof_calls_total",
+                        &[("region", name)],
+                        "Profiled span entries per region",
+                    ),
+                    r.gauge_with(
+                        "host_prof_busy_ratio",
+                        &[("region", name)],
+                        "Fraction of one host core spent in the region \
+                         (EWMA of d(self_ns)/dt / 1e9)",
+                    ),
+                    RateFilter::new(RATE_TAU_S),
+                )
+            })
+            .collect();
+
         // --- bench itself ------------------------------------------
+        // Constant-1 gauge whose labels carry the build identity, so a
+        // scraper can assert what it is talking to without parsing
+        // /snapshot.
+        r.gauge_with(
+            "build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("model", ccnuma_sim::MODEL_FINGERPRINT),
+            ],
+            "Always 1; the labels carry the crate version and the model fingerprint",
+        )
+        .set(1.0);
         let uptime = r.gauge("bench_uptime_seconds", "Seconds since telemetry started");
         let epochs = r.counter("bench_epochs_total", "Refresher epochs completed");
 
@@ -142,6 +181,7 @@ impl Wiring {
                 let mut ev_rate = RateFilter::new(RATE_TAU_S);
                 let mut miss_rate = RateFilter::new(RATE_TAU_S);
                 let mut classes = classes;
+                let mut prof_series = prof_series;
                 loop {
                     let stopping = stop2.load(Ordering::SeqCst);
                     let dt = last.elapsed().as_secs_f64();
@@ -170,6 +210,16 @@ impl Wiring {
                         // transactions x (sim seconds / host seconds).
                         cr.depth
                             .set(cr.queue_rate.update(snap.queue_ns[i], dt) / 1e9);
+                    }
+                    let (prof_self, prof_calls) = ccnuma_sim::prof::cumulative();
+                    for (i, (self_c, calls_c, busy_g, busy_rate)) in
+                        prof_series.iter_mut().enumerate()
+                    {
+                        self_c.mirror(prof_self[i]);
+                        calls_c.mirror(prof_calls[i]);
+                        // d(self_ns)/dt is host ns of region time per host
+                        // second; /1e9 yields cores busy in the region.
+                        busy_g.set(busy_rate.update(prof_self[i], dt) / 1e9);
                     }
                     let pl = &ccnuma_sweep::pool::LIVE;
                     pool_done.mirror(pl.tasks_done.load(Ordering::Relaxed));
@@ -357,7 +407,14 @@ pub fn recorder(
                 if st.progress {
                     let q = st.quarantined.load(Ordering::SeqCst);
                     let hits = st.hits_seen.load(Ordering::SeqCst);
-                    let pct = 100.0 * hits as f64 / done.max(1) as f64;
+                    // Explicit zero guard: a zero-cell matrix (or a
+                    // hand-driven sink) must never put NaN in the
+                    // summary line.
+                    let pct = if done == 0 {
+                        0.0
+                    } else {
+                        100.0 * hits as f64 / done as f64
+                    };
                     eprintln!(
                         "[sweep] {done}/{} done, {q} quarantined, {pct:.0}% cache hits",
                         st.total
@@ -586,6 +643,18 @@ pub fn render_top(rec: &EpochRecord) -> String {
         g("sim_runs_started_total"),
         g("sim_time_ns_total") / 1e6,
     ));
+    let busy = |region: &str| g(&format!("host_prof_busy_ratio{{region={region}}}"));
+    let host_total: f64 = ccnuma_sim::prof::Region::ALL
+        .iter()
+        .map(|r| busy(r.name()))
+        .sum();
+    out.push_str(&format!(
+        "host   {:>8.2} core(s) profiled   engine {:.2}   memsys {:.2}   directory {:.2}\n",
+        host_total,
+        busy("engine_dispatch"),
+        busy("memsys_service"),
+        busy("directory"),
+    ));
     for c in CLASS_LABELS {
         let occ = g(&format!("sim_class_occupancy_ns_per_sec{{class={c}}}"));
         let depth = g(&format!("sim_class_queue_depth{{class={c}}}"));
@@ -609,6 +678,13 @@ pub fn render_top(rec: &EpochRecord) -> String {
         quarantined,
         g("sweep_cells_cache_hits_total"),
         g("sweep_cell_retries_total"),
+    ));
+    out.push_str(&format!(
+        "cells  host ms p50 {:.0}  p90 {:.0}  p99 {:.0}  (of {:.0} executed)\n",
+        g("sweep_cell_host_ms_p50"),
+        g("sweep_cell_host_ms_p90"),
+        g("sweep_cell_host_ms_p99"),
+        g("sweep_cell_host_ms_count"),
     ));
     out.push_str(&format!(
         "store  {:.1} KiB in {:.0} record(s), pool {:.0} task(s), {:.0} steal(s)\n",
@@ -747,6 +823,12 @@ mod tests {
                 ("sweep_cells_done_total{status=ok}".into(), Some(6.0)),
                 ("sweep_cells_done_total{status=panic}".into(), Some(1.0)),
                 ("sweep_cells_cache_hits_total".into(), Some(2.0)),
+                (
+                    "host_prof_busy_ratio{region=engine_dispatch}".into(),
+                    Some(0.42),
+                ),
+                ("sweep_cell_host_ms_p50".into(), Some(12.0)),
+                ("sweep_cell_host_ms_p90".into(), Some(80.0)),
             ],
         };
         let out = render_top(&rec);
@@ -755,6 +837,36 @@ mod tests {
         assert!(out.contains("7/10 done"), "{out}");
         assert!(out.contains("1 quarantined"), "{out}");
         assert!(out.contains("2 cache hits"), "{out}");
+        assert!(out.contains("engine 0.42"), "{out}");
+        assert!(out.contains("p50 12"), "{out}");
+        assert!(out.contains("p90 80"), "{out}");
+    }
+
+    #[test]
+    fn zero_cell_matrix_keeps_summary_and_top_finite() {
+        // The recorder on an empty matrix, fed a stray cache-hit event:
+        // nothing it exports may be NaN (flat JSON renders non-finite
+        // gauges as null).
+        let r = Registry::new();
+        let sink = recorder(&r, 0, None, true);
+        sink(&ExecEvent::Finished {
+            label: "x".into(),
+            status: CellStatus::Ok,
+            cache_hit: true,
+            attempts: 0,
+            host_ms: 0,
+        });
+        let j = ccnuma_telemetry::expo::json(&r.snapshot());
+        assert!(!j.contains("NaN") && !j.contains("null"), "{j}");
+
+        // And the dashboard over a completely empty epoch record.
+        let out = render_top(&EpochRecord {
+            seq: 0,
+            t_ms: 0,
+            metrics: vec![],
+        });
+        assert!(out.contains("0/0 done"), "{out}");
+        assert!(!out.contains("NaN") && !out.contains("inf"), "{out}");
     }
 
     #[test]
@@ -772,5 +884,30 @@ mod tests {
             ccnuma_telemetry::SampleValue::Counter(n) => assert!(n >= 1, "epochs {n}"),
             ref v => panic!("wrong type {v:?}"),
         }
+        // The build-identity series carries the crate version and model
+        // fingerprint as labels and always reads 1.
+        let info = rows
+            .iter()
+            .find(|r| r.name == "build_info")
+            .expect("build_info registered");
+        assert_eq!(
+            info.value,
+            ccnuma_telemetry::SampleValue::Gauge(1.0),
+            "build_info reads 1"
+        );
+        let label = |k: &str| {
+            info.labels
+                .iter()
+                .find(|(lk, _)| lk == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(label("version"), Some(env!("CARGO_PKG_VERSION")));
+        assert_eq!(label("model"), Some(ccnuma_sim::MODEL_FINGERPRINT));
+        // One self-time series per profiled region.
+        let prof_rows = rows
+            .iter()
+            .filter(|r| r.name == "host_prof_self_ns_total")
+            .count();
+        assert_eq!(prof_rows, ccnuma_sim::prof::N_REGIONS);
     }
 }

@@ -631,6 +631,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            events: 0,
         };
         let t = breakdown_continuum(&rs, 4);
         assert_eq!(t.len(), 4);
@@ -680,6 +681,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            events: 0,
         }
     }
 
@@ -752,6 +754,7 @@ mod tests {
             phases: vec![ph("main", 0), ph("solve", 300), ph("reduce", 100)],
             trace: None,
             sanitize: None,
+            events: 0,
         };
         let t = phase_breakdown_table(&rs);
         assert_eq!(t.len(), 2, "the empty main phase is omitted");

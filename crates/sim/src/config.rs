@@ -225,6 +225,10 @@ pub struct MachineConfig {
     /// synchronization lints (off by default; see
     /// [`SanitizeConfig`](crate::sanitize::SanitizeConfig)).
     pub sanitize: SanitizeConfig,
+    /// Host-side self-profiling of the engine hot path (off by default;
+    /// see [`crate::prof`]). Measures where *wall-clock* time goes; it
+    /// never touches simulated state.
+    pub profile: bool,
 }
 
 impl MachineConfig {
@@ -251,6 +255,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             trace: TraceConfig::default(),
             sanitize: SanitizeConfig::default(),
+            profile: false,
         }
     }
 
@@ -307,6 +312,7 @@ impl MachineConfig {
             cost: CostModel::default(),
             trace: TraceConfig::default(),
             sanitize: SanitizeConfig::default(),
+            profile: false,
         }
     }
 
@@ -337,8 +343,8 @@ impl MachineConfig {
     /// shape, cache geometry, paging, latencies, topology, mapping,
     /// placement/migration, synchronization primitives, prefetch, miss
     /// classification (it adds counters to the stats), and the cost model.
-    /// Tracing and sanitizing are excluded — they observe a run without
-    /// perturbing it.
+    /// Tracing, sanitizing and host profiling are excluded — they observe
+    /// a run without perturbing it.
     pub fn stable_fields(&self) -> Vec<(String, String)> {
         let l = &self.latency;
         let mut kv: Vec<(String, String)> = vec![
@@ -547,6 +553,9 @@ mod tests {
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
         // So is sanitizing: it never charges virtual time.
         b.sanitize = crate::sanitize::SanitizeConfig::on();
+        assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+        // And host profiling: it measures wall-clock, not simulated time.
+        b.profile = true;
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
         // Anything that changes results must change the fingerprint.
         for (i, mutate) in [

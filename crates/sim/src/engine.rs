@@ -21,6 +21,7 @@ use crate::error::SimError;
 use crate::live::{LiveDelta, LIVE};
 use crate::memsys::{AccessClass, AccessKind, MemorySystem, Outcome};
 use crate::page::Addr;
+use crate::prof::{self, Region};
 use crate::profile::Profiler;
 use crate::proto::{MemOp, OpKind, Reply, Request};
 use crate::sanitize::Sanitizer;
@@ -130,6 +131,12 @@ impl Engine {
     pub(crate) fn run(mut self) -> Result<RunStats, SimError> {
         use std::sync::atomic::Ordering::Relaxed;
         LIVE.runs_started.fetch_add(1, Relaxed);
+        // Host-time self-profiling for this run; the scope flushes the
+        // thread's aggregates and disables recording on every exit path.
+        // Purely observational: simulated results are bit-identical with
+        // it on or off.
+        let _prof = prof::thread_scope(self.cfg.profile);
+        let mut events: u64 = 0;
         let n = self.procs.len();
         loop {
             // Drain already-arrived requests without blocking. An error
@@ -164,9 +171,19 @@ impl Engine {
                 // Popped times are nondecreasing, so this drives the
                 // gauge sampling clock forward monotonically.
                 self.sample_gauges(t);
-                self.process(p)?;
+                {
+                    let _sp = prof::span(Region::EngineDispatch);
+                    self.process(p)?;
+                }
+                events += 1;
                 if self.live.event() {
-                    self.live.flush();
+                    {
+                        let _sp = prof::span(Region::LiveFlush);
+                        self.live.flush();
+                    }
+                    // Piggyback the profiler's fold-to-global on the same
+                    // cadence so live observers see mid-run data.
+                    prof::flush_thread();
                 }
             } else if frontier.is_some() {
                 // Block until a running thread submits.
@@ -230,6 +247,7 @@ impl Engine {
             .collect();
         Ok(RunStats {
             wall_ns: wall,
+            events,
             page_migrations: self.mem.page_migrations(),
             resources: self.mem.contention.summary(),
             ranges: self.profiler.into_profiles(&phase_names),
@@ -411,6 +429,7 @@ impl Engine {
     fn apply_ops(&mut self, p: usize, busy: Ns, ops: &[MemOp], san: &[MemOp]) {
         self.charge_busy(p, busy);
         if let Some(s) = self.sanitizer.as_deref_mut() {
+            let _sp = prof::span(Region::Sanitize);
             for op in san {
                 match op.kind {
                     OpKind::Read => s.read(p, op.addr, op.bytes),
@@ -419,6 +438,13 @@ impl Engine {
                 }
             }
         }
+        if ops.is_empty() {
+            return;
+        }
+        // One span per request's op batch, not per line: coarse enough to
+        // keep profiling overhead in the noise, fine enough to split the
+        // memory system from engine dispatch.
+        let _sp = prof::span(Region::MemsysService);
         let line_bytes = self.mem.line_bytes();
         for op in ops {
             let first = op.addr / line_bytes;
@@ -440,6 +466,7 @@ impl Engine {
                             .mem
                             .access_masked(p, addr, kind, self.procs[p].clock, mask);
                         if !self.profiler.is_empty() {
+                            let _sp = prof::span(Region::Attrib);
                             self.profiler
                                 .attribute(p, addr, kind, &o, self.procs[p].phase);
                         }
@@ -466,6 +493,7 @@ impl Engine {
     /// Samples the machine-wide gauges if a sampling epoch has elapsed.
     fn sample_gauges(&mut self, now: Ns) {
         if let Some(t) = self.tracer.gauge_due(now) {
+            let _sp = prof::span(Region::Trace);
             let (mut acc, mut miss, mut stall) = (0u64, 0u64, 0);
             let (mut coh, mut false_share, mut queue) = (0u64, 0u64, 0);
             for p in &self.procs {

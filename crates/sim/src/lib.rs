@@ -31,6 +31,9 @@
 //!   conflict / true- and false-sharing coherence) and every stalled
 //!   nanosecond split into uncontended service vs. queueing per resource
 //!   ([`attrib`]), down to named data ranges ([`profile`]).
+//! * **Host profiling** — a near-zero-overhead scoped span profiler over
+//!   the engine's *host* (wall-clock) time ([`prof`]), behind the
+//!   observer-passive `profile` configuration knob.
 //!
 //! Applications are ordinary Rust closures run on one OS thread per
 //! simulated processor; they compute *real, verifiable results* on data in
@@ -96,6 +99,7 @@ pub mod machine;
 pub mod mapping;
 pub mod memsys;
 pub mod page;
+pub mod prof;
 pub mod profile;
 pub mod sanitize;
 pub mod shared;

@@ -226,6 +226,11 @@ pub struct RunStats {
     pub procs: Vec<ProcStats>,
     /// Wall-clock of the run: the latest processor finish time.
     pub wall_ns: Ns,
+    /// Engine events processed (requests dispatched in virtual-time
+    /// order). Deterministic for a given program and configuration, so
+    /// `host time / events` gives a stable ns-per-event throughput
+    /// measure (`bench perf` gates on it).
+    pub events: u64,
     /// Pages migrated by the dynamic migration policy.
     pub page_migrations: u64,
     /// Aggregate occupancy/wait per resource class:
@@ -361,6 +366,7 @@ mod tests {
         let rs = RunStats {
             procs: vec![proc(10, 0, 0), proc(0, 0, 1000)],
             wall_ns: 1000,
+            events: 0,
             page_migrations: 0,
             resources: Default::default(),
             ranges: Vec::new(),
@@ -385,6 +391,7 @@ mod tests {
         let rs = RunStats {
             procs: vec![a, b],
             wall_ns: 0,
+            events: 0,
             page_migrations: 0,
             resources: Default::default(),
             ranges: Vec::new(),
@@ -407,6 +414,7 @@ mod tests {
         let rs = RunStats {
             procs: vec![ProcStats::default()],
             wall_ns: 0,
+            events: 0,
             page_migrations: 0,
             resources: Default::default(),
             ranges: Vec::new(),
@@ -433,6 +441,7 @@ mod tests {
         let rs = RunStats {
             procs: vec![p.clone(), p],
             wall_ns: 0,
+            events: 0,
             page_migrations: 0,
             resources: Default::default(),
             ranges: Vec::new(),
@@ -458,6 +467,7 @@ mod tests {
         let rs = RunStats {
             procs: vec![p.clone(), p],
             wall_ns: 0,
+            events: 0,
             page_migrations: 0,
             resources: Default::default(),
             ranges: Vec::new(),
@@ -472,6 +482,7 @@ mod tests {
             RunStats {
                 procs: vec![],
                 wall_ns: 0,
+                events: 0,
                 page_migrations: 0,
                 resources: Default::default(),
                 ranges: Vec::new(),

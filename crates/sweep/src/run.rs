@@ -114,6 +114,7 @@ impl Executor {
             mem_ns: 0,
             sync_ns: 0,
             misses: 0,
+            events: 0,
             causes: [0; 5],
             sanitize: None,
             error: None,

@@ -95,6 +95,9 @@ pub struct CellRecord {
     pub sync_ns: Ns,
     /// Total data misses.
     pub misses: u64,
+    /// Engine events processed (deterministic; 0 for failed cells and
+    /// for records written by older store versions).
+    pub events: u64,
     /// Classified miss counts `[cold, capacity, conflict, coh-true,
     /// coh-false]`; zeros unless the cell ran with attribution.
     pub causes: [u64; 5],
@@ -145,6 +148,7 @@ impl CellRecord {
         self.mem_ns = stats.total(|p| p.mem_ns);
         self.sync_ns = stats.total(|p| p.sync_ns());
         self.misses = stats.total(|p| p.misses());
+        self.events = stats.events;
         self.causes = stats.cause_counts();
         self.sanitize = stats.sanitize.as_ref().map(|r| r.counts());
     }
@@ -156,7 +160,7 @@ impl CellRecord {
              \"problem\": \"{}\", \"nprocs\": {}, \"scale\": \"{}\", \"status\": \"{}\", \
              \"attempts\": {}, \"host_ms\": {}, \"wall_ns\": {}, \"seq_ns\": {}, \
              \"busy_ns\": {}, \"mem_ns\": {}, \"sync_ns\": {}, \"misses\": {}, \
-             \"causes\": [{}]",
+             \"events\": {}, \"causes\": [{}]",
             esc(&self.key),
             esc(&self.label),
             esc(&self.app),
@@ -173,6 +177,7 @@ impl CellRecord {
             self.mem_ns,
             self.sync_ns,
             self.misses,
+            self.events,
             self.causes
                 .iter()
                 .map(|n| n.to_string())
@@ -299,6 +304,8 @@ impl CellRecord {
             mem_ns: num_field(line, "mem_ns")?,
             sync_ns: num_field(line, "sync_ns")?,
             misses: num_field(line, "misses")?,
+            // Absent in stores written before the field existed.
+            events: num_field(line, "events").unwrap_or(0),
             causes,
             sanitize,
             error: str_field(line, "error").ok(),
@@ -460,6 +467,7 @@ mod tests {
             mem_ns: 700,
             sync_ns: 300,
             misses: 42,
+            events: 5150,
             causes: [10, 9, 8, 7, 8],
             sanitize: if status == CellStatus::Ok {
                 Some([2, 0, 1])
@@ -535,6 +543,15 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert_eq!(store.get("aaa"), Some(&record("aaa", CellStatus::Ok)));
         assert_eq!(store.get("bbb"), Some(&record("bbb", CellStatus::Ok)));
+    }
+
+    #[test]
+    fn old_lines_without_events_still_parse() {
+        let mut r = record("old", CellStatus::Ok);
+        let line = r.to_json_line().replace("\"events\": 5150, ", "");
+        let back = CellRecord::parse_line(&line).unwrap();
+        r.events = 0;
+        assert_eq!(back, r, "missing events field defaults to 0");
     }
 
     #[test]

@@ -145,8 +145,10 @@ pub fn series_key(name: &str, labels: &[(String, String)]) -> String {
 }
 
 /// Renders a snapshot as one flat JSON object: `"name{k=v}" -> number`.
-/// Histograms flatten to `_sum` and `_count` entries. The object's key
-/// order is the registry's registration order.
+/// Histograms flatten to `_sum`, `_count`, and interpolated `_p50` /
+/// `_p90` / `_p99` entries (see
+/// [`HistSnapshot::quantile`](crate::registry::HistSnapshot::quantile)).
+/// The object's key order is the registry's registration order.
 pub fn json(rows: &[SampleRow]) -> String {
     let mut parts: Vec<String> = Vec::with_capacity(rows.len());
     for row in rows {
@@ -166,6 +168,9 @@ pub fn json(rows: &[SampleRow]) -> String {
             SampleValue::Histogram(h) => {
                 parts.push(format!("\"{}_sum\":{}", esc_json(&key), h.sum));
                 parts.push(format!("\"{}_count\":{}", esc_json(&key), h.count()));
+                for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    parts.push(format!("\"{}_{}\":{}", esc_json(&key), tag, h.quantile(q)));
+                }
             }
         }
     }
@@ -253,5 +258,10 @@ mod tests {
         assert!(j.contains("\"b\":1.5"));
         assert!(j.contains("\"h_sum\":10"));
         assert!(j.contains("\"h_count\":1"));
+        // One observation of 10 sits in the (8, 16] bucket; its quantiles
+        // interpolate inside it.
+        assert!(j.contains("\"h_p50\":12"), "got: {j}");
+        assert!(j.contains("\"h_p90\":"));
+        assert!(j.contains("\"h_p99\":"));
     }
 }

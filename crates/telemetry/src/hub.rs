@@ -7,6 +7,7 @@
 //! * `GET /events` — `text/event-stream`: every epoch sample as an
 //!   `epoch` event plus any application-published `cell` lifecycle
 //!   events; a final `end` event announces clean shutdown.
+//! * `GET /healthz` — liveness probe: `200 ok` while the hub serves.
 //!
 //! Epoch records are flat JSON objects,
 //! `{"seq":N,"t_ms":T,"metrics":{"name{label=v}":value,...}}`, written
@@ -265,11 +266,14 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
             respond(stream, "200 OK", "application/json", &body);
         }
         "/events" => serve_events(stream, &shared),
+        // Liveness probe: scrapers and CI can check the hub is up
+        // without parsing a snapshot.
+        "/healthz" => respond(stream, "200 OK", "text/plain", "ok\n"),
         _ => respond(
             stream,
             "404 Not Found",
             "text/plain",
-            "try /metrics, /snapshot, /events\n",
+            "try /metrics, /snapshot, /events, /healthz\n",
         ),
     }
 }
@@ -353,8 +357,12 @@ mod tests {
         assert!(s.contains("application/json"), "{s}");
         assert!(s.contains("\"t_total\":17"), "{s}");
         assert!(s.contains("\"seq\":"), "{s}");
+        let hz = get(addr, "/healthz");
+        assert!(hz.starts_with("HTTP/1.1 200 OK"), "{hz}");
+        assert!(hz.ends_with("ok\n"), "{hz}");
         let nf = get(addr, "/unknown");
         assert!(nf.starts_with("HTTP/1.1 404"), "{nf}");
+        assert!(nf.contains("/healthz"), "hint lists the probe: {nf}");
         hub.shutdown();
     }
 

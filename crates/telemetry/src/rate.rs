@@ -122,6 +122,71 @@ mod tests {
     }
 
     #[test]
+    fn edge_sequences_stay_finite_and_nonnegative() {
+        // Property-style table: each row is a (total, dt) stream mixing
+        // resets, repeated identical samples, and large clock jumps. The
+        // invariant under every sequence: the output is finite and >= 0
+        // after each update, and a repeated identical (total, dt=0)
+        // sample never changes it.
+        let table: &[(&str, &[(u64, f64)])] = &[
+            (
+                "reset mid-stream then resume",
+                &[
+                    (100, 1.0),
+                    (200, 1.0),
+                    (50, 1.0), // reset: 50 is the delta
+                    (150, 1.0),
+                    (250, 1.0),
+                ],
+            ),
+            (
+                "repeated identical timestamps (dt = 0)",
+                &[(100, 1.0), (500, 1.0), (500, 0.0), (500, 0.0), (900, 1.0)],
+            ),
+            (
+                "large clock jump forward",
+                &[(0, 1.0), (1_000, 1.0), (2_000, 86_400.0), (3_000, 1.0)],
+            ),
+            (
+                "reset to zero, twice",
+                &[(10, 1.0), (0, 1.0), (5, 1.0), (0, 1.0), (7, 1.0)],
+            ),
+            (
+                "huge totals near u64::MAX",
+                &[
+                    (u64::MAX - 10, 1.0),
+                    (u64::MAX, 1.0),
+                    (3, 1.0), // wraps/resets: 3 is the delta
+                ],
+            ),
+            (
+                "NaN and negative dt interleaved",
+                &[
+                    (100, 1.0),
+                    (200, f64::NAN),
+                    (300, -1.0),
+                    (400, 1.0),
+                    (400, f64::INFINITY),
+                ],
+            ),
+        ];
+        for (name, seq) in table {
+            let mut f = RateFilter::new(2.0);
+            for (i, &(total, dt)) in seq.iter().enumerate() {
+                let r = f.update(total, dt);
+                assert!(r.is_finite(), "{name}[{i}]: rate {r} not finite");
+                assert!(r >= 0.0, "{name}[{i}]: rate {r} went negative");
+                let before = f.rate();
+                assert_eq!(
+                    f.update(total, 0.0),
+                    before,
+                    "{name}[{i}]: identical zero-dt resample moved the rate"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn long_epoch_weighs_like_many_short_ones() {
         // Same total events over the same wall time, different epoch
         // slicing: final rates should roughly agree.

@@ -133,6 +133,42 @@ impl HistSnapshot {
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// Approximate quantile (`q` in `0.0..=1.0`) by linear interpolation
+    /// inside the log2 bucket holding the target rank — the error is
+    /// bounded by that bucket's width. Returns 0 for an empty histogram;
+    /// ranks landing in the `+Inf` overflow bucket report the largest
+    /// finite bucket bound, since no upper edge exists to interpolate
+    /// toward.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * n as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += c;
+            if cum as f64 >= target {
+                if i >= HIST_BUCKETS {
+                    break; // overflow bucket: fall through to the cap
+                }
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let hi = (1u64 << i) as f64;
+                let frac = ((target - prev) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+        }
+        (1u64 << (HIST_BUCKETS - 1)) as f64
+    }
 }
 
 /// The value part of one snapshot row.
@@ -331,6 +367,38 @@ mod tests {
         assert_eq!(b.get(), 7, "same (name, labels) shares the cell");
         assert_eq!(other.get(), 0, "different labels are a new series");
         assert_eq!(r.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.read().quantile(0.5), 0.0, "empty histogram reads 0");
+
+        // 100 observations of 10, all in the (8, 16] bucket: every
+        // quantile interpolates inside that bucket's bounds.
+        for _ in 0..100 {
+            h.observe(10);
+        }
+        let s = h.read();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!((8.0..=16.0).contains(&v), "q={q} gave {v}");
+        }
+        assert_eq!(s.quantile(1.0), 16.0, "top rank hits the bucket edge");
+
+        // Spread across buckets: quantiles are monotone in q.
+        let h = Histogram::default();
+        for v in [1u64, 2, 4, 100, 1000, 100_000] {
+            h.observe(v);
+        }
+        let s = h.read();
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+
+        // Ranks in the +Inf bucket cap at the largest finite bound.
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.read().quantile(0.5), (1u64 << (HIST_BUCKETS - 1)) as f64);
     }
 
     #[test]
