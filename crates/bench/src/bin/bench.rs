@@ -19,6 +19,21 @@
 //!                     server); with --check this is the observer-
 //!                     passivity gate — results must stay bit-identical
 //!
+//! bench critpath [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]
+//!
+//! critpath            run the pinned workload matrix with the
+//!                     critical-path profiler on, print the on-path
+//!                     busy/memory/sync split and headline what-if
+//!                     speedups, and write the snapshot to
+//!                     BENCH_critpath.json
+//! --check             gate against the committed baseline instead of
+//!                     overwriting it; exit 1 on drift (the fresh
+//!                     measurement lands in BENCH_critpath.current.json)
+//! --baseline <file>   baseline path (default BENCH_critpath.json)
+//! --tolerance <pct>   allowed relative drift per metric (default 2.0)
+//! --jobs <n>          simulate matrix points on n host threads (default 1;
+//!                     output is bit-identical at any job count)
+//!
 //! bench perf [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]
 //!            [--reps <k>] [--json <file>] [--profile <file>] [--no-overhead]
 //!
@@ -81,7 +96,7 @@
 //!                     renders it)
 //! --epoch-ms <n>      telemetry sampling period (default 250)
 //!
-//! bench top (--addr <host:port> | --log <file>) [--watch]
+//! bench top (--addr <host:port> | --log <file>) [--watch] [--json]
 //!           [--interval-ms <n>] [--count <n>]
 //!
 //! top                 render a terminal dashboard from a live /snapshot
@@ -89,6 +104,9 @@
 //!                     default, --watch redraws every --interval-ms
 //!                     (default 1000) until --count frames (default: no
 //!                     limit)
+//! --json              print the raw epoch record as one JSON line
+//!                     instead of the dashboard (same shape as the
+//!                     --live-log JSONL and /snapshot body)
 //!
 //! bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]
 //!                [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]
@@ -112,15 +130,19 @@ use std::time::Duration;
 use ccnuma_sweep::matrix::MatrixSpec;
 use ccnuma_sweep::{sweep, SweepConfig};
 use ccnuma_telemetry::hub::{Hub, HubConfig};
-use study_bench::{live, perf, regress};
+use study_bench::{critpath, live, perf, regress};
 
 const DEFAULT_BASELINE: &str = "BENCH_attrib.json";
 const DEFAULT_PERF_BASELINE: &str = "BENCH_engine.json";
+const DEFAULT_CRITPATH_BASELINE: &str = "BENCH_critpath.json";
 
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: bench regress [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]\n\
          \x20                  [--telemetry]"
+    );
+    eprintln!(
+        "       bench critpath [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]"
     );
     eprintln!(
         "       bench perf [--check] [--baseline <file>] [--tolerance <pct>] [--jobs <n>]\n\
@@ -138,7 +160,7 @@ fn usage(code: i32) -> ! {
          \x20                  [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]"
     );
     eprintln!(
-        "       bench top (--addr <host:port> | --log <file>) [--watch]\n\
+        "       bench top (--addr <host:port> | --log <file>) [--watch] [--json]\n\
          \x20                  [--interval-ms <n>] [--count <n>]"
     );
     std::process::exit(code);
@@ -153,6 +175,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("regress") => cmd_regress(&args[1..]),
+        Some("critpath") => cmd_critpath(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("sanitize") => cmd_sanitize(&args[1..]),
@@ -271,6 +294,92 @@ fn cmd_regress(args: &[String]) -> ! {
     let current_path = format!("{baseline}.current.json");
     let current_path = current_path.replace(".json.current.json", ".current.json");
     if let Err(e) = std::fs::write(&current_path, regress::to_json(&current)) {
+        eprintln!("warning: cannot write {current_path}: {e}");
+    } else {
+        eprintln!("[bench] fresh measurement written to {current_path}");
+    }
+    eprintln!("[bench] FAIL: {} drift(s) vs {baseline}:", msgs.len());
+    for m in &msgs {
+        eprintln!("  {m}");
+    }
+    std::process::exit(1);
+}
+
+/// `bench critpath`: run the pinned matrix with the critical-path
+/// profiler on and (with `--check`) gate the on-path composition and
+/// what-if projections against `BENCH_critpath.json`.
+fn cmd_critpath(args: &[String]) -> ! {
+    let mut check = false;
+    let mut baseline = DEFAULT_CRITPATH_BASELINE.to_string();
+    let mut tolerance = 100.0 * critpath::DEFAULT_TOLERANCE;
+    let mut jobs = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--baseline" => match it.next() {
+                Some(f) => baseline = f.clone(),
+                None => usage(2),
+            },
+            "--tolerance" => match it.next().map(|t| t.parse::<f64>()) {
+                Some(Ok(t)) if t >= 0.0 => tolerance = t,
+                _ => usage(2),
+            },
+            "--jobs" => jobs = parse_count(&mut it, "--jobs"),
+            "--help" | "-h" => usage(0),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                usage(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "[bench] profiling the pinned matrix ({} apps x {} proc counts, {jobs} job(s))...",
+        regress::MATRIX_APPS.len(),
+        regress::MATRIX_PROCS.len()
+    );
+    let t0 = std::time::Instant::now();
+    let current = match critpath::measure_with_jobs(jobs) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("measurement failed: {e}")),
+    };
+    eprintln!(
+        "[bench] profiled {} points in {:.1?}",
+        current.len(),
+        t0.elapsed()
+    );
+    eprint!("{}", critpath::table(&current));
+
+    if !check {
+        if let Err(e) = std::fs::write(&baseline, critpath::to_json(&current)) {
+            fail(&format!("cannot write {baseline}: {e}"));
+        }
+        eprintln!("[bench] wrote baseline {baseline}");
+        std::process::exit(0);
+    }
+
+    let doc = match std::fs::read_to_string(&baseline) {
+        Ok(d) => d,
+        Err(e) => fail(&format!(
+            "cannot read baseline {baseline}: {e} (generate it with `bench critpath`)"
+        )),
+    };
+    let base = match critpath::parse(&doc) {
+        Ok(b) => b,
+        Err(e) => fail(&format!("malformed baseline {baseline}: {e}")),
+    };
+    let msgs = critpath::compare(&base, &current, tolerance / 100.0);
+    if msgs.is_empty() {
+        eprintln!(
+            "[bench] OK: {} points within {tolerance}% of {baseline}",
+            current.len()
+        );
+        std::process::exit(0);
+    }
+    let current_path = format!("{baseline}.current.json");
+    let current_path = current_path.replace(".json.current.json", ".current.json");
+    if let Err(e) = std::fs::write(&current_path, critpath::to_json(&current)) {
         eprintln!("warning: cannot write {current_path}: {e}");
     } else {
         eprintln!("[bench] fresh measurement written to {current_path}");
@@ -550,10 +659,12 @@ fn cmd_sweep(args: &[String]) -> ! {
         Err(e) => fail(&format!("sweep failed: {e}")),
     };
 
-    // Teardown order: ingest post-mortem trace gauges first so the
-    // final epoch sample (taken by hub.shutdown) carries them, then a
-    // final counter mirror, then the hub's last sample + `end` frame.
+    // Teardown order: ingest post-mortem trace gauges and critical-path
+    // shares first so the final epoch sample (taken by hub.shutdown)
+    // carries them, then a final counter mirror, then the hub's last
+    // sample + `end` frame.
     wiring.ingest_traces(&out.gauges);
+    wiring.ingest_critpaths(&out.critpaths);
     wiring.stop();
     if let Some(hub) = hub {
         hub.shutdown();
@@ -608,6 +719,7 @@ fn cmd_top(args: &[String]) -> ! {
     let mut addr: Option<String> = None;
     let mut log: Option<PathBuf> = None;
     let mut watch = false;
+    let mut json = false;
     let mut interval = Duration::from_millis(1000);
     let mut count: Option<usize> = None;
     let mut it = args.iter();
@@ -622,6 +734,7 @@ fn cmd_top(args: &[String]) -> ! {
                 None => usage(2),
             },
             "--watch" => watch = true,
+            "--json" => json = true,
             "--interval-ms" => {
                 interval = Duration::from_millis(parse_count(&mut it, "--interval-ms") as u64)
             }
@@ -652,11 +765,18 @@ fn cmd_top(args: &[String]) -> ! {
     loop {
         match fetch() {
             Ok(rec) => {
-                if watch {
-                    // Clear the screen and home the cursor between frames.
-                    print!("\x1b[2J\x1b[H");
+                if json {
+                    // Machine-readable one-shot / per-frame output: the
+                    // epoch record in the exact JSONL shape the log and
+                    // /snapshot use.
+                    println!("{}", rec.to_json());
+                } else {
+                    if watch {
+                        // Clear the screen and home the cursor between frames.
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{}", live::render_top(&rec));
                 }
-                print!("{}", live::render_top(&rec));
             }
             Err(e) if watch => eprintln!("[top] {e}"),
             Err(e) => fail(&e),

@@ -592,7 +592,7 @@ pub fn nodeshare(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError>
 /// restructuring pairs on a simulated 16-processor page-grain
 /// shared-virtual-memory cluster (software coherence handlers, expensive
 /// locks) next to a 16-processor hardware-DSM machine, reproducing the
-/// comparison with [6]: the same restructurings that help scaling on the
+/// comparison with \[6\]: the same restructurings that help scaling on the
 /// Origin help — usually far more dramatically — on SVM, and some (the
 /// Raytrace statistics lock) only matter there.
 pub fn svm(runner: &mut Runner, scale: Scale) -> Result<Table, StudyError> {
@@ -870,6 +870,37 @@ pub fn attrib(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyErro
     Ok(out)
 }
 
+/// §8 tooling: critical-path analysis with what-if projection. Runs
+/// Ocean at a small and a large machine with critical-path profiling on
+/// and reports each run's on-path busy/memory/sync shares (showing the
+/// limiter shift as the machine grows) plus the projected speedup of
+/// each re-weighted cost scenario.
+pub fn critpath(runner: &mut Runner, scale: Scale) -> Result<Vec<Table>, StudyError> {
+    use scaling_study::report::{critpath_table, whatif_table};
+    if !runner.critpath_enabled() {
+        runner.set_critpath(true);
+    }
+    let procs: Vec<usize> = if scale == Scale::Full {
+        // Small vs large machine: the paper's limiter-shift regime.
+        vec![16, 64]
+    } else {
+        let all = scale.procs();
+        vec![all[0], all[all.len() - 1]]
+    };
+    for &np in &procs {
+        let w = basic("ocean", scale);
+        runner.run(w.as_ref(), np)?;
+    }
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for (label, rep) in runner.take_critpaths() {
+        out.push(whatif_table(&label, &rep));
+        rows.push((label, rep));
+    }
+    out.insert(0, critpath_table(&rows));
+    Ok(out)
+}
+
 /// §5.3: the programming-guideline catalog.
 pub fn guidelines() -> Table {
     let mut t = Table::new(
@@ -904,6 +935,7 @@ pub const EXPERIMENT_NAMES: &[&str] = &[
     "profile",
     "phases",
     "attrib",
+    "critpath",
     "ablation",
     "guidelines",
 ];
@@ -946,6 +978,7 @@ pub fn run_experiment(
         "profile" => profile(runner, scale),
         "phases" => phases(runner, scale),
         "attrib" => attrib(runner, scale),
+        "critpath" => critpath(runner, scale),
         "guidelines" => Ok(vec![guidelines()]),
         _ => return None,
     };

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod critpath;
 pub mod figures;
 pub mod live;
 pub mod perf;

@@ -296,6 +296,37 @@ impl Wiring {
             }
         }
     }
+
+    /// Mirrors per-cell critical-path shares (and the headline `sync=0`
+    /// projection) into the registry, one `cell`-labeled gauge set per
+    /// profiled cell.
+    pub fn ingest_critpaths(&self, reports: &[(String, ccnuma_sim::critpath::CritReport)]) {
+        for (label, rep) in reports {
+            ingest_critpath(&self.registry, label, rep);
+        }
+    }
+}
+
+/// Sets the `cell`-labeled critical-path gauges from one cell's report:
+/// the busy/memory/sync on-path percentage split (which sums to 100 by
+/// construction) and the projected `sync=0` speedup.
+pub fn ingest_critpath(registry: &Registry, label: &str, rep: &ccnuma_sim::critpath::CritReport) {
+    let (busy, mem, sync) = rep.share_pct();
+    let fields: [(&str, f64); 4] = [
+        ("critpath_busy_pct", busy),
+        ("critpath_mem_pct", mem),
+        ("critpath_sync_pct", sync),
+        ("critpath_sync0_speedup", rep.speedup("sync=0")),
+    ];
+    for (name, v) in fields {
+        registry
+            .gauge_with(
+                name,
+                &[("cell", label)],
+                "Critical-path share of the cell's simulated wall clock",
+            )
+            .set(v);
+    }
 }
 
 /// State shared by one event-recorder closure.
@@ -506,6 +537,46 @@ impl EpochRecord {
             .find(|(k, _)| k == key)
             .and_then(|(_, v)| *v)
     }
+
+    /// Re-serializes the record in the exact one-line shape
+    /// [`parse_epoch_record`] reads — what `bench top --json` prints, so
+    /// scripts get machine-readable output without scraping the
+    /// dashboard.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"t_ms\":{},\"metrics\":{{",
+            self.seq, self.t_ms
+        );
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape_json(k));
+            out.push_str("\":");
+            match v {
+                Some(x) => out.push_str(&format!("{x}")),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parses one epoch record line
@@ -718,6 +789,32 @@ mod tests {
         assert_eq!(rec.get("c{class=hub}"), Some(0.25));
         assert_eq!(rec.get("n"), None);
         assert_eq!(rec.metrics.len(), 4);
+    }
+
+    #[test]
+    fn epoch_record_reserializes_in_parseable_shape() {
+        let line = r#"{"seq":7,"t_ms":1250,"metrics":{"a_total":42,"b":1.5,"c{class=hub}":0.25,"n":null}}"#;
+        let rec = parse_epoch_record(line).expect("parses");
+        let back = parse_epoch_record(&rec.to_json()).expect("to_json parses back");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn critpath_gauges_mirror_the_report_shares() {
+        let mut cfg = ccnuma_sim::config::MachineConfig::origin2000_scaled(2, 16 << 10);
+        cfg.critpath = true;
+        let m = ccnuma_sim::machine::Machine::new(cfg).unwrap();
+        let stats = m.run(|ctx| ctx.compute_ops(64)).unwrap();
+        let rep = stats.critpath.expect("critpath report present");
+        let r = Registry::new();
+        ingest_critpath(&r, "fft/orig/2p", &rep);
+        let (busy, mem, sync) = rep.share_pct();
+        let g = |name: &str| r.gauge_with(name, &[("cell", "fft/orig/2p")], "").get();
+        assert_eq!(g("critpath_busy_pct"), busy);
+        assert_eq!(g("critpath_mem_pct"), mem);
+        assert_eq!(g("critpath_sync_pct"), sync);
+        assert_eq!(g("critpath_sync0_speedup"), rep.speedup("sync=0"));
+        assert!((busy + mem + sync - 100.0).abs() < 0.5);
     }
 
     #[test]

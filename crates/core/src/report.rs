@@ -523,6 +523,114 @@ pub fn sanitize_json(label: &str, rep: &ccnuma_sim::sanitize::SanitizeReport) ->
     s
 }
 
+/// Renders critical-path shares per experiment cell as a table: one row
+/// per labelled run with the on-path busy / memory / sync split, the
+/// dominant limiter, and the ideal-sync speedup projection.
+pub fn critpath_table(rows: &[(String, ccnuma_sim::critpath::CritReport)]) -> Table {
+    let mut t = Table::new(
+        "critical-path shares",
+        &["run", "busy", "memory", "sync", "limiter", "sync=0 speedup"],
+    );
+    for (label, rep) in rows {
+        let (busy, mem, sync) = rep.share_pct();
+        let limiter = rep
+            .headline()
+            .split(',')
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        t.row(vec![
+            label.clone(),
+            format!("{busy:.1}%"),
+            format!("{mem:.1}%"),
+            format!("{sync:.1}%"),
+            limiter,
+            format!("{:.2}x", rep.speedup("sync=0")),
+        ]);
+    }
+    t
+}
+
+/// Renders one run's what-if projections as a table: the projected wall
+/// clock and speedup of each re-weighted cost scenario.
+pub fn whatif_table(label: &str, rep: &ccnuma_sim::critpath::CritReport) -> Table {
+    let mut t = Table::new(
+        format!("what-if projections ({label})"),
+        &["scenario", "wall (us)", "speedup"],
+    );
+    for w in &rep.whatif {
+        t.row(vec![
+            w.name.clone(),
+            format!("{:.3}", w.wall_ns as f64 / 1000.0),
+            format!("{:.2}x", rep.speedup(&w.name)),
+        ]);
+    }
+    t
+}
+
+/// Serializes one run's [`CritReport`](ccnuma_sim::critpath::CritReport)
+/// as a small self-contained JSON document (hand-rolled, like
+/// [`attrib_json`]; the workspace takes no serde dependency).
+pub fn critpath_json(label: &str, rep: &ccnuma_sim::critpath::CritReport) -> String {
+    let buckets = |b: &ccnuma_sim::critpath::CritBuckets| {
+        format!(
+            "{{\"busy_ns\": {}, \"sync_op_ns\": {}, \"mem_local_ns\": {},              \"mem_remote_ns\": {}, \"lock_wait_ns\": {}, \"barrier_wait_ns\": {},              \"sem_wait_ns\": {}}}",
+            b.busy_ns,
+            b.sync_op_ns,
+            b.mem_local_ns,
+            b.mem_remote_ns,
+            b.lock_wait_ns,
+            b.barrier_wait_ns,
+            b.sem_wait_ns
+        )
+    };
+    let nums = |ns: &[u64]| {
+        ns.iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"version\": 1,\n  \"label\": \"{}\",\n  \"wall_ns\": {},\n",
+        json_escape(label),
+        rep.wall_ns
+    ));
+    s.push_str(&format!("  \"total\": {},\n", buckets(&rep.total)));
+    s.push_str(&format!(
+        "  \"mem_cause_ns\": [{}],\n  \"mem_queue_ns\": [{}],\n  \"mem_service_ns\": [{}],\n",
+        nums(&rep.mem_cause_ns),
+        nums(&rep.mem_queue_ns),
+        nums(&rep.mem_service_ns)
+    ));
+    s.push_str("  \"phases\": [");
+    for (i, ph) in rep.phases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"path\": {}}}",
+            json_escape(&ph.name),
+            buckets(&ph.path)
+        ));
+    }
+    s.push_str("\n  ],\n  \"whatif\": [");
+    for (i, w) in rep.whatif.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"scenario\": \"{}\", \"wall_ns\": {}}}",
+            json_escape(&w.name),
+            w.wall_ns
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
 /// Renders a trace's machine-wide gauge time series (miss rate, resource
 /// occupancies, outstanding misses) as a table, one row per sample —
 /// mainly useful via [`Table::to_csv`].
@@ -631,6 +739,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            critpath: None,
             events: 0,
         };
         let t = breakdown_continuum(&rs, 4);
@@ -681,6 +790,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            critpath: None,
             events: 0,
         }
     }
@@ -754,6 +864,7 @@ mod tests {
             phases: vec![ph("main", 0), ph("solve", 300), ph("reduce", 100)],
             trace: None,
             sanitize: None,
+            critpath: None,
             events: 0,
         };
         let t = phase_breakdown_table(&rs);
@@ -822,5 +933,72 @@ mod tests {
         // Embedded quotes in lint messages are escaped.
         assert!(json.contains("\\\"mixed\\\""), "{json}");
         assert!(json.contains("\"lock_cycles\": ["));
+    }
+
+    fn crit_report() -> ccnuma_sim::critpath::CritReport {
+        use ccnuma_sim::critpath::{CritBuckets, CritReport, PhasePath, WhatIf};
+        let total = CritBuckets {
+            busy_ns: 400,
+            sync_op_ns: 50,
+            mem_local_ns: 100,
+            mem_remote_ns: 150,
+            lock_wait_ns: 100,
+            barrier_wait_ns: 150,
+            sem_wait_ns: 50,
+        };
+        CritReport {
+            wall_ns: 1000,
+            total,
+            mem_cause_ns: [0; ccnuma_sim::attrib::CAUSE_SLOTS],
+            mem_queue_ns: [0; 4],
+            mem_service_ns: [0; 4],
+            phases: vec![PhasePath {
+                name: "solve \"fine\"".into(),
+                path: total,
+            }],
+            whatif: vec![
+                WhatIf {
+                    name: "measured".into(),
+                    wall_ns: 1000,
+                },
+                WhatIf {
+                    name: "sync=0".into(),
+                    wall_ns: 500,
+                },
+            ],
+            segments: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn critpath_table_shares_and_speedup() {
+        let rows = vec![("fft/orig/4p".to_string(), crit_report())];
+        let t = critpath_table(&rows);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        let line = csv.lines().nth(1).unwrap();
+        assert!(line.starts_with("fft/orig/4p,40.0%,25.0%,35.0%"), "{line}");
+        assert!(line.ends_with("2.00x"), "{line}");
+    }
+
+    #[test]
+    fn whatif_table_lists_every_scenario() {
+        let t = whatif_table("fft/orig/4p", &crit_report());
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.contains("measured,1.000,1.00x"), "{csv}");
+        assert!(csv.contains("sync=0,0.500,2.00x"), "{csv}");
+    }
+
+    #[test]
+    fn critpath_json_shape() {
+        let json = critpath_json("fft/2^14 points/4p", &crit_report());
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"wall_ns\": 1000"));
+        assert!(json.contains("\"busy_ns\": 400"));
+        assert!(json.contains("\"scenario\": \"sync=0\""));
+        // Embedded quotes in phase names are escaped.
+        assert!(json.contains("\\\"fine\\\""), "{json}");
+        assert!(json.contains("\"mem_cause_ns\": [0, 0, 0, 0, 0, 0]"));
     }
 }

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use ccnuma_sim::config::MachineConfig;
+use ccnuma_sim::critpath::CritReport;
 use ccnuma_sim::error::SimError;
 use ccnuma_sim::machine::Machine;
 use ccnuma_sim::sanitize::SanitizeReport;
@@ -98,6 +99,10 @@ pub struct Runner {
     /// run's [`SanitizeReport`] is collected in `sanitizes`.
     sanitize: bool,
     sanitizes: Vec<(String, SanitizeReport)>,
+    /// When true, parallel runs profile their critical path and each
+    /// run's [`CritReport`] is collected in `critpaths`.
+    critpath: bool,
+    critpaths: Vec<(String, CritReport)>,
 }
 
 impl Runner {
@@ -112,6 +117,8 @@ impl Runner {
             attribs: Vec::new(),
             sanitize: false,
             sanitizes: Vec::new(),
+            critpath: false,
+            critpaths: Vec::new(),
         }
     }
 
@@ -180,6 +187,27 @@ impl Runner {
         std::mem::take(&mut self.sanitizes)
     }
 
+    /// Enables (or disables) critical-path profiling of parallel runs.
+    /// While enabled, every parallel run forces
+    /// [`MachineConfig::critpath`] on and the resulting [`CritReport`]
+    /// is collected under an `"app/problem/NNp"` label; drain them with
+    /// [`Runner::take_critpaths`]. Profiling is observational: it never
+    /// changes simulated timing.
+    pub fn set_critpath(&mut self, on: bool) {
+        self.critpath = on;
+    }
+
+    /// Whether critical-path profiling of parallel runs is enabled.
+    pub fn critpath_enabled(&self) -> bool {
+        self.critpath
+    }
+
+    /// Takes the critical-path reports collected so far, labelled
+    /// `"app/problem/NNp"`.
+    pub fn take_critpaths(&mut self) -> Vec<(String, CritReport)> {
+        std::mem::take(&mut self.critpaths)
+    }
+
     /// The default scaled machine configuration for `nprocs` processors.
     pub fn machine_for(&self, nprocs: usize) -> MachineConfig {
         MachineConfig::origin2000_scaled(nprocs, self.cache_bytes)
@@ -223,6 +251,9 @@ impl Runner {
         if self.sanitize {
             cfg.sanitize.enabled = true;
         }
+        if self.critpath {
+            cfg.critpath = true;
+        }
         let (wall_ns, mut stats) = Self::execute(workload, cfg.clone())?;
         let label = format!("{}/{}/{}p", workload.name(), workload.problem(), cfg.nprocs);
         if let Some(trace) = stats.trace.take() {
@@ -233,7 +264,10 @@ impl Runner {
             self.attribs.push((label.clone(), json));
         }
         if let Some(rep) = stats.sanitize.clone() {
-            self.sanitizes.push((label, rep));
+            self.sanitizes.push((label.clone(), rep));
+        }
+        if let Some(rep) = stats.critpath.clone() {
+            self.critpaths.push((label, rep));
         }
         Ok(RunRecord {
             app: workload.name(),

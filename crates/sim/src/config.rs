@@ -219,16 +219,21 @@ pub struct MachineConfig {
     /// Computation cost model.
     pub cost: CostModel,
     /// Time-resolved event tracing (off by default; see
-    /// [`TraceConfig`](crate::trace::TraceConfig)).
+    /// [`TraceConfig`]).
     pub trace: TraceConfig,
     /// Happens-before race detection, lock-order analysis and
     /// synchronization lints (off by default; see
-    /// [`SanitizeConfig`](crate::sanitize::SanitizeConfig)).
+    /// [`SanitizeConfig`]).
     pub sanitize: SanitizeConfig,
     /// Host-side self-profiling of the engine hot path (off by default;
     /// see [`crate::prof`]). Measures where *wall-clock* time goes; it
     /// never touches simulated state.
     pub profile: bool,
+    /// Critical-path profiling (off by default; see [`crate::critpath`]).
+    /// Captures the run's happens-before dependency structure and reports
+    /// what the longest path is made of, plus what-if speedup projections.
+    /// Observer-passive: never changes simulated timing or statistics.
+    pub critpath: bool,
 }
 
 impl MachineConfig {
@@ -256,6 +261,7 @@ impl MachineConfig {
             trace: TraceConfig::default(),
             sanitize: SanitizeConfig::default(),
             profile: false,
+            critpath: false,
         }
     }
 
@@ -283,7 +289,7 @@ impl MachineConfig {
     }
 
     /// A shared-virtual-memory cluster of `nprocs` uniprocessor
-    /// workstations (§5.2 of the paper, machinery of [6]): coherence at
+    /// workstations (§5.2 of the paper, machinery of \[6\]): coherence at
     /// *page* granularity (the line size equals the page size), remote data
     /// replicated in main memory (the "cache" is DRAM-sized, so capacity
     /// evictions of replicated pages are rare), software-handler latencies,
@@ -313,6 +319,7 @@ impl MachineConfig {
             trace: TraceConfig::default(),
             sanitize: SanitizeConfig::default(),
             profile: false,
+            critpath: false,
         }
     }
 
@@ -343,8 +350,8 @@ impl MachineConfig {
     /// shape, cache geometry, paging, latencies, topology, mapping,
     /// placement/migration, synchronization primitives, prefetch, miss
     /// classification (it adds counters to the stats), and the cost model.
-    /// Tracing, sanitizing and host profiling are excluded — they observe
-    /// a run without perturbing it.
+    /// Tracing, sanitizing, host profiling and critical-path profiling
+    /// are excluded — they observe a run without perturbing it.
     pub fn stable_fields(&self) -> Vec<(String, String)> {
         let l = &self.latency;
         let mut kv: Vec<(String, String)> = vec![
@@ -556,6 +563,8 @@ mod tests {
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
         // And host profiling: it measures wall-clock, not simulated time.
         b.profile = true;
+        assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+        b.critpath = true;
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
         // Anything that changes results must change the fingerprint.
         for (i, mutate) in [

@@ -17,6 +17,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 
 use crate::attrib::{word_mask, MissCause, CAUSE_OTHER};
 use crate::config::{BarrierImpl, LockImpl, MachineConfig};
+use crate::critpath::{CritCollector, Dep, WaitKind};
 use crate::error::SimError;
 use crate::live::{LiveDelta, LIVE};
 use crate::memsys::{AccessClass, AccessKind, MemorySystem, Outcome};
@@ -78,6 +79,9 @@ pub(crate) struct Engine {
     /// Happens-before sanitizer, when `cfg.sanitize.enabled` is set.
     /// Purely observational: it is never consulted for timing.
     sanitizer: Option<Box<Sanitizer>>,
+    /// Critical-path collector, when `cfg.critpath` is set. Purely
+    /// observational, like the sanitizer: never consulted for timing.
+    critpath: Option<Box<CritCollector>>,
     /// Buffered deltas for the process-wide live counters
     /// ([`crate::live::LIVE`]); write-only from the engine's side.
     live: LiveDelta,
@@ -94,6 +98,7 @@ impl Engine {
         profiler: Profiler,
         tracer: TraceBuffer,
         sanitizer: Option<Box<Sanitizer>>,
+        critpath: Option<Box<CritCollector>>,
     ) -> Self {
         let n = cfg.nprocs;
         let nlocks = sync.locks.len();
@@ -123,6 +128,7 @@ impl Engine {
             phase_acc: (0..n).map(|_| vec![PhaseBreakdown::default()]).collect(),
             lock_hold_start: vec![0; nlocks],
             sanitizer,
+            critpath,
             live: LiveDelta::default(),
         }
     }
@@ -233,6 +239,7 @@ impl Engine {
         LIVE.runs_finished.fetch_add(1, Relaxed);
         let phase_names = std::mem::take(&mut self.phase_names);
         let sanitize = self.sanitizer.take().map(|s| s.finalize(&phase_names));
+        let critpath = self.critpath.take().map(|c| c.finalize(wall, &phase_names));
         let phases: Vec<PhaseStats> = phase_names
             .iter()
             .enumerate()
@@ -255,6 +262,7 @@ impl Engine {
             phases,
             procs: self.procs.into_iter().map(|p| p.stats).collect(),
             sanitize,
+            critpath,
         })
     }
 
@@ -307,6 +315,9 @@ impl Engine {
         rt.clock += ns;
         self.slice(p, ph).busy_ns += ns;
         self.tracer.span(p, ph, SpanKind::Busy, t0, ns);
+        if let Some(cp) = self.critpath.as_deref_mut() {
+            cp.busy(p, ns);
+        }
     }
 
     /// Charges `ns` of synchronization-operation overhead to `p`,
@@ -321,6 +332,9 @@ impl Engine {
         rt.clock += ns;
         self.slice(p, ph).sync_op_ns += ns;
         self.tracer.span(p, ph, SpanKind::SyncOp, t0, ns);
+        if let Some(cp) = self.critpath.as_deref_mut() {
+            cp.sync_op(p, ns);
+        }
     }
 
     /// Charges the wait interval `[from, until]` to `p` (the caller moves
@@ -423,6 +437,9 @@ impl Engine {
             if o.late_prefetch {
                 self.tracer.instant(p, t0, InstantKind::LatePrefetch, 0);
             }
+        }
+        if let Some(cp) = self.critpath.as_deref_mut() {
+            cp.mem(p, o.home_local, cause_slot, o.latency, &o.breakdown);
         }
     }
 
@@ -534,6 +551,10 @@ impl Engine {
                 if let Some(s) = self.sanitizer.as_deref_mut() {
                     s.set_phase(p, id);
                 }
+                let clk = self.procs[p].clock;
+                if let Some(cp) = self.critpath.as_deref_mut() {
+                    cp.set_phase(p, id, clk);
+                }
                 self.reply(p, 0);
             }
             Request::Finish { busy, ops, san } => {
@@ -600,6 +621,14 @@ impl Engine {
                         s.lock_acquire(w, id);
                     }
                     let grant_t = release_t.max(arrived);
+                    if grant_t > arrived {
+                        // The waiter was delayed by this release: record the
+                        // release→acquire dependency edge.
+                        if let Some(cp) = self.critpath.as_deref_mut() {
+                            let rel = cp.boundary(p, release_t);
+                            cp.wait(w, arrived, grant_t, WaitKind::Lock, Dep::One(p, rel));
+                        }
+                    }
                     // Hand off: the new holder pulls the lock line over.
                     let handoff = self.rmw_cost(w, addr, grant_t);
                     self.charge_sync_wait(w, arrived, grant_t);
@@ -637,6 +666,21 @@ impl Engine {
                     let release_t = arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t);
                     let first_t = arrivals.iter().map(|&(_, a)| a).min().unwrap_or(t);
                     arrivals.sort_unstable();
+                    if let Some(cp) = self.critpath.as_deref_mut() {
+                        // One episode over *all* arrivals (the what-if
+                        // replay re-evaluates which is latest), then a wait
+                        // edge for every processor the release delayed.
+                        let deps: Vec<(usize, u32, Ns)> = arrivals
+                            .iter()
+                            .map(|&(w, a)| (w, cp.boundary(w, a), a))
+                            .collect();
+                        let e = cp.add_episode(deps);
+                        for &(w, arrived) in &arrivals {
+                            if release_t > arrived {
+                                cp.wait(w, arrived, release_t, WaitKind::Barrier, Dep::Episode(e));
+                            }
+                        }
+                    }
                     for (w, arrived) in arrivals {
                         let wake_cost = match self.cfg.barrier_impl {
                             BarrierImpl::TournamentLlsc => {
@@ -726,11 +770,27 @@ impl Engine {
                 self.procs[p].stats.atomics += 1;
                 self.charge_sync_op(p, cost);
                 let t = self.procs[p].clock;
+                let mut post_boundary = None;
                 for (w, arrived) in self.sync.sems[id].post(n) {
                     if let Some(s) = self.sanitizer.as_deref_mut() {
                         s.sem_acquire(w, id);
                     }
                     let grant_t = t.max(arrived);
+                    if grant_t > arrived {
+                        // This post unblocked `w`: record the post→wait
+                        // dependency edge (one boundary per post).
+                        if let Some(cp) = self.critpath.as_deref_mut() {
+                            let rel = match post_boundary {
+                                Some(r) => r,
+                                None => {
+                                    let r = cp.boundary(p, t);
+                                    post_boundary = Some(r);
+                                    r
+                                }
+                            };
+                            cp.wait(w, arrived, grant_t, WaitKind::Sem, Dep::One(p, rel));
+                        }
+                    }
                     let wake = self.mem.access(w, addr, AccessKind::Read, grant_t).latency;
                     self.charge_sync_wait(w, arrived, grant_t);
                     self.procs[w].clock = grant_t;

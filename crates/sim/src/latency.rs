@@ -187,7 +187,7 @@ impl LatencyProfile {
     }
 
     /// A mid-1990s shared-virtual-memory (SVM) cluster of workstations,
-    /// as in the paper's §5.2 performance-portability comparison [6]:
+    /// as in the paper's §5.2 performance-portability comparison \[6\]:
     /// coherence is managed by *software* page-fault handlers over a
     /// commodity network, so "misses" cost tens of microseconds and
     /// synchronization (which triggers protocol messages) is enormously

@@ -34,6 +34,9 @@
 //! * **Host profiling** — a near-zero-overhead scoped span profiler over
 //!   the engine's *host* (wall-clock) time ([`prof`]), behind the
 //!   observer-passive `profile` configuration knob.
+//! * **Critical path** — happens-before critical-path extraction with
+//!   exact per-phase attribution and what-if speedup projection
+//!   ([`critpath`]), behind the observer-passive `critpath` knob.
 //!
 //! Applications are ordinary Rust closures run on one OS thread per
 //! simulated processor; they compute *real, verifiable results* on data in
@@ -88,8 +91,10 @@ pub const MODEL_FINGERPRINT: &str = "ccnuma-sim-model-r2";
 
 pub mod attrib;
 pub mod cache;
+pub mod chrome;
 pub mod config;
 pub mod contend;
+pub mod critpath;
 pub mod ctx;
 pub mod directory;
 pub mod error;
@@ -119,6 +124,7 @@ pub mod prelude {
         BarrierImpl, CacheConfig, CostModel, LockImpl, MachineConfig, MigrationConfig,
         PagePlacement,
     };
+    pub use crate::critpath::{CritBuckets, CritReport};
     pub use crate::ctx::Ctx;
     pub use crate::error::SimError;
     pub use crate::latency::LatencyProfile;

@@ -1,6 +1,6 @@
 //! Live machine counters: process-wide cumulative activity totals.
 //!
-//! Every [`Engine`](crate::engine) in the process folds its activity into
+//! Every engine in the process folds its activity into
 //! one set of global atomic counters — engine events processed, accesses,
 //! hits, misses by [`MissCause`](crate::attrib::MissCause), and the exact
 //! per-[`ResourceClass`](crate::attrib::ResourceClass) service/queueing
@@ -10,9 +10,9 @@
 //! per-class occupancy and queue depth.
 //!
 //! The counters are **observer-passive by construction**: the engine only
-//! ever *writes* them (relaxed, batched through [`LiveDelta`] so the hot
+//! ever *writes* them (relaxed, batched through `LiveDelta` so the hot
 //! path pays one branch per event and a handful of atomic adds every
-//! [`FLUSH_EVERY`] events), and no simulation decision ever reads them
+//! `FLUSH_EVERY` events), and no simulation decision ever reads them
 //! back. Enabling or disabling an observer therefore cannot change a
 //! single simulated nanosecond — the bit-identical pin lives in
 //! `crates/bench/tests/telemetry_live.rs`.

@@ -313,6 +313,9 @@ impl Machine {
         } else {
             None
         };
+        let critpath = cfg
+            .critpath
+            .then(|| Box::new(crate::critpath::CritCollector::new(cfg.nprocs)));
         let (req_tx, req_rx) = channel();
         let mut reply_txs = Vec::with_capacity(cfg.nprocs);
         let body = Arc::new(body);
@@ -366,6 +369,7 @@ impl Machine {
             profiler,
             tracer,
             sanitizer,
+            critpath,
         );
         let result = engine.run();
         // Unblock any still-parked threads so join cannot hang: dropping

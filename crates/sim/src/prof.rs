@@ -7,7 +7,7 @@
 //! path), thread-local (no atomics or locks per span), and cost two
 //! monotonic clock reads each; with profiling disabled a span is a
 //! single thread-local flag check. Regions that fire per cache-line
-//! transaction are duration-sampled ([`SAMPLE_SHIFT`]) so the clock
+//! transaction are duration-sampled (`SAMPLE_SHIFT`) so the clock
 //! reads never outweigh the work being measured — call counts stay
 //! exact, durations become scaled 1-in-2^k estimates.
 //!
@@ -24,6 +24,7 @@
 //! same passivity contract tracing and sanitizing obey, pinned by a
 //! test in the bench crate.
 
+use crate::chrome::{us, ChromeDoc};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,7 +64,7 @@ pub enum Region {
     MemsysService = 1,
     /// The directory transaction of a miss or upgrade (nested inside
     /// [`Region::MemsysService`]). Fires per cache-line transaction, so
-    /// it is *sampled* (see [`SAMPLE_SHIFT`]): calls are exact, times
+    /// it is *sampled* (see `SAMPLE_SHIFT`): calls are exact, times
     /// are 1-in-64 estimates scaled back up.
     Directory = 2,
     /// Event-trace capture (gauge sampling epochs).
@@ -498,15 +499,6 @@ pub fn cumulative() -> ([u64; N_REGIONS], [u64; N_REGIONS]) {
     )
 }
 
-/// Nanoseconds → microseconds with fractional part, as Chrome expects.
-fn us(ns: u64) -> String {
-    if ns.is_multiple_of(1000) {
-        format!("{}", ns / 1000)
-    } else {
-        format!("{}.{:03}", ns / 1000, ns % 1000)
-    }
-}
-
 /// A node of the reconstructed call tree.
 struct TreeNode {
     region: Region,
@@ -623,26 +615,21 @@ impl HostProfile {
     /// aggregate durations laid out on a synthetic timeline, children
     /// packed from their parent's start.
     pub fn chrome_trace(&self) -> String {
-        let mut out = String::with_capacity(1 << 12);
-        out.push_str("{\"traceEvents\":[");
-        out.push_str(
-            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
-             \"args\":{\"name\":\"host profile (aggregate)\"}}",
-        );
+        let mut doc = ChromeDoc::new();
+        doc.process_name(0, "host profile (aggregate)");
         let roots = build_tree(&self.paths, &mut Vec::new());
         let mut cursor = 0u64;
         for root in &roots {
-            emit_chrome(root, cursor, &mut out);
+            emit_chrome(root, cursor, &mut doc);
             cursor += root.total_ns();
         }
-        out.push_str("],\"displayTimeUnit\":\"ns\"}");
-        out
+        doc.finish()
     }
 }
 
-fn emit_chrome(node: &TreeNode, start: u64, out: &mut String) {
-    out.push_str(&format!(
-        ",{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0,\
+fn emit_chrome(node: &TreeNode, start: u64, doc: &mut ChromeDoc) {
+    doc.event(&format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0,\
          \"args\":{{\"calls\":{},\"self_ns\":{}}}}}",
         node.region.name(),
         us(start),
@@ -652,7 +639,7 @@ fn emit_chrome(node: &TreeNode, start: u64, out: &mut String) {
     ));
     let mut cursor = start;
     for c in &node.children {
-        emit_chrome(c, cursor, out);
+        emit_chrome(c, cursor, doc);
         cursor += c.total_ns();
     }
 }

@@ -179,7 +179,7 @@ impl PhaseBreakdown {
 }
 
 /// Per-processor time breakdown for one named application phase
-/// (demarcated with [`SimCtx::phase`](crate::ctx::SimCtx::phase)).
+/// (demarcated with [`Ctx::phase`](crate::ctx::Ctx::phase)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseStats {
     /// Phase name; time before the first marker lands in `"main"`.
@@ -254,6 +254,10 @@ pub struct RunStats {
     /// enabled. Purely observational: two runs differing only in this
     /// field had identical simulated timing.
     pub sanitize: Option<crate::sanitize::SanitizeReport>,
+    /// Critical-path analysis, when `cfg.critpath` was enabled. Purely
+    /// observational, like `sanitize`: two runs differing only in this
+    /// field had identical simulated timing.
+    pub critpath: Option<crate::critpath::CritReport>,
 }
 
 impl RunStats {
@@ -373,6 +377,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            critpath: None,
         };
         let (b, m, s) = rs.avg_breakdown_pct();
         assert_eq!((b, m, s), (50.0, 0.0, 50.0));
@@ -398,6 +403,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            critpath: None,
         };
         assert_eq!(rs.total(|p| p.reads), 7);
     }
@@ -421,6 +427,7 @@ mod tests {
             phases: vec![ph("main", 10), ph("solve", 90)],
             trace: None,
             sanitize: None,
+            critpath: None,
         };
         assert_eq!(rs.phase("solve").unwrap().total().busy_ns, 90);
         assert_eq!(rs.phase("main").unwrap().procs.len(), 1);
@@ -448,6 +455,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            critpath: None,
         };
         assert_eq!(rs.cause_counts(), [6, 12, 8, 10, 4]);
         assert_eq!(rs.cause_counts().iter().sum::<u64>(), 2 * (3 + 10 + 7));
@@ -474,6 +482,7 @@ mod tests {
             phases: Vec::new(),
             trace: None,
             sanitize: None,
+            critpath: None,
         };
         assert_eq!(rs.mem_breakdown().total(), rs.total(|p| p.mem_ns));
         assert_eq!(rs.mem_breakdown().queue_total(), 120);
@@ -489,6 +498,7 @@ mod tests {
                 phases: Vec::new(),
                 trace: None,
                 sanitize: None,
+                critpath: None,
             }
             .avg_miss_hops(),
             0.0

@@ -19,6 +19,7 @@
 //! The result is a [`Trace`], exportable as Chrome trace-event JSON
 //! (loadable in Perfetto or `chrome://tracing`).
 
+use crate::chrome::{json_str, us, ChromeDoc};
 use crate::contend::ResourceTotals;
 use crate::time::Ns;
 
@@ -543,12 +544,12 @@ impl Trace {
     /// Serializes the trace as Chrome trace-event JSON (object form),
     /// loadable in Perfetto or `chrome://tracing`.
     pub fn to_chrome_json(&self, label: &str) -> String {
-        let mut out = String::with_capacity(1 << 16);
-        out.push_str("{\"traceEvents\":[");
-        let mut first = true;
-        self.write_chrome_events(0, label, &mut first, &mut out);
-        out.push_str("],\"displayTimeUnit\":\"ns\"}");
-        out
+        let mut doc = ChromeDoc::new();
+        {
+            let (first, out) = doc.parts();
+            self.write_chrome_events(0, label, first, out);
+        }
+        doc.finish()
     }
 
     /// Appends this trace's events (as process `pid`) to a merged event
@@ -653,42 +654,14 @@ impl Trace {
 /// Bundles several labelled traces into one Chrome trace file, one trace
 /// per process row.
 pub fn chrome_trace_file(traces: &[(String, &Trace)]) -> String {
-    let mut out = String::with_capacity(1 << 16);
-    out.push_str("{\"traceEvents\":[");
-    let mut first = true;
-    for (pid, (label, trace)) in traces.iter().enumerate() {
-        trace.write_chrome_events(pid as u32, label, &mut first, &mut out);
-    }
-    out.push_str("],\"displayTimeUnit\":\"ns\"}");
-    out
-}
-
-/// Nanoseconds → microseconds with fractional part, as Chrome expects.
-fn us(ns: Ns) -> String {
-    if ns.is_multiple_of(1000) {
-        format!("{}", ns / 1000)
-    } else {
-        format!("{}.{:03}", ns / 1000, ns % 1000)
-    }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    let mut doc = ChromeDoc::new();
+    {
+        let (first, out) = doc.parts();
+        for (pid, (label, trace)) in traces.iter().enumerate() {
+            trace.write_chrome_events(pid as u32, label, first, out);
         }
     }
-    out.push('"');
-    out
+    doc.finish()
 }
 
 /// Shape of the per-resource cumulative busy totals the engine samples.
@@ -880,6 +853,8 @@ mod tests {
 
     #[test]
     fn us_formats_exact_and_fractional() {
+        // `us` lives in the shared chrome module now; this pins the
+        // re-exported behavior the trace emitter depends on.
         assert_eq!(us(0), "0");
         assert_eq!(us(2000), "2");
         assert_eq!(us(2050), "2.050");

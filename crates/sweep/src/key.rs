@@ -38,15 +38,19 @@ pub struct RunKey {
     /// Whether happens-before sanitizing was enabled (it adds finding
     /// counts to the stored record, so it is part of the identity).
     pub sanitize: bool,
+    /// Whether critical-path profiling was enabled (it adds a path
+    /// summary to the stored record, so it is part of the identity).
+    pub critpath: bool,
 }
 
 impl RunKey {
     /// The key's fields as `(name, value)` pairs, in declaration order.
     /// [`RunKey::hash_hex`] sorts them, so this order is cosmetic.
     ///
-    /// `sanitize` is included only when set: a `false` value hashes to
-    /// the exact key the field's introduction found on disk, so stores
-    /// written before sanitizing existed stay valid.
+    /// `sanitize` and `critpath` are included only when set: a `false`
+    /// value hashes to the exact key each field's introduction found on
+    /// disk, so stores written before these observers existed stay
+    /// valid.
     pub fn fields(&self) -> Vec<(String, String)> {
         let mut fields = vec![
             ("app".into(), self.app.clone()),
@@ -60,6 +64,9 @@ impl RunKey {
         ];
         if self.sanitize {
             fields.push(("sanitize".into(), "true".into()));
+        }
+        if self.critpath {
+            fields.push(("critpath".into(), "true".into()));
         }
         fields
     }

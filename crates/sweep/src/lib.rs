@@ -17,7 +17,7 @@
 //!   into concrete cells;
 //! - [`key`] — content-addressed run identity ([`RunKey`](key::RunKey));
 //! - [`run`] — per-cell execution with panic isolation, timeout, and
-//!   retry ([`Executor`](run::Executor));
+//!   retry ([`Executor`]);
 //! - [`store`] — the append-only JSONL result store;
 //! - [`pool`] — the work-stealing scheduler;
 //! - [`sweep`] — the driver tying them together.
@@ -117,6 +117,11 @@ pub struct SweepOutcome {
     /// with sanitizing enabled, sorted by label (cached cells only
     /// carry their counts, inside [`CellRecord::sanitize`]).
     pub sanitizes: Vec<(String, ccnuma_sim::sanitize::SanitizeReport)>,
+    /// Full critical-path reports of the cells *executed this
+    /// invocation* with critical-path profiling enabled, sorted by label
+    /// (cached cells only carry their summary triple, inside
+    /// [`CellRecord::critpath`]).
+    pub critpaths: Vec<(String, ccnuma_sim::critpath::CritReport)>,
     /// Lines dropped while loading the store (torn or foreign).
     pub dropped_lines: usize,
     /// Work-stealing batches performed by the pool.
@@ -188,6 +193,7 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
     let io_errors: Mutex<Vec<std::io::Error>> = Mutex::new(Vec::new());
     let sanitizes: Mutex<Vec<(String, ccnuma_sim::sanitize::SanitizeReport)>> =
         Mutex::new(Vec::new());
+    let critpaths: Mutex<Vec<(String, ccnuma_sim::critpath::CritReport)>> = Mutex::new(Vec::new());
     let gauges: Mutex<Vec<(String, Vec<ccnuma_sim::trace::GaugeSample>)>> = Mutex::new(Vec::new());
 
     let (ran, metrics) = pool::run(&pending, cfg.jobs, |spec| {
@@ -219,6 +225,15 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
                 sanitizes
                     .lock()
                     .expect("sanitize list poisoned")
+                    .push((spec.label(), rep.clone()));
+            }
+            if let Some(rep) = &stats.critpath {
+                if let Some(dir) = &cfg.trace_dir {
+                    sink(write_critpath_trace(dir, spec, rep));
+                }
+                critpaths
+                    .lock()
+                    .expect("critpath list poisoned")
                     .push((spec.label(), rep.clone()));
             }
         }
@@ -267,6 +282,8 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
     // outcome is identical for any `--jobs` value.
     let mut sanitizes = sanitizes.into_inner().expect("sanitize list poisoned");
     sanitizes.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut critpaths = critpaths.into_inner().expect("critpath list poisoned");
+    critpaths.sort_by(|a, b| a.0.cmp(&b.0));
     let mut gauges = gauges.into_inner().expect("gauge list poisoned");
     gauges.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(SweepOutcome {
@@ -275,6 +292,7 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
         quarantined,
         records,
         sanitizes,
+        critpaths,
         dropped_lines: store.dropped_lines,
         steals: metrics.steals,
         gauges,
@@ -311,5 +329,17 @@ fn write_trace(
     let label = spec.label();
     let json = ccnuma_sim::trace::chrome_trace_file(&[(label.clone(), trace)]);
     let mut f = std::fs::File::create(dir.join(format!("{}.trace.json", safe_name(&label))))?;
+    f.write_all(json.as_bytes())
+}
+
+fn write_critpath_trace(
+    dir: &Path,
+    spec: &CellSpec,
+    rep: &ccnuma_sim::critpath::CritReport,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let label = spec.label();
+    let json = rep.to_chrome_json(&label);
+    let mut f = std::fs::File::create(dir.join(format!("{}.critpath.json", safe_name(&label))))?;
     f.write_all(json.as_bytes())
 }

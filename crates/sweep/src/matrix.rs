@@ -64,6 +64,9 @@ pub struct MatrixSpec {
     /// Run the happens-before sanitizer over every cell and carry its
     /// finding counts through the stored records.
     pub sanitize: bool,
+    /// Run the critical-path profiler over every cell and carry its
+    /// path summary through the stored records.
+    pub critpath: bool,
 }
 
 impl Default for MatrixSpec {
@@ -77,6 +80,7 @@ impl Default for MatrixSpec {
             attrib: false,
             trace: false,
             sanitize: false,
+            critpath: false,
         }
     }
 }
@@ -173,6 +177,7 @@ impl MatrixSpec {
                 "attrib" => spec.attrib = parse_bool(v)?,
                 "trace" => spec.trace = parse_bool(v)?,
                 "sanitize" => spec.sanitize = parse_bool(v)?,
+                "critpath" => spec.critpath = parse_bool(v)?,
                 other => return Err(format!("unknown matrix key {other:?}")),
             }
         }
@@ -224,6 +229,7 @@ impl MatrixSpec {
                                 attrib: self.attrib,
                                 trace: self.trace,
                                 sanitize: self.sanitize,
+                                critpath: self.critpath,
                             });
                         }
                     }
@@ -241,6 +247,7 @@ impl MatrixSpec {
                                 attrib: self.attrib,
                                 trace: self.trace,
                                 sanitize: self.sanitize,
+                                critpath: self.critpath,
                             });
                         }
                     }
@@ -273,6 +280,8 @@ pub struct CellSpec {
     pub trace: bool,
     /// Race-check the run's event stream.
     pub sanitize: bool,
+    /// Profile the run's critical path.
+    pub critpath: bool,
 }
 
 impl CellSpec {
@@ -309,6 +318,7 @@ impl CellSpec {
         let mut cfg = MachineConfig::origin2000_scaled(self.nprocs, self.scale.cache_bytes());
         cfg.classify_misses = self.attrib;
         cfg.sanitize.enabled = self.sanitize;
+        cfg.critpath = self.critpath;
         if self.trace {
             cfg.trace = ccnuma_sim::trace::TraceConfig::on();
         }
@@ -335,6 +345,7 @@ impl CellSpec {
             sim: ccnuma_sim::MODEL_FINGERPRINT.to_string(),
             attrib: self.attrib,
             sanitize: self.sanitize,
+            critpath: self.critpath,
         }
     }
 }
@@ -421,6 +432,7 @@ mod tests {
                 attrib,
                 trace: false,
                 sanitize: false,
+                critpath: false,
             }
             .key()
             .hash_hex()
@@ -439,6 +451,7 @@ mod tests {
             attrib: false,
             trace: false,
             sanitize,
+            critpath: false,
         };
         assert_ne!(mk(false).key().hash_hex(), mk(true).key().hash_hex());
         assert!(mk(true).machine().sanitize.enabled);
@@ -446,6 +459,27 @@ mod tests {
         let spec = MatrixSpec::parse("apps=fft versions=orig procs=2 sanitize=on").unwrap();
         assert!(spec.sanitize);
         assert!(spec.cells().iter().all(|c| c.sanitize));
+    }
+
+    #[test]
+    fn critpath_changes_the_run_key_and_machine() {
+        let mk = |critpath| CellSpec {
+            app: "fft".into(),
+            version: "orig".into(),
+            size: None,
+            nprocs: 4,
+            scale: Scale::Quick,
+            attrib: false,
+            trace: false,
+            sanitize: false,
+            critpath,
+        };
+        assert_ne!(mk(false).key().hash_hex(), mk(true).key().hash_hex());
+        assert!(mk(true).machine().critpath);
+        assert!(!mk(false).machine().critpath);
+        let spec = MatrixSpec::parse("apps=fft versions=orig procs=2 critpath=on").unwrap();
+        assert!(spec.critpath);
+        assert!(spec.cells().iter().all(|c| c.critpath));
     }
 
     #[test]
@@ -460,6 +494,7 @@ mod tests {
                 attrib: false,
                 trace,
                 sanitize: false,
+                critpath: false,
             }
             .key()
             .hash_hex()

@@ -117,6 +117,7 @@ impl Executor {
             events: 0,
             causes: [0; 5],
             sanitize: None,
+            critpath: None,
             error: None,
         };
         emit(
@@ -299,6 +300,7 @@ mod tests {
             attrib: false,
             trace: false,
             sanitize: false,
+            critpath: false,
         }
     }
 

@@ -104,6 +104,10 @@ pub struct CellRecord {
     /// Sanitizer finding counts `[races, lock_cycles, lints]`; `None`
     /// unless the cell ran with sanitizing enabled.
     pub sanitize: Option<[u64; 3]>,
+    /// Critical-path summary `[busy_ns, mem_ns, sync_ns]` (the on-path
+    /// triple, summing to `wall_ns`); `None` unless the cell ran with
+    /// critical-path profiling enabled.
+    pub critpath: Option<[u64; 3]>,
     /// Failure description for quarantined cells.
     pub error: Option<String>,
 }
@@ -151,6 +155,7 @@ impl CellRecord {
         self.events = stats.events;
         self.causes = stats.cause_counts();
         self.sanitize = stats.sanitize.as_ref().map(|r| r.counts());
+        self.critpath = stats.critpath.as_ref().map(|r| r.summary());
     }
 
     /// Serializes the record as one JSON line (no trailing newline).
@@ -186,6 +191,9 @@ impl CellRecord {
         );
         if let Some([r, c, l]) = self.sanitize {
             s.push_str(&format!(", \"sanitize\": [{r}, {c}, {l}]"));
+        }
+        if let Some([b, m, y]) = self.critpath {
+            s.push_str(&format!(", \"critpath\": [{b}, {m}, {y}]"));
         }
         if let Some(e) = &self.error {
             s.push_str(&format!(", \"error\": \"{}\"", esc(e)));
@@ -287,6 +295,27 @@ impl CellRecord {
                 Some(counts)
             }
         };
+        let critpath = match line.find("\"critpath\": [") {
+            None => None,
+            Some(pos) => {
+                let cstart = pos + "\"critpath\": [".len();
+                let cend = line[cstart..]
+                    .find(']')
+                    .ok_or_else(|| "unterminated critpath".to_string())?;
+                let parts: Vec<&str> = line[cstart..cstart + cend].split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!("expected 3 critpath times, got {}", parts.len()));
+                }
+                let mut times = [0u64; 3];
+                for (slot, p) in times.iter_mut().zip(parts) {
+                    *slot = p
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad critpath time {p:?}"))?;
+                }
+                Some(times)
+            }
+        };
         Ok(CellRecord {
             key: str_field(line, "key")?,
             label: str_field(line, "label")?,
@@ -308,6 +337,7 @@ impl CellRecord {
             events: num_field(line, "events").unwrap_or(0),
             causes,
             sanitize,
+            critpath,
             error: str_field(line, "error").ok(),
         })
     }
@@ -471,6 +501,11 @@ mod tests {
             causes: [10, 9, 8, 7, 8],
             sanitize: if status == CellStatus::Ok {
                 Some([2, 0, 1])
+            } else {
+                None
+            },
+            critpath: if status == CellStatus::Ok {
+                Some([600, 250, 150])
             } else {
                 None
             },

@@ -32,6 +32,7 @@ fn golden_run_key_hash_is_pinned() {
         sim: "ccnuma-sim-model-r2".into(),
         attrib: false,
         sanitize: false,
+        critpath: false,
     };
     assert_eq!(key.hash_hex(), "ddc0dcc6b56be4f7");
 
@@ -42,6 +43,15 @@ fn golden_run_key_hash_is_pinned() {
         ..key.clone()
     };
     assert_ne!(sanitized.hash_hex(), key.hash_hex());
+
+    // Critical-path profiling follows the same rule: part of the
+    // identity only when on, so pre-critpath stores stay valid.
+    let profiled = RunKey {
+        critpath: true,
+        ..key.clone()
+    };
+    assert_ne!(profiled.hash_hex(), key.hash_hex());
+    assert_ne!(profiled.hash_hex(), sanitized.hash_hex());
 
     // And the hash is a function of the field *set*, not field order:
     // hashing the reversed field list gives the same digest.
@@ -283,6 +293,49 @@ fn sanitize_outcome_is_identical_across_job_counts() {
         serial.records.iter().all(|r| r.sanitize.is_some()),
         "every cell carries counts"
     );
+}
+
+#[test]
+fn critpath_outcome_is_identical_across_job_counts() {
+    // The critical-path collector consumes the engine's deterministic
+    // event stream, so its output must not depend on scheduling either:
+    // `--jobs 1` and `--jobs 3` agree bit-for-bit, reports included.
+    let matrix = MatrixSpec::parse("apps=fft,radix versions=orig procs=2,4 critpath=on").unwrap();
+    let run = |name: &str, jobs: usize| {
+        sweep(
+            &matrix,
+            &SweepConfig {
+                jobs,
+                store_path: temp_store(name),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let serial = run("cp-jobs1", 1);
+    let parallel = run("cp-jobs3", 3);
+    assert_eq!(serial.executed, 4);
+    let strip_host = |recs: &[ccnuma_sweep::store::CellRecord]| {
+        recs.iter()
+            .cloned()
+            .map(|mut r| {
+                r.host_ms = 0;
+                r
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip_host(&serial.records), strip_host(&parallel.records));
+    assert_eq!(serial.critpaths, parallel.critpaths, "full reports agree");
+    assert_eq!(serial.critpaths.len(), 4);
+    for r in &serial.records {
+        let [busy, mem, sync] = r.critpath.expect("every cell carries a path summary");
+        assert_eq!(
+            busy + mem + sync,
+            r.wall_ns,
+            "{}: path sums to wall",
+            r.label
+        );
+    }
 }
 
 #[test]
