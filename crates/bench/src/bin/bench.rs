@@ -108,6 +108,34 @@
 //!                     instead of the dashboard (same shape as the
 //!                     --live-log JSONL and /snapshot body)
 //!
+//! bench serve [--addr <host:port>] [--store <file>] [--jobs <n>]
+//!             [--idle-timeout-s <s>] [--retries <n>] [--timeout-s <s>]
+//!             [--epoch-ms <n>]
+//!
+//! serve               run the sweep daemon: a long-lived server that
+//!                     accepts matrix submissions from many clients over
+//!                     HTTP, deduplicates cells against one shared
+//!                     content-addressed store, and streams per-job
+//!                     progress over SSE. Routes: POST /sweep (matrix
+//!                     DSL body), GET /jobs/<id>, GET /jobs/<id>/events,
+//!                     GET /cell/<key>, GET /healthz /metrics /snapshot,
+//!                     POST /shutdown. `bench top --addr` works against
+//!                     it directly
+//! --addr <host:port>  listen address (default 127.0.0.1:9900)
+//! --store <file>      shared JSONL result store (default
+//!                     sweepd_store.jsonl); resumed on restart
+//! --jobs <n>          simulation worker threads (default 1)
+//! --idle-timeout-s <s> shut down after <s> seconds with no requests
+//!                     and no running work
+//! --retries / --timeout-s   per-cell run options, as for sweep
+//! --epoch-ms <n>      telemetry sampling period (default 250)
+//!
+//! bench submit --server <host:port> [key=value ...] [--wait] [--poll-ms <n>]
+//!
+//! submit              submit a matrix to a running daemon; with --wait,
+//!                     poll until every cell has a record and print the
+//!                     per-cell table (exit 1 if any cell quarantined)
+//!
 //! bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]
 //!                [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]
 //!
@@ -156,6 +184,12 @@ fn usage(code: i32) -> ! {
          \x20                  [--live <addr>] [--live-log <file>] [--epoch-ms <n>]"
     );
     eprintln!(
+        "       bench serve [--addr <host:port>] [--store <file>] [--jobs <n>]\n\
+         \x20                  [--idle-timeout-s <s>] [--retries <n>] [--timeout-s <s>]\n\
+         \x20                  [--epoch-ms <n>]"
+    );
+    eprintln!("       bench submit --server <host:port> [key=value ...] [--wait] [--poll-ms <n>]");
+    eprintln!(
         "       bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]\n\
          \x20                  [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]"
     );
@@ -178,6 +212,8 @@ fn main() {
         Some("critpath") => cmd_critpath(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("sanitize") => cmd_sanitize(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("--help" | "-h") => usage(0),
@@ -711,6 +747,36 @@ fn cmd_sweep(args: &[String]) -> ! {
         std::process::exit(2);
     }
     std::process::exit(0);
+}
+
+/// `bench serve`: run the sweep daemon until shutdown.
+fn cmd_serve(args: &[String]) -> ! {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage(0);
+    }
+    let opts = match study_bench::daemon::ServeOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage(2);
+        }
+    };
+    std::process::exit(study_bench::daemon::serve(opts));
+}
+
+/// `bench submit`: submit a matrix to a running daemon.
+fn cmd_submit(args: &[String]) -> ! {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage(0);
+    }
+    let opts = match study_bench::daemon::SubmitOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage(2);
+        }
+    };
+    std::process::exit(study_bench::daemon::submit(opts));
 }
 
 /// `bench top`: render the live dashboard from a `/snapshot` endpoint

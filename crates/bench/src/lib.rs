@@ -9,10 +9,13 @@
 //! streaming observer into sweeps (`bench sweep --live`, `bench top`).
 //! [`perf`] is the host-throughput harness behind `bench perf`
 //! (`bench perf --check` gates CI on `BENCH_engine.json`).
+//! [`daemon`] is the sweep-as-a-service front end (`bench serve` runs a
+//! `ccnuma-sweepd` daemon, `bench submit` is its client).
 
 #![warn(missing_docs)]
 
 pub mod critpath;
+pub mod daemon;
 pub mod figures;
 pub mod live;
 pub mod perf;

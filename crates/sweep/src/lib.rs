@@ -170,7 +170,7 @@ pub fn sweep(matrix: &MatrixSpec, cfg: &SweepConfig) -> std::io::Result<SweepOut
                         host_ms: 0,
                     },
                 );
-                cached[i] = Some(rec.clone());
+                cached[i] = Some(rec);
             }
             None => {
                 if pending_keys.insert(&keys[i]) {

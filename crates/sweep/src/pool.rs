@@ -165,8 +165,10 @@ where
 }
 
 /// Pops from worker `w`'s own deque, or steals the back half of the
-/// currently fullest other deque.
-fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64) -> Option<usize> {
+/// currently fullest other deque. Generic over the item so the batch
+/// pool (index tasks) and the persistent [`TaskQueue`] (boxed closures)
+/// share one stealing discipline.
+fn pop_or_steal<T>(queues: &[Mutex<VecDeque<T>>], w: usize, steals: &AtomicU64) -> Option<T> {
     if let Some(i) = queues[w].lock().expect("queue lock poisoned").pop_front() {
         return Some(i);
     }
@@ -188,7 +190,7 @@ fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64)
     // Owner keeps the front half; a lone item is taken whole so it can't
     // sit unexecuted behind a busy owner.
     let keep = vq.len() / 2;
-    let mut stolen: VecDeque<usize> = vq.split_off(keep);
+    let mut stolen: VecDeque<T> = vq.split_off(keep);
     drop(vq);
     let first = stolen.pop_front();
     if first.is_some() {
@@ -201,6 +203,176 @@ fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize, steals: &AtomicU64)
         }
     }
     first
+}
+
+/// A unit of work for the persistent [`TaskQueue`].
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueInner {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Sleep gate: workers with nothing to pop or steal wait here;
+    /// every push notifies. Pushes mutate `queued` *under* the gate so
+    /// a worker cannot check-then-sleep across a concurrent push.
+    gate: Mutex<()>,
+    wake: std::sync::Condvar,
+    stop: std::sync::atomic::AtomicBool,
+    queued: AtomicUsize,
+    running: AtomicUsize,
+    panics: AtomicU64,
+    next: AtomicUsize,
+    steals: AtomicU64,
+}
+
+/// A long-lived work-stealing pool for a server: unlike [`run`], which
+/// fans out one fixed batch and joins, tasks arrive continuously
+/// ([`TaskQueue::push`]) and workers live until [`TaskQueue::shutdown`].
+/// Distribution is round-robin across per-worker deques with the same
+/// steal-back-half discipline as the batch pool; a panicking task is
+/// isolated (counted, worker survives).
+pub struct TaskQueue {
+    inner: std::sync::Arc<QueueInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for TaskQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TaskQueue(queued: {}, running: {})",
+            self.queued(),
+            self.running()
+        )
+    }
+}
+
+impl TaskQueue {
+    /// Spawns `workers` (at least one) idle worker threads.
+    pub fn start(workers: usize) -> TaskQueue {
+        let workers = workers.max(1);
+        let inner = std::sync::Arc::new(QueueInner {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            gate: Mutex::new(()),
+            wake: std::sync::Condvar::new(),
+            stop: std::sync::atomic::AtomicBool::new(false),
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            next: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let inner = std::sync::Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("taskq-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn task-queue worker")
+            })
+            .collect();
+        TaskQueue {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues one task (round-robin). Pushed after shutdown began the
+    /// task is silently dropped with the rest of the backlog.
+    pub fn push(&self, task: Task) {
+        let inner = &self.inner;
+        let w = inner.next.fetch_add(1, Ordering::Relaxed) % inner.queues.len();
+        let _gate = inner.gate.lock().expect("task queue gate poisoned");
+        inner.queues[w]
+            .lock()
+            .expect("task queue deque poisoned")
+            .push_back(task);
+        inner.queued.fetch_add(1, Ordering::SeqCst);
+        inner.wake.notify_all();
+    }
+
+    /// Tasks enqueued but not yet picked up.
+    pub fn queued(&self) -> usize {
+        self.inner.queued.load(Ordering::SeqCst)
+    }
+
+    /// Tasks currently executing on a worker.
+    pub fn running(&self) -> usize {
+        self.inner.running.load(Ordering::SeqCst)
+    }
+
+    /// Tasks that panicked (isolated; their worker kept serving).
+    pub fn task_panics(&self) -> u64 {
+        self.inner.panics.load(Ordering::SeqCst)
+    }
+
+    /// Successful steal batches since start.
+    pub fn steals(&self) -> u64 {
+        self.inner.steals.load(Ordering::SeqCst)
+    }
+
+    /// Stops the workers and joins them: tasks already *running* finish
+    /// normally, tasks still queued are dropped. Returns how many were
+    /// dropped. Idempotent — a second call returns 0.
+    pub fn shutdown(&self) -> usize {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        {
+            let _gate = self.inner.gate.lock().expect("task queue gate poisoned");
+            self.inner.wake.notify_all();
+        }
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("task queue worker list poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut dropped = 0;
+        for q in &self.inner.queues {
+            dropped += q
+                .lock()
+                .expect("task queue deque poisoned")
+                .drain(..)
+                .count();
+        }
+        self.inner.queued.fetch_sub(dropped, Ordering::SeqCst);
+        dropped
+    }
+}
+
+fn worker_loop(inner: &QueueInner, w: usize) {
+    loop {
+        // Check stop *before* popping: shutdown drops the backlog (and
+        // reports it) instead of racing the join to drain it.
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match pop_or_steal(&inner.queues, w, &inner.steals) {
+            Some(task) => {
+                inner.queued.fetch_sub(1, Ordering::SeqCst);
+                inner.running.fetch_add(1, Ordering::SeqCst);
+                // Isolate panics: one poisoned cell must not take the
+                // worker (and eventually the whole queue) down with it.
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                if res.is_err() {
+                    inner.panics.fetch_add(1, Ordering::SeqCst);
+                }
+                inner.running.fetch_sub(1, Ordering::SeqCst);
+                LIVE.tasks_done.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                let gate = inner.gate.lock().expect("task queue gate poisoned");
+                if inner.queued.load(Ordering::SeqCst) == 0 && !inner.stop.load(Ordering::SeqCst) {
+                    // Bounded wait: a steal-eligible task can appear
+                    // without a notify reaching us (requeued batches),
+                    // so wake periodically regardless.
+                    let _ = inner
+                        .wake
+                        .wait_timeout(gate, std::time::Duration::from_millis(50));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,5 +450,121 @@ mod tests {
         for (i, c) in counters.iter().enumerate() {
             assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
         }
+    }
+
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn wait_until(deadline_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(deadline_ms) {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn task_queue_runs_every_pushed_task_exactly_once() {
+        let q = TaskQueue::start(4);
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..64).map(|_| AtomicUsize::new(0)).collect());
+        for i in 0..64 {
+            let counters = Arc::clone(&counters);
+            q.push(Box::new(move || {
+                counters[i].fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(
+            wait_until(5000, || counters
+                .iter()
+                .all(|c| c.load(Ordering::SeqCst) == 1)),
+            "all 64 tasks ran exactly once: {:?}",
+            counters
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(q.queued(), 0);
+        assert_eq!(q.shutdown(), 0, "nothing left to drop");
+    }
+
+    #[test]
+    fn task_queue_isolates_panicking_tasks() {
+        let q = TaskQueue::start(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        q.push(Box::new(|| panic!("injected task panic")));
+        let d = Arc::clone(&done);
+        q.push(Box::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(
+            wait_until(5000, || done.load(Ordering::SeqCst) == 1),
+            "the worker survived the panic and ran the next task"
+        );
+        assert!(wait_until(5000, || q.task_panics() == 1));
+        q.shutdown();
+    }
+
+    #[test]
+    fn task_queue_shutdown_finishes_running_and_drops_queued() {
+        // One worker: a slow task occupies it while the backlog piles
+        // up behind; shutdown must finish the running task and report
+        // the rest dropped.
+        let q = TaskQueue::start(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            let gate = Arc::clone(&gate);
+            q.push(Box::new(move || {
+                gate.store(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(100));
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(
+            wait_until(5000, || gate.load(Ordering::SeqCst) == 1),
+            "slow task started"
+        );
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            q.push(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let dropped = q.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "in-flight task finished");
+        assert_eq!(dropped, 8, "backlog dropped, not run");
+        assert_eq!(q.queued(), 0);
+        assert_eq!(q.running(), 0);
+        assert_eq!(q.shutdown(), 0, "shutdown is idempotent");
+    }
+
+    #[test]
+    fn task_queue_workers_steal_a_backlog() {
+        // Two workers, round-robin push: pin worker 0 with a slow task,
+        // then push enough quick tasks that some land on its deque;
+        // worker 1 must steal them rather than idle.
+        let q = TaskQueue::start(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..32 {
+            let done = Arc::clone(&done);
+            q.push(Box::new(move || {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(80));
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(
+            wait_until(5000, || done.load(Ordering::SeqCst) == 32),
+            "all tasks completed: {}",
+            done.load(Ordering::SeqCst)
+        );
+        assert!(q.steals() >= 1, "expected at least one steal");
+        q.shutdown();
     }
 }

@@ -12,7 +12,8 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use ccnuma_sim::stats::RunStats;
 use ccnuma_sim::time::Ns;
@@ -343,14 +344,51 @@ impl CellRecord {
     }
 }
 
-/// The open store: previously completed records (read at load) plus an
-/// append handle shared by the worker threads.
+/// Statistics of one [`Store::compact`] pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records kept (one per distinct key).
+    pub kept: usize,
+    /// Superseded records dropped (older lines for a re-written key).
+    pub superseded_dropped: usize,
+    /// Torn or unparsable lines dropped.
+    pub torn_dropped: usize,
+    /// File size before the rewrite, bytes.
+    pub bytes_before: u64,
+    /// File size after the rewrite, bytes.
+    pub bytes_after: u64,
+}
+
+/// A point-in-time summary of the store, cheap enough to poll from a
+/// metrics scrape.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct records in the live index.
+    pub records: usize,
+    /// Current file size, bytes (includes superseded lines until the
+    /// next [`Store::compact`]).
+    pub bytes: u64,
+    /// Lines dropped at load (torn tail or foreign garbage).
+    pub dropped_lines: usize,
+    /// Records superseded since load or the last compaction: older
+    /// lines for keys that were appended again, i.e. how many lines a
+    /// compaction would evict.
+    pub superseded: usize,
+}
+
+/// The open store: a live in-memory index over [`RunKey`] hashes (built
+/// at load, kept current by [`Store::append`]) plus an append handle
+/// shared by the worker threads.
+///
+/// [`RunKey`]: crate::key::RunKey
 #[derive(Debug)]
 pub struct Store {
     path: PathBuf,
-    records: HashMap<String, CellRecord>,
+    records: RwLock<HashMap<String, CellRecord>>,
     /// Lines dropped at load: a torn trailing write or foreign garbage.
     pub dropped_lines: usize,
+    /// Superseded lines accumulated since load or the last compaction.
+    superseded: AtomicUsize,
     file: Mutex<File>,
 }
 
@@ -371,6 +409,7 @@ impl Store {
     pub fn open(path: &Path, resume: bool) -> std::io::Result<Store> {
         let mut records = HashMap::new();
         let mut dropped = 0;
+        let mut superseded = 0;
         // Byte length to cut the file back to before the first append:
         // a torn trailing line must be physically removed, or the next
         // appended record would be concatenated onto the fragment and
@@ -388,7 +427,11 @@ impl Store {
                         }
                         match CellRecord::parse_line(line) {
                             Ok(rec) => {
-                                records.insert(rec.key.clone(), rec);
+                                // Last record wins; the shadowed line
+                                // stays in the file until a compaction.
+                                if records.insert(rec.key.clone(), rec).is_some() {
+                                    superseded += 1;
+                                }
                             }
                             Err(_) => dropped += 1,
                         }
@@ -418,8 +461,9 @@ impl Store {
         }
         Ok(Store {
             path: path.to_path_buf(),
-            records,
+            records: RwLock::new(records),
             dropped_lines: dropped,
+            superseded: AtomicUsize::new(superseded),
             file: Mutex::new(file),
         })
     }
@@ -429,19 +473,27 @@ impl Store {
         &self.path
     }
 
-    /// The record cached for `key_hex`, if any.
-    pub fn get(&self, key_hex: &str) -> Option<&CellRecord> {
-        self.records.get(key_hex)
+    /// The record indexed for `key_hex`, if any. Returns a clone so the
+    /// index lock is never held across caller work.
+    pub fn get(&self, key_hex: &str) -> Option<CellRecord> {
+        self.records
+            .read()
+            .expect("store index lock poisoned")
+            .get(key_hex)
+            .cloned()
     }
 
-    /// Number of complete records loaded.
+    /// Number of distinct records in the live index.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.records
+            .read()
+            .expect("store index lock poisoned")
+            .len()
     }
 
-    /// Whether no records were loaded.
+    /// Whether the index holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
     /// Appends one record: a single `write_all` of the full line plus
@@ -461,9 +513,124 @@ impl Store {
         let mut f = self.file.lock().expect("store append lock poisoned");
         f.write_all(line.as_bytes())?;
         f.flush()?;
-        LIVE_BYTES_APPENDED.fetch_add(line.len() as u64, std::sync::atomic::Ordering::Relaxed);
-        LIVE_RECORDS_APPENDED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // The file write committed; keep the live index current so a
+        // long-running server answers for this key without reloading.
+        // Lock order is always file → records (compact and stats agree).
+        if self
+            .records
+            .write()
+            .expect("store index lock poisoned")
+            .insert(rec.key.clone(), rec.clone())
+            .is_some()
+        {
+            self.superseded.fetch_add(1, Ordering::Relaxed);
+        }
+        LIVE_BYTES_APPENDED.fetch_add(line.len() as u64, Ordering::Relaxed);
+        LIVE_RECORDS_APPENDED.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Rewrites the JSONL file keeping exactly one line per key — the
+    /// newest — and dropping torn or foreign lines, then atomically
+    /// replaces the original (write temp in the same directory, fsync,
+    /// rename). Appends are blocked for the duration; the append handle
+    /// is re-opened on the new file so later appends land there and not
+    /// on the unlinked inode.
+    ///
+    /// Kept records preserve the file order of their first occurrence,
+    /// so compacting an already-compact store is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error reading, writing, or renaming; the original file is
+    /// untouched unless the rename succeeded.
+    pub fn compact(&self) -> std::io::Result<CompactStats> {
+        let mut file = self.file.lock().expect("store append lock poisoned");
+        let content = match std::fs::read_to_string(&self.path) {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let bytes_before = content.len() as u64;
+        // Re-parse the file rather than dumping the index: the file is
+        // the source of truth, and this pass also counts what it evicts.
+        let mut order: Vec<String> = Vec::new();
+        let mut latest: HashMap<String, CellRecord> = HashMap::new();
+        let mut superseded_dropped = 0;
+        let mut torn_dropped = 0;
+        // `lines()` also yields a torn trailing fragment (no `\n`);
+        // it fails to parse and is dropped, like interior garbage.
+        for line in content.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match CellRecord::parse_line(line) {
+                Ok(rec) => {
+                    let key = rec.key.clone();
+                    if latest.insert(key.clone(), rec).is_some() {
+                        superseded_dropped += 1;
+                    } else {
+                        order.push(key);
+                    }
+                }
+                Err(_) => torn_dropped += 1,
+            }
+        }
+        let mut body = String::with_capacity(content.len());
+        for key in &order {
+            body.push_str(&latest[key].to_json_line());
+            body.push('\n');
+        }
+        // Temp file in the same directory so the rename cannot cross a
+        // filesystem boundary (rename is only atomic within one).
+        let tmp = self.path.with_extension("compact.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(body.as_bytes())?;
+            out.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        *file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        *self.records.write().expect("store index lock poisoned") = latest;
+        self.superseded.store(0, Ordering::Relaxed);
+        Ok(CompactStats {
+            kept: order.len(),
+            superseded_dropped,
+            torn_dropped,
+            bytes_before,
+            bytes_after: body.len() as u64,
+        })
+    }
+
+    /// Current store statistics: index size, file bytes, and eviction
+    /// counters (how much a [`Store::compact`] would reclaim).
+    pub fn stats(&self) -> StoreStats {
+        let bytes = {
+            let f = self.file.lock().expect("store append lock poisoned");
+            f.metadata().map(|m| m.len()).unwrap_or(0)
+        };
+        StoreStats {
+            records: self.len(),
+            bytes,
+            dropped_lines: self.dropped_lines,
+            superseded: self.superseded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Forces the appended records to stable storage (`fsync`); the
+    /// daemon calls this once on graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error syncing the file.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.file
+            .lock()
+            .expect("store append lock poisoned")
+            .sync_all()
     }
 }
 
@@ -576,8 +743,8 @@ mod tests {
         let store = Store::open(&path, true).unwrap();
         assert_eq!(store.dropped_lines, 0, "no torn fragment left behind");
         assert_eq!(store.len(), 2);
-        assert_eq!(store.get("aaa"), Some(&record("aaa", CellStatus::Ok)));
-        assert_eq!(store.get("bbb"), Some(&record("bbb", CellStatus::Ok)));
+        assert_eq!(store.get("aaa"), Some(record("aaa", CellStatus::Ok)));
+        assert_eq!(store.get("bbb"), Some(record("bbb", CellStatus::Ok)));
     }
 
     #[test]
@@ -595,6 +762,113 @@ mod tests {
         r.wall_ns = 0;
         assert_eq!(r.speedup(), 0.0);
         assert_eq!(record("k", CellStatus::Ok).speedup(), 3.0);
+    }
+
+    fn temp_store_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ccnuma-sweep-store-test-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.jsonl");
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn compact_keeps_one_record_per_key_and_drops_torn_lines() {
+        let path = temp_store_path("compact");
+        // Build a dirty file by hand: a superseded "aaa" (appended
+        // twice, second wins), interior garbage, and a torn tail.
+        let mut body = String::new();
+        let mut stale = record("aaa", CellStatus::Panicked);
+        stale.attempts = 9;
+        body.push_str(&stale.to_json_line());
+        body.push('\n');
+        body.push_str(&record("bbb", CellStatus::Ok).to_json_line());
+        body.push('\n');
+        body.push_str("not json at all\n");
+        body.push_str(&record("aaa", CellStatus::Ok).to_json_line());
+        body.push('\n');
+        let torn = record("ccc", CellStatus::Ok).to_json_line();
+        body.push_str(&torn[..torn.len() / 2]); // no newline: torn write
+        std::fs::write(&path, &body).unwrap();
+
+        let store = Store::open(&path, true).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dropped_lines, 2, "garbage line + torn tail");
+        assert_eq!(store.stats().superseded, 1, "older aaa line is shadowed");
+
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.kept, 2);
+        assert_eq!(stats.superseded_dropped, 1);
+        // The torn tail was already truncated away at open; compaction
+        // only finds the interior garbage line.
+        assert_eq!(stats.torn_dropped, 1);
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "compaction reclaims bytes: {stats:?}"
+        );
+        assert_eq!(store.stats().superseded, 0, "eviction debt cleared");
+        // The last-written record won, in the index and on disk.
+        assert_eq!(store.get("aaa"), Some(record("aaa", CellStatus::Ok)));
+        drop(store);
+
+        // Reload: clean file, identical records, nothing dropped.
+        let reloaded = Store::open(&path, true).unwrap();
+        assert_eq!(reloaded.dropped_lines, 0);
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get("aaa"), Some(record("aaa", CellStatus::Ok)));
+        assert_eq!(reloaded.get("bbb"), Some(record("bbb", CellStatus::Ok)));
+
+        // Compacting an already-compact store is byte-identical (stable
+        // record order), and the temp file never lingers.
+        let before = std::fs::read_to_string(&path).unwrap();
+        let stats = reloaded.compact().unwrap();
+        assert_eq!(stats.superseded_dropped + stats.torn_dropped, 0);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        assert!(
+            !path.with_extension("compact.tmp").exists(),
+            "temp file is renamed away, not left behind"
+        );
+    }
+
+    #[test]
+    fn appends_after_compact_land_in_the_new_file() {
+        // The rename unlinks the old inode; if the append handle were
+        // not re-opened, later appends would vanish with it.
+        let path = temp_store_path("compact-append");
+        let store = Store::open(&path, false).unwrap();
+        store.append(&record("aaa", CellStatus::Failed)).unwrap();
+        store.append(&record("aaa", CellStatus::Ok)).unwrap();
+        assert_eq!(store.stats().superseded, 1);
+        let stats = store.compact().unwrap();
+        assert_eq!((stats.kept, stats.superseded_dropped), (1, 1));
+        store.append(&record("bbb", CellStatus::Ok)).unwrap();
+        assert_eq!(store.len(), 2);
+        drop(store);
+
+        let reloaded = Store::open(&path, true).unwrap();
+        assert_eq!(reloaded.len(), 2, "post-compact append persisted");
+        assert_eq!(reloaded.get("aaa"), Some(record("aaa", CellStatus::Ok)));
+        assert_eq!(reloaded.get("bbb"), Some(record("bbb", CellStatus::Ok)));
+    }
+
+    #[test]
+    fn append_keeps_the_live_index_current() {
+        let path = temp_store_path("live-index");
+        let store = Store::open(&path, false).unwrap();
+        assert_eq!(store.get("aaa"), None);
+        store.append(&record("aaa", CellStatus::Ok)).unwrap();
+        assert_eq!(
+            store.get("aaa"),
+            Some(record("aaa", CellStatus::Ok)),
+            "get answers from the index without a reload"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.records, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.superseded, 0);
     }
 
     #[test]
