@@ -138,18 +138,27 @@
 //!
 //! bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]
 //!                [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]
+//!                [--schedules <n>] [--seed-base <s>]
 //!
 //! sanitize            run the matrix through the happens-before sanitizer
 //!                     and gate on its findings: exit 1 if any cell has
-//!                     races, lock cycles, or lints (or is quarantined)
+//!                     races, lock cycles, or lints; exit 2 if any cell
+//!                     is quarantined or lost its report (infrastructure,
+//!                     not verdict)
 //!   key=value ...     matrix DSL, appended to the default
 //!                     `scale=quick procs=1,4,16`; `sanitize=on` is forced
+//! --schedules <n>     run every cell under n seeded schedule
+//!                     perturbations (seeds base..base+n-1; DSL
+//!                     `schedules=n`); findings are deduplicated across
+//!                     seeds and reported with the seeds exposing them
+//! --seed-base <s>     first schedule seed (default 1; DSL `sched-seed=s`)
 //! --out <file>        write a findings JSON document (counts per cell
 //!                     plus every full report) to <file>
 //!                     (other flags as for sweep)
 //!
 //! exit status: 0 clean; 1 quarantined cells, drift, or sanitizer
-//! findings; 2 usage or a --require-cached miss.
+//! findings (sanitize: findings only); 2 usage, a --require-cached miss,
+//! or sanitize infrastructure failures (quarantined / missing reports).
 //! ```
 
 use std::path::PathBuf;
@@ -158,7 +167,7 @@ use std::time::Duration;
 use ccnuma_sweep::matrix::MatrixSpec;
 use ccnuma_sweep::{sweep, SweepConfig};
 use ccnuma_telemetry::hub::{Hub, HubConfig};
-use study_bench::{critpath, live, perf, regress};
+use study_bench::{critpath, live, perf, regress, schedsan};
 
 const DEFAULT_BASELINE: &str = "BENCH_attrib.json";
 const DEFAULT_PERF_BASELINE: &str = "BENCH_engine.json";
@@ -191,7 +200,8 @@ fn usage(code: i32) -> ! {
     eprintln!("       bench submit --server <host:port> [key=value ...] [--wait] [--poll-ms <n>]");
     eprintln!(
         "       bench sanitize [key=value ...] [--jobs <n>] [--store <file>] [--resume]\n\
-         \x20                  [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]"
+         \x20                  [--retries <n>] [--timeout-s <s>] [--out <file>] [--quiet]\n\
+         \x20                  [--schedules <n>] [--seed-base <s>]"
     );
     eprintln!(
         "       bench top (--addr <host:port> | --log <file>) [--watch] [--json]\n\
@@ -865,6 +875,8 @@ fn cmd_sanitize(args: &[String]) -> ! {
         ..Default::default()
     };
     let mut out_path: Option<PathBuf> = None;
+    let mut schedules: Option<u32> = None;
+    let mut seed_base: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -886,6 +898,14 @@ fn cmd_sanitize(args: &[String]) -> ! {
                 Some(f) => out_path = Some(PathBuf::from(f)),
                 None => usage(2),
             },
+            "--schedules" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) if n >= 1 => schedules = Some(n),
+                _ => usage(2),
+            },
+            "--seed-base" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => seed_base = Some(s),
+                _ => usage(2),
+            },
             "--quiet" => cfg.progress = false,
             "--help" | "-h" => usage(0),
             other if other.starts_with("--") => {
@@ -897,9 +917,16 @@ fn cmd_sanitize(args: &[String]) -> ! {
     }
 
     // Defaults first so the user's tokens override them; `sanitize=on`
-    // last so it cannot be turned off — a clean exit must mean the
-    // sanitizer actually looked.
-    let dsl = format!("scale=quick procs=1,4,16 {} sanitize=on", dsl.join(" "));
+    // (and the schedule flags, which are just DSL spellings) last so
+    // they cannot be turned off — a clean exit must mean the sanitizer
+    // actually looked at what was asked for.
+    let mut dsl = format!("scale=quick procs=1,4,16 {} sanitize=on", dsl.join(" "));
+    if let Some(n) = schedules {
+        dsl.push_str(&format!(" schedules={n}"));
+    }
+    if let Some(s) = seed_base {
+        dsl.push_str(&format!(" sched-seed={s}"));
+    }
     let matrix = match MatrixSpec::parse(&dsl) {
         Ok(m) => m,
         Err(e) => {
@@ -930,26 +957,33 @@ fn cmd_sanitize(args: &[String]) -> ! {
     // Per-cell verdicts. A missing count on an ok cell cannot happen
     // (sanitize=on is part of the run key), but if it ever does it must
     // read as a failure, not a silent pass.
-    let mut rows = Vec::new();
-    let mut dirty = 0usize;
     let mut missing = 0usize;
     for rec in &out.records {
-        let counts = match rec.sanitize {
-            Some(c) => c,
-            None => {
-                if rec.status == ccnuma_sweep::store::CellStatus::Ok {
-                    eprintln!("[sanitize] {}: ok cell carries no report", rec.label);
-                    missing += 1;
-                }
-                continue;
-            }
-        };
-        if counts.iter().sum::<u64>() > 0 {
-            dirty += 1;
+        if rec.sanitize.is_none() && rec.status == ccnuma_sweep::store::CellStatus::Ok {
+            eprintln!("[sanitize] {}: ok cell carries no report", rec.label);
+            missing += 1;
         }
-        rows.push((rec.app.clone(), rec.version.clone(), rec.nprocs, counts));
     }
-    println!("{}", scaling_study::report::sanitize_table(&rows));
+
+    // Fold the schedule-seed axis: one row per base cell, findings
+    // deduplicated across seeds with the seeds that exposed them.
+    let seeded = matrix.schedules > 0 || matrix.sched_seed.is_some();
+    let seed_rows = schedsan::seed_rows(&out.records);
+    let dirty = seed_rows
+        .iter()
+        .filter(|r| r.seeds_with_findings > 0)
+        .count();
+    if seeded {
+        println!("{}", schedsan::seed_table(&seed_rows));
+    } else {
+        let mut rows = Vec::new();
+        for rec in &out.records {
+            if let Some(counts) = rec.sanitize {
+                rows.push((rec.app.clone(), rec.version.clone(), rec.nprocs, counts));
+            }
+        }
+        println!("{}", scaling_study::report::sanitize_table(&rows));
+    }
 
     if let Some(path) = &out_path {
         if let Err(e) = std::fs::write(path, findings_json(&dsl, &out)) {
@@ -962,21 +996,50 @@ fn cmd_sanitize(args: &[String]) -> ! {
         );
     }
 
-    for (label, rep) in &out.sanitizes {
-        if !rep.is_clean() {
-            eprintln!("[sanitize] {label}: {}", rep.summary());
-            for r in &rep.races {
-                eprintln!(
-                    "  race on {:#x}+{}: {} vs {}",
-                    r.addr, r.bytes, r.prior, r.current
-                );
-            }
-            for c in &rep.lock_cycles {
-                eprintln!("  lock cycle: {:?}", c.locks);
-            }
-            for l in &rep.lints {
-                eprintln!("  {}: {}", l.kind.name(), l.message);
-            }
+    let fmt_seeds = |seeds: &[Option<u64>]| {
+        seeds
+            .iter()
+            .map(|s| s.map_or("default".into(), |s| s.to_string()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    for g in schedsan::group(&out.sanitizes) {
+        if g.is_clean() {
+            continue;
+        }
+        let [r, c, l] = g.counts();
+        eprintln!(
+            "[sanitize] {}: {r} race(s), {c} lock cycle(s), {l} lint(s) \
+             across {} of {} schedule(s)",
+            g.label,
+            g.seeds_with_findings().len(),
+            g.seeds_run.len(),
+        );
+        for f in &g.races {
+            let r = &f.finding;
+            eprintln!(
+                "  race on {:#x}+{}: {} vs {} [seeds {}]",
+                r.addr,
+                r.bytes,
+                r.prior,
+                r.current,
+                fmt_seeds(&f.seeds)
+            );
+        }
+        for f in &g.cycles {
+            eprintln!(
+                "  lock cycle: {:?} [seeds {}]",
+                f.finding.locks,
+                fmt_seeds(&f.seeds)
+            );
+        }
+        for f in &g.lints {
+            eprintln!(
+                "  {}: {} [seeds {}]",
+                f.finding.kind.name(),
+                f.finding.message,
+                fmt_seeds(&f.seeds)
+            );
         }
     }
     if !out.quarantined.is_empty() {
@@ -984,14 +1047,33 @@ fn cmd_sanitize(args: &[String]) -> ! {
             eprintln!("[sanitize] quarantined: {label}");
         }
     }
-    if dirty > 0 || missing > 0 || !out.quarantined.is_empty() {
+    // Infrastructure failures (a cell that never produced a verdict)
+    // exit 2; sanitizer findings — a real verdict — exit 1. Infra wins
+    // when both happen: the finding list is incomplete.
+    if missing > 0 || !out.quarantined.is_empty() {
         eprintln!(
-            "[sanitize] FAIL: {dirty} cell(s) with findings, {missing} missing report(s), {} quarantined",
+            "[sanitize] FAIL (infrastructure): {missing} missing report(s), {} quarantined \
+             ({dirty} cell(s) with findings so far)",
             out.quarantined.len()
         );
+        std::process::exit(2);
+    }
+    if dirty > 0 {
+        eprintln!("[sanitize] FAIL: {dirty} cell(s) with findings");
         std::process::exit(1);
     }
-    eprintln!("[sanitize] OK: {} cell(s) race-free", out.records.len());
+    eprintln!(
+        "[sanitize] OK: {} cell(s) race-free{}",
+        seed_rows.len(),
+        if seeded {
+            format!(
+                " across {} schedule run(s)",
+                seed_rows.iter().map(|r| r.seeds_run).sum::<usize>()
+            )
+        } else {
+            String::new()
+        }
+    );
     std::process::exit(0);
 }
 

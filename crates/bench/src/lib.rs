@@ -11,6 +11,8 @@
 //! (`bench perf --check` gates CI on `BENCH_engine.json`).
 //! [`daemon`] is the sweep-as-a-service front end (`bench serve` runs a
 //! `ccnuma-sweepd` daemon, `bench submit` is its client).
+//! [`schedsan`] folds the schedule-seed axis of `bench sanitize
+//! --schedules N` back into per-cell deduplicated findings.
 
 #![warn(missing_docs)]
 
@@ -21,3 +23,4 @@ pub mod live;
 pub mod perf;
 pub mod probes;
 pub mod regress;
+pub mod schedsan;

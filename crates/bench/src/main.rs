@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--csv] [--trace <out.json>] [--out <dir>]
-//!                   [--attrib <dir>]
+//!                   [--attrib <dir>] [--sanitize] [--schedule-seed <s>]
 //!
 //! experiments:
 //!   table1 table2 fig2 fig3 fig4 fig5-8 fig9 fig10 table3
@@ -21,6 +21,12 @@
 //!                  sanitizer; findings are summarized on stderr and, with
 //!                  --out, written to sanitize-findings.json in the
 //!                  manifest
+//! --schedule-seed <s>  perturb every parallel run's schedule with seed s
+//!                  (seeded tie-breaks, lock-grant and semaphore-wake
+//!                  order); the same seed replays the same interleaving
+//!                  bit-for-bit, so a finding from `bench sanitize
+//!                  --schedules N` can be re-examined here. Sequential
+//!                  baselines stay unperturbed
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -38,6 +44,7 @@ struct Opts {
     out: Option<PathBuf>,
     attrib: Option<PathBuf>,
     sanitize: bool,
+    schedule_seed: Option<u64>,
 }
 
 /// Turns a table title into a safe file stem, e.g.
@@ -101,6 +108,7 @@ fn run_one(
     if opts.sanitize {
         runner.set_sanitize(true);
     }
+    runner.set_schedule_seed(opts.schedule_seed);
     let tables: Vec<Table> = figures::run_experiment(name, &mut runner, scale)
         .ok_or_else(|| format!("unknown experiment {name:?} (try --help)"))??;
     emit_tables(&tables, opts, emitted)?;
@@ -124,7 +132,7 @@ fn run_one(
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>] [--attrib <dir>] [--sanitize]"
+        "usage: repro <experiment>... [--quick] [--csv] [--trace <out.json>] [--out <dir>] [--attrib <dir>] [--sanitize] [--schedule-seed <s>]"
     );
     eprintln!("experiments: {} all", figures::EXPERIMENT_NAMES.join(" "));
     std::process::exit(code);
@@ -138,6 +146,7 @@ fn parse_opts(args: &[String]) -> (Opts, Vec<String>) {
         out: None,
         attrib: None,
         sanitize: false,
+        schedule_seed: None,
     };
     let mut names = Vec::new();
     let mut it = args.iter();
@@ -167,6 +176,13 @@ fn parse_opts(args: &[String]) -> (Opts, Vec<String>) {
                 }
             },
             "--sanitize" => opts.sanitize = true,
+            "--schedule-seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => opts.schedule_seed = Some(s),
+                _ => {
+                    eprintln!("error: --schedule-seed needs an integer seed");
+                    usage(2);
+                }
+            },
             "--help" | "-h" => usage(0),
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other:?}");

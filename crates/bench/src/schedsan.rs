@@ -1,0 +1,438 @@
+//! Cross-schedule deduplication of sanitizer findings.
+//!
+//! `bench sanitize --schedules N` runs every matrix cell under N seeded
+//! schedule perturbations (plus, conceptually, the default schedule the
+//! performance sweeps use). Each perturbed run is its own sweep cell —
+//! label `fft/orig/4p@s3`, its own run key, its own [`SanitizeReport`]
+//! — but to a human the N runs are *one experiment*: "does any schedule
+//! of this cell expose a finding, and which seed do I replay to see
+//! it?"
+//!
+//! This module folds the seed axis back down:
+//!
+//! - [`group`] collects the per-seed reports of each base cell and
+//!   dedupes findings on **stable keys** that identify the underlying
+//!   defect rather than the run that happened to catch it — a race is
+//!   keyed by `(granule, access kinds, proc pair, phases)`, a lock
+//!   cycle by its (already sorted) lock set, a lint by `(kind,
+//!   message)`. The same bug caught by three seeds is one finding with
+//!   three exposing seeds.
+//! - [`seed_rows`] summarizes the stored per-cell counts into the
+//!   `seeds-run / seeds-with-findings / first-seed` table, covering
+//!   cached cells (which carry counts but no full report).
+//!
+//! Ordering everywhere is deterministic: groups sort by base label,
+//! findings by key, seeds ascending with the default (seedless)
+//! schedule first — so output is bit-identical for any `--jobs`.
+
+use ccnuma_sim::sanitize::{LintFinding, LockCycleFinding, RaceFinding, SanitizeReport};
+use ccnuma_sweep::matrix::CellSpec;
+use ccnuma_sweep::store::CellRecord;
+
+/// One sanitizer finding, deduplicated across the schedule seeds of a
+/// cell, with the seeds that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupFinding<F> {
+    /// A representative instance (from the first exposing seed).
+    pub finding: F,
+    /// Seeds whose schedule exposed the finding, ascending; `None` is
+    /// the default (unperturbed) schedule.
+    pub seeds: Vec<Option<u64>>,
+}
+
+impl<F> DedupFinding<F> {
+    /// The first (lowest) exposing seed — the one to replay.
+    pub fn first_seed(&self) -> Option<u64> {
+        self.seeds.first().copied().flatten()
+    }
+}
+
+/// All findings of one base cell, folded across its schedule seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleGroup {
+    /// Base cell label, seed suffix stripped (`fft/orig/4p`).
+    pub label: String,
+    /// Every seed a report was collected for, ascending, default first.
+    pub seeds_run: Vec<Option<u64>>,
+    /// Deduplicated races, sorted by stable key.
+    pub races: Vec<DedupFinding<RaceFinding>>,
+    /// Deduplicated lock-order cycles, sorted by lock set.
+    pub cycles: Vec<DedupFinding<LockCycleFinding>>,
+    /// Deduplicated lints, sorted by `(kind, message)`.
+    pub lints: Vec<DedupFinding<LintFinding>>,
+}
+
+impl ScheduleGroup {
+    /// Deduplicated finding counts `[races, cycles, lints]`.
+    pub fn counts(&self) -> [u64; 3] {
+        [
+            self.races.len() as u64,
+            self.cycles.len() as u64,
+            self.lints.len() as u64,
+        ]
+    }
+
+    /// Whether no schedule of this cell exposed anything.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && self.cycles.is_empty() && self.lints.is_empty()
+    }
+
+    /// Seeds that exposed at least one finding, ascending.
+    pub fn seeds_with_findings(&self) -> Vec<Option<u64>> {
+        let mut seeds: Vec<Option<u64>> = self
+            .races
+            .iter()
+            .flat_map(|f| f.seeds.iter().copied())
+            .chain(self.cycles.iter().flat_map(|f| f.seeds.iter().copied()))
+            .chain(self.lints.iter().flat_map(|f| f.seeds.iter().copied()))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    }
+
+    /// The first exposing seed of any finding, if one exists. The outer
+    /// `Option` is "were there findings at all"; the inner is `None`
+    /// when the *default* schedule already exposes one.
+    pub fn first_seed(&self) -> Option<Option<u64>> {
+        self.seeds_with_findings().first().copied()
+    }
+}
+
+/// The stable identity of a race: `(granule address, granule bytes,
+/// canonically ordered endpoints)`, each endpoint reduced to
+/// `(proc, is_write, phase)`.
+pub type RaceKey = (u64, u64, Vec<(usize, bool, String)>);
+
+/// Computes the [`RaceKey`] of a finding: the granule, and both
+/// endpoints reduced to `(proc, is_write, phase)` in canonical order.
+/// Two seeds that catch the same unordered access pair — possibly with
+/// prior and current swapped, because the perturbed schedule reversed
+/// which ran first — map to one key.
+pub fn race_key(r: &RaceFinding) -> RaceKey {
+    let mut ends = vec![
+        (r.prior.proc, r.prior.is_write, r.prior.phase.clone()),
+        (r.current.proc, r.current.is_write, r.current.phase.clone()),
+    ];
+    ends.sort();
+    (r.addr, r.bytes, ends)
+}
+
+/// Folds label-sorted `(label, report)` pairs — the
+/// [`SweepOutcome::sanitizes`](ccnuma_sweep::SweepOutcome) shape — into
+/// one [`ScheduleGroup`] per base cell, sorted by base label.
+pub fn group(reports: &[(String, SanitizeReport)]) -> Vec<ScheduleGroup> {
+    use std::collections::BTreeMap;
+    // Key types are Ord, so BTreeMaps give the sorted dedup for free.
+    type Seeds = Vec<Option<u64>>;
+    #[derive(Default)]
+    struct Acc {
+        seeds_run: Seeds,
+        races: BTreeMap<RaceKey, (RaceFinding, Seeds)>,
+        cycles: BTreeMap<Vec<usize>, (LockCycleFinding, Seeds)>,
+        lints: BTreeMap<(&'static str, String), (LintFinding, Seeds)>,
+    }
+    let mut by_base: BTreeMap<String, Acc> = BTreeMap::new();
+    for (label, rep) in reports {
+        let (base, seed) = CellSpec::split_label(label);
+        let acc = by_base.entry(base.to_string()).or_default();
+        acc.seeds_run.push(seed);
+        for r in &rep.races {
+            let e = acc
+                .races
+                .entry(race_key(r))
+                .or_insert_with(|| (r.clone(), Vec::new()));
+            e.1.push(seed);
+        }
+        for c in &rep.lock_cycles {
+            let e = acc
+                .cycles
+                .entry(c.locks.clone())
+                .or_insert_with(|| (c.clone(), Vec::new()));
+            e.1.push(seed);
+        }
+        for l in &rep.lints {
+            let e = acc
+                .lints
+                .entry((l.kind.name(), l.message.clone()))
+                .or_insert_with(|| (l.clone(), Vec::new()));
+            e.1.push(seed);
+        }
+    }
+    let finish = |mut seeds: Seeds| {
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    };
+    by_base
+        .into_iter()
+        .map(|(label, acc)| ScheduleGroup {
+            label,
+            seeds_run: finish(acc.seeds_run),
+            races: acc
+                .races
+                .into_values()
+                .map(|(finding, seeds)| DedupFinding {
+                    finding,
+                    seeds: finish(seeds),
+                })
+                .collect(),
+            cycles: acc
+                .cycles
+                .into_values()
+                .map(|(finding, seeds)| DedupFinding {
+                    finding,
+                    seeds: finish(seeds),
+                })
+                .collect(),
+            lints: acc
+                .lints
+                .into_values()
+                .map(|(finding, seeds)| DedupFinding {
+                    finding,
+                    seeds: finish(seeds),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// One row of the per-cell seed summary table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedRow {
+    /// Base cell label.
+    pub label: String,
+    /// Schedules run (the default schedule counts as one).
+    pub seeds_run: usize,
+    /// Schedules with at least one finding (by stored counts — covers
+    /// cached cells, which carry no full report).
+    pub seeds_with_findings: usize,
+    /// First exposing seed: `Some(None)` = the default schedule,
+    /// `Some(Some(s))` = seed `s`, `None` = clean everywhere.
+    pub first_seed: Option<Option<u64>>,
+    /// Sum of stored `[races, cycles, lints]` counts across seeds
+    /// (pre-dedup; the deduped counts need full reports).
+    pub counts: [u64; 3],
+}
+
+impl SeedRow {
+    /// `first_seed` for humans: `-` clean, `default`, or the number.
+    pub fn first_seed_str(&self) -> String {
+        match self.first_seed {
+            None => "-".into(),
+            Some(None) => "default".into(),
+            Some(Some(s)) => s.to_string(),
+        }
+    }
+}
+
+/// Summarizes stored cell records into per-base-cell seed rows, sorted
+/// by base label. Records without sanitizer counts (quarantined cells)
+/// are skipped — the caller reports those separately.
+pub fn seed_rows(records: &[CellRecord]) -> Vec<SeedRow> {
+    use std::collections::BTreeMap;
+    type SeedCounts = Vec<(Option<u64>, [u64; 3])>;
+    let mut by_base: BTreeMap<String, SeedCounts> = BTreeMap::new();
+    for rec in records {
+        if let Some(counts) = rec.sanitize {
+            let (base, seed) = CellSpec::split_label(&rec.label);
+            by_base
+                .entry(base.to_string())
+                .or_default()
+                .push((seed, counts));
+        }
+    }
+    by_base
+        .into_iter()
+        .map(|(label, mut seeds)| {
+            seeds.sort_unstable();
+            seeds.dedup();
+            let dirty: Vec<&(Option<u64>, [u64; 3])> = seeds
+                .iter()
+                .filter(|(_, c)| c.iter().sum::<u64>() > 0)
+                .collect();
+            let mut counts = [0u64; 3];
+            for (_, c) in &seeds {
+                for (t, v) in counts.iter_mut().zip(c) {
+                    *t += v;
+                }
+            }
+            SeedRow {
+                label,
+                seeds_run: seeds.len(),
+                seeds_with_findings: dirty.len(),
+                first_seed: dirty.first().map(|(s, _)| *s),
+                counts,
+            }
+        })
+        .collect()
+}
+
+/// Renders the seed summary as an aligned text table.
+pub fn seed_table(rows: &[SeedRow]) -> String {
+    let mut w = rows.iter().map(|r| r.label.len()).max().unwrap_or(4);
+    w = w.max("cell".len());
+    let mut s = format!(
+        "{:<w$}  seeds-run  seeds-with-findings  first-seed\n",
+        "cell"
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<w$}  {:>9}  {:>19}  {:>10}\n",
+            r.label,
+            r.seeds_run,
+            r.seeds_with_findings,
+            r.first_seed_str(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccnuma_sim::sanitize::{AccessInfo, LintKind, SanitizeGranularity};
+
+    fn access(proc: usize, is_write: bool, phase: &str) -> AccessInfo {
+        AccessInfo {
+            proc,
+            phase: phase.into(),
+            addr: 0x1000,
+            bytes: 8,
+            is_write,
+            locks: vec![],
+        }
+    }
+
+    fn race(prior: AccessInfo, current: AccessInfo) -> RaceFinding {
+        RaceFinding {
+            addr: 0x1000,
+            bytes: 8,
+            prior,
+            current,
+        }
+    }
+
+    fn report(races: Vec<RaceFinding>) -> SanitizeReport {
+        SanitizeReport {
+            granularity: SanitizeGranularity::Word,
+            races,
+            lock_cycles: vec![],
+            lints: vec![],
+        }
+    }
+
+    #[test]
+    fn race_key_is_endpoint_order_independent() {
+        let a = race(access(0, true, "p"), access(1, false, "p"));
+        let b = race(access(1, false, "p"), access(0, true, "p"));
+        assert_eq!(race_key(&a), race_key(&b));
+        let c = race(access(0, true, "q"), access(1, false, "p"));
+        assert_ne!(race_key(&a), race_key(&c), "phase is part of the key");
+        let d = race(access(2, true, "p"), access(1, false, "p"));
+        assert_ne!(race_key(&a), race_key(&d), "proc pair is part of the key");
+    }
+
+    #[test]
+    fn group_dedupes_the_same_race_across_seeds() {
+        let r = race(access(0, true, "p"), access(1, false, "p"));
+        let swapped = race(access(1, false, "p"), access(0, true, "p"));
+        let reports = vec![
+            ("fft/orig/4p@s1".to_string(), report(vec![])),
+            ("fft/orig/4p@s2".to_string(), report(vec![r.clone()])),
+            ("fft/orig/4p@s3".to_string(), report(vec![swapped])),
+            ("fft/orig/4p".to_string(), report(vec![])),
+            ("ocean/orig/4p@s1".to_string(), report(vec![])),
+        ];
+        let groups = group(&reports);
+        assert_eq!(groups.len(), 2);
+        let g = &groups[0];
+        assert_eq!(g.label, "fft/orig/4p");
+        assert_eq!(g.seeds_run, [None, Some(1), Some(2), Some(3)]);
+        assert_eq!(g.counts(), [1, 0, 0], "one race, not two");
+        assert_eq!(g.races[0].seeds, [Some(2), Some(3)]);
+        assert_eq!(g.races[0].first_seed(), Some(2));
+        assert_eq!(g.seeds_with_findings(), [Some(2), Some(3)]);
+        assert_eq!(g.first_seed(), Some(Some(2)));
+        assert!(groups[1].is_clean());
+        assert_eq!(groups[1].first_seed(), None);
+    }
+
+    #[test]
+    fn group_dedupes_cycles_and_lints() {
+        let mut a = report(vec![]);
+        a.lock_cycles.push(LockCycleFinding { locks: vec![0, 1] });
+        a.lints.push(LintFinding {
+            kind: LintKind::BarrierDivergence,
+            message: "m".into(),
+        });
+        let mut b = a.clone();
+        b.lock_cycles.push(LockCycleFinding { locks: vec![2, 3] });
+        let reports = vec![("c/v/2p@s1".to_string(), a), ("c/v/2p@s2".to_string(), b)];
+        let g = &group(&reports)[0];
+        assert_eq!(g.counts(), [0, 2, 1]);
+        assert_eq!(g.cycles[0].seeds, [Some(1), Some(2)]);
+        assert_eq!(g.cycles[1].seeds, [Some(2)]);
+        assert_eq!(g.lints[0].seeds, [Some(1), Some(2)]);
+        // Default schedule sorts before every numbered seed.
+        assert_eq!(g.first_seed(), Some(Some(1)));
+    }
+
+    fn rec(label: &str, sanitize: Option<[u64; 3]>) -> CellRecord {
+        CellRecord {
+            key: label.to_string(),
+            label: label.to_string(),
+            app: "a".into(),
+            version: "v".into(),
+            problem: String::new(),
+            nprocs: 2,
+            scale: "quick".into(),
+            status: ccnuma_sweep::store::CellStatus::Ok,
+            attempts: 1,
+            host_ms: 0,
+            wall_ns: 0,
+            seq_ns: 0,
+            busy_ns: 0,
+            mem_ns: 0,
+            sync_ns: 0,
+            misses: 0,
+            events: 0,
+            causes: [0; 5],
+            sanitize,
+            critpath: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn seed_rows_summarize_counts_per_base_cell() {
+        let records = vec![
+            rec("a/v/2p@s1", Some([0, 0, 0])),
+            rec("a/v/2p@s2", Some([1, 0, 0])),
+            rec("a/v/2p@s3", Some([1, 0, 1])),
+            rec("b/v/2p", Some([0, 0, 0])),
+            rec("c/v/2p", None), // quarantined: skipped
+        ];
+        let rows = seed_rows(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "a/v/2p");
+        assert_eq!(rows[0].seeds_run, 3);
+        assert_eq!(rows[0].seeds_with_findings, 2);
+        assert_eq!(rows[0].first_seed, Some(Some(2)));
+        assert_eq!(rows[0].first_seed_str(), "2");
+        assert_eq!(rows[0].counts, [2, 0, 1]);
+        assert_eq!(rows[1].label, "b/v/2p");
+        assert_eq!(rows[1].seeds_with_findings, 0);
+        assert_eq!(rows[1].first_seed_str(), "-");
+        let table = seed_table(&rows);
+        assert!(table.contains("seeds-with-findings"));
+        assert!(table.contains("a/v/2p"));
+    }
+
+    #[test]
+    fn default_schedule_finding_reads_as_default() {
+        let rows = seed_rows(&[rec("a/v/2p", Some([1, 0, 0]))]);
+        assert_eq!(rows[0].first_seed, Some(None));
+        assert_eq!(rows[0].first_seed_str(), "default");
+    }
+}

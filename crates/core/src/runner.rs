@@ -103,6 +103,9 @@ pub struct Runner {
     /// run's [`CritReport`] is collected in `critpaths`.
     critpath: bool,
     critpaths: Vec<(String, CritReport)>,
+    /// When set, parallel runs execute under the seeded schedule
+    /// perturbation; sequential baselines always stay unperturbed.
+    schedule_seed: Option<u64>,
 }
 
 impl Runner {
@@ -119,6 +122,7 @@ impl Runner {
             sanitizes: Vec::new(),
             critpath: false,
             critpaths: Vec::new(),
+            schedule_seed: None,
         }
     }
 
@@ -208,6 +212,21 @@ impl Runner {
         std::mem::take(&mut self.critpaths)
     }
 
+    /// Sets (or, with `None`, clears) the schedule-perturbation seed.
+    /// While set, every parallel run executes under
+    /// [`ScheduleConfig::random`](ccnuma_sim::schedule::ScheduleConfig::random)
+    /// with this seed — a different but bit-reproducible interleaving.
+    /// Sequential baselines are never perturbed: speedups stay measured
+    /// against the one unperturbed denominator.
+    pub fn set_schedule_seed(&mut self, seed: Option<u64>) {
+        self.schedule_seed = seed;
+    }
+
+    /// The schedule-perturbation seed currently applied to parallel runs.
+    pub fn schedule_seed(&self) -> Option<u64> {
+        self.schedule_seed
+    }
+
     /// The default scaled machine configuration for `nprocs` processors.
     pub fn machine_for(&self, nprocs: usize) -> MachineConfig {
         MachineConfig::origin2000_scaled(nprocs, self.cache_bytes)
@@ -253,6 +272,9 @@ impl Runner {
         }
         if self.critpath {
             cfg.critpath = true;
+        }
+        if let Some(seed) = self.schedule_seed {
+            cfg.schedule = Some(ccnuma_sim::schedule::ScheduleConfig::random(seed));
         }
         let (wall_ns, mut stats) = Self::execute(workload, cfg.clone())?;
         let label = format!("{}/{}/{}p", workload.name(), workload.problem(), cfg.nprocs);
@@ -307,6 +329,9 @@ impl Runner {
         let mut seq_cfg = cfg.clone();
         seq_cfg.nprocs = 1;
         seq_cfg.mapping = ccnuma_sim::mapping::ProcessMapping::Linear;
+        // The baseline is the unperturbed denominator: one cached run
+        // shared by every schedule seed of the cell.
+        seq_cfg.schedule = None;
         let (ns, _) = Self::execute(workload, seq_cfg)?;
         self.baselines.insert(key, ns);
         Ok(ns)

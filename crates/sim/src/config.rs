@@ -11,6 +11,7 @@ use crate::error::ConfigError;
 use crate::latency::LatencyProfile;
 use crate::mapping::ProcessMapping;
 use crate::sanitize::SanitizeConfig;
+use crate::schedule::ScheduleConfig;
 use crate::time::Ns;
 use crate::topology::TopologyKind;
 use crate::trace::TraceConfig;
@@ -234,6 +235,12 @@ pub struct MachineConfig {
     /// what the longest path is made of, plus what-if speedup projections.
     /// Observer-passive: never changes simulated timing or statistics.
     pub critpath: bool,
+    /// Seeded schedule perturbation (off by default; see
+    /// [`crate::schedule`]). Unlike the observational knobs above, a set
+    /// schedule *changes* the run's results — it joins
+    /// [`MachineConfig::stable_fields`], but only when set, so existing
+    /// fingerprints stay valid.
+    pub schedule: Option<ScheduleConfig>,
 }
 
 impl MachineConfig {
@@ -262,6 +269,7 @@ impl MachineConfig {
             sanitize: SanitizeConfig::default(),
             profile: false,
             critpath: false,
+            schedule: None,
         }
     }
 
@@ -320,6 +328,7 @@ impl MachineConfig {
             sanitize: SanitizeConfig::default(),
             profile: false,
             critpath: false,
+            schedule: None,
         }
     }
 
@@ -351,7 +360,9 @@ impl MachineConfig {
     /// placement/migration, synchronization primitives, prefetch, miss
     /// classification (it adds counters to the stats), and the cost model.
     /// Tracing, sanitizing, host profiling and critical-path profiling
-    /// are excluded — they observe a run without perturbing it.
+    /// are excluded — they observe a run without perturbing it. A set
+    /// [`MachineConfig::schedule`] *is* included (it changes results),
+    /// but only when set, so unset-schedule fingerprints are unchanged.
     pub fn stable_fields(&self) -> Vec<(String, String)> {
         let l = &self.latency;
         let mut kv: Vec<(String, String)> = vec![
@@ -409,6 +420,11 @@ impl MachineConfig {
             ("cost.int_op_ns".into(), self.cost.int_op_ns.to_string()),
             ("cost.step_ns".into(), self.cost.step_ns.to_string()),
         ];
+        // Only when set: an unset schedule contributes nothing, so every
+        // fingerprint computed before the field existed stays valid.
+        if let Some(s) = &self.schedule {
+            kv.push(("schedule".into(), format!("{s:?}")));
+        }
         kv.sort();
         kv
     }
@@ -566,6 +582,17 @@ mod tests {
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
         b.critpath = true;
         assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+        // Schedule perturbation changes results: it must change the
+        // fingerprint, and different seeds/modes must differ.
+        let mut s1 = MachineConfig::origin2000(8);
+        s1.schedule = Some(crate::schedule::ScheduleConfig::random(1));
+        let mut s2 = MachineConfig::origin2000(8);
+        s2.schedule = Some(crate::schedule::ScheduleConfig::random(2));
+        let mut s3 = MachineConfig::origin2000(8);
+        s3.schedule = Some(crate::schedule::ScheduleConfig::pct(1, 8));
+        assert_ne!(a.stable_fingerprint(), s1.stable_fingerprint());
+        assert_ne!(s1.stable_fingerprint(), s2.stable_fingerprint());
+        assert_ne!(s1.stable_fingerprint(), s3.stable_fingerprint());
         // Anything that changes results must change the fingerprint.
         for (i, mutate) in [
             (&|c: &mut MachineConfig| c.nprocs = 16) as &dyn Fn(&mut MachineConfig),
@@ -603,6 +630,16 @@ mod tests {
         h.update(b"hello");
         assert_eq!(h.finish(), 0xa430_d846_80aa_bd0b);
         assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn unset_schedule_keeps_the_historical_fingerprint() {
+        // Pinned from before the `schedule` field existed: an unset
+        // schedule must hash to the exact fingerprint older stores hold.
+        assert_eq!(
+            MachineConfig::origin2000(8).stable_fingerprint(),
+            "6970d5c91ddd77d5"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::prof::{self, Region};
 use crate::profile::Profiler;
 use crate::proto::{MemOp, OpKind, Reply, Request};
 use crate::sanitize::Sanitizer;
+use crate::schedule::Perturber;
 use crate::stats::{PhaseBreakdown, PhaseStats, ProcStats, RunStats};
 use crate::sync::{BarrierState, LockState, SemState};
 use crate::time::Ns;
@@ -82,6 +83,11 @@ pub(crate) struct Engine {
     /// Critical-path collector, when `cfg.critpath` is set. Purely
     /// observational, like the sanitizer: never consulted for timing.
     critpath: Option<Box<CritCollector>>,
+    /// Seeded schedule perturber, when `cfg.schedule` is set. All its
+    /// decisions happen here on the coordinator thread, in deterministic
+    /// event order, so a seed replays bit-identically; when `None` every
+    /// choice point takes its original code path unchanged.
+    sched: Option<Box<Perturber>>,
     /// Buffered deltas for the process-wide live counters
     /// ([`crate::live::LIVE`]); write-only from the engine's side.
     live: LiveDelta,
@@ -102,6 +108,7 @@ impl Engine {
     ) -> Self {
         let n = cfg.nprocs;
         let nlocks = sync.locks.len();
+        let sched = cfg.schedule.map(|sc| Box::new(Perturber::new(sc, n)));
         Engine {
             log2p: (n.max(2) as u32).next_power_of_two().trailing_zeros(),
             cfg,
@@ -129,6 +136,7 @@ impl Engine {
             lock_hold_start: vec![0; nlocks],
             sanitizer,
             critpath,
+            sched,
             live: LiveDelta::default(),
         }
     }
@@ -173,7 +181,30 @@ impl Engine {
                 (None, _) => false,
             };
             if can_pop {
-                let Reverse((t, p)) = self.heap.pop().expect("peeked");
+                let Reverse((t, mut p)) = self.heap.pop().expect("peeked");
+                if let Some(sched) = self.sched.as_deref_mut() {
+                    // Same-virtual-time ties otherwise resolve lowest-pid
+                    // first; let the perturber pick among the tied
+                    // processors instead. Entries pushed *while* handling
+                    // this event can still land at time t — they contend
+                    // at the next pop, exactly as under the default order.
+                    if matches!(self.heap.peek(), Some(&Reverse((t2, _))) if t2 == t) {
+                        let mut tied = vec![p];
+                        while let Some(&Reverse((t2, q))) = self.heap.peek() {
+                            if t2 != t {
+                                break;
+                            }
+                            self.heap.pop();
+                            tied.push(q);
+                        }
+                        let i = sched.pick_tied(&tied);
+                        p = tied.swap_remove(i);
+                        for q in tied {
+                            self.heap.push(Reverse((t, q)));
+                        }
+                    }
+                    sched.tick();
+                }
                 // Popped times are nondecreasing, so this drives the
                 // gauge sampling clock forward monotonically.
                 self.sample_gauges(t);
@@ -613,7 +644,17 @@ impl Engine {
                         id as u32,
                     );
                 }
-                if let Some((w, arrived)) = self.sync.locks[id].release(p) {
+                // Grant order is the perturber's lock choice point: with a
+                // schedule set and several waiters queued, a seeded pick
+                // replaces the FIFO (ticket-order) handoff.
+                let granted = match self.sched.as_deref_mut() {
+                    Some(sched) if self.sync.locks[id].queue.len() > 1 => {
+                        let idx = sched.pick_waiter(&self.sync.locks[id].queue);
+                        self.sync.locks[id].release_nth(p, idx)
+                    }
+                    _ => self.sync.locks[id].release(p),
+                };
+                if let Some((w, arrived)) = granted {
                     // The release can complete before the waiter's acquire
                     // attempt has (they overlap in virtual time); the grant
                     // happens at whichever is later.
@@ -666,6 +707,12 @@ impl Engine {
                     let release_t = arrivals.iter().map(|&(_, a)| a).max().unwrap_or(t);
                     let first_t = arrivals.iter().map(|&(_, a)| a).min().unwrap_or(t);
                     arrivals.sort_unstable();
+                    // The wake sweep below serializes the woken processors'
+                    // wake-up accesses through the memory system, so its
+                    // order is a scheduling choice point: perturb it.
+                    if let Some(sched) = self.sched.as_deref_mut() {
+                        sched.shuffle(&mut arrivals);
+                    }
                     if let Some(cp) = self.critpath.as_deref_mut() {
                         // One episode over *all* arrivals (the what-if
                         // replay re-evaluates which is latest), then a wait
@@ -771,7 +818,12 @@ impl Engine {
                 self.charge_sync_op(p, cost);
                 let t = self.procs[p].clock;
                 let mut post_boundary = None;
-                for (w, arrived) in self.sync.sems[id].post(n) {
+                // Wake order is the perturber's semaphore choice point.
+                let woken = match self.sched.as_deref_mut() {
+                    Some(sched) => self.sync.sems[id].post_with(n, |q| sched.pick_waiter(q)),
+                    None => self.sync.sems[id].post(n),
+                };
+                for (w, arrived) in woken {
                     if let Some(s) = self.sanitizer.as_deref_mut() {
                         s.sem_acquire(w, id);
                     }

@@ -37,6 +37,9 @@
 //! * **Critical path** — happens-before critical-path extraction with
 //!   exact per-phase attribution and what-if speedup projection
 //!   ([`critpath`]), behind the observer-passive `critpath` knob.
+//! * **Schedule exploration** — seeded, deterministic perturbation of the
+//!   engine's scheduling choice points ([`schedule`]), turning the
+//!   one-schedule sanitizer into a schedule-space explorer.
 //!
 //! Applications are ordinary Rust closures run on one OS thread per
 //! simulated processor; they compute *real, verifiable results* on data in
@@ -107,6 +110,7 @@ pub mod page;
 pub mod prof;
 pub mod profile;
 pub mod sanitize;
+pub mod schedule;
 pub mod shared;
 pub mod stats;
 pub mod sync;
@@ -131,6 +135,7 @@ pub mod prelude {
     pub use crate::machine::{Machine, Placement};
     pub use crate::mapping::ProcessMapping;
     pub use crate::sanitize::{SanitizeConfig, SanitizeGranularity, SanitizeReport};
+    pub use crate::schedule::{ScheduleConfig, ScheduleMode};
     pub use crate::shared::SharedVec;
     pub use crate::stats::{PhaseBreakdown, PhaseStats, ProcStats, RunStats};
     pub use crate::sync::{BarrierRef, FetchCellRef, LockRef, SemRef};

@@ -83,6 +83,30 @@ impl LockState {
             }
         }
     }
+
+    /// Releases the lock granting the waiter at queue index `idx` instead
+    /// of the FIFO head — the schedule perturber's grant-order choice
+    /// point ([`crate::schedule`]). Semantically equivalent to
+    /// [`LockState::release`] for `idx == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not the holder or `idx` is out of range.
+    pub fn release_nth(&mut self, p: usize, idx: usize) -> Option<(usize, Ns)> {
+        assert_eq!(self.holder, Some(p), "unlock by non-holder {p}");
+        match self.queue.remove(idx) {
+            Some((next, arrived)) => {
+                self.holder = Some(next);
+                self.acquires += 1;
+                Some((next, arrived))
+            }
+            None => {
+                assert!(self.queue.is_empty(), "grant index {idx} out of range");
+                self.holder = None;
+                None
+            }
+        }
+    }
 }
 
 /// Barrier state: arrivals accumulate until all participants are present.
@@ -164,6 +188,26 @@ impl SemState {
         }
         woken
     }
+
+    /// Adds `n` permits, waking waiters chosen by `choose` (an index into
+    /// the current queue) instead of FIFO order — the schedule
+    /// perturber's semaphore choice point ([`crate::schedule`]).
+    /// `choose = |_| 0` is equivalent to [`SemState::post`].
+    pub fn post_with(
+        &mut self,
+        n: u32,
+        mut choose: impl FnMut(&VecDeque<(usize, Ns)>) -> usize,
+    ) -> Vec<(usize, Ns)> {
+        self.count += i64::from(n);
+        let mut woken = Vec::new();
+        while self.count > 0 && !self.waiters.is_empty() {
+            let idx = choose(&self.waiters);
+            let w = self.waiters.remove(idx).expect("chosen index in range");
+            self.count -= 1;
+            woken.push(w);
+        }
+        woken
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +248,36 @@ mod tests {
     }
 
     #[test]
+    fn lock_release_nth_grants_out_of_order() {
+        let mut l = LockState::new(0);
+        assert!(l.acquire_or_enqueue(0, 10));
+        assert!(!l.acquire_or_enqueue(1, 20));
+        assert!(!l.acquire_or_enqueue(2, 30));
+        // Grant the *second* waiter first; the skipped one stays queued.
+        assert_eq!(l.release_nth(0, 1), Some((2, 30)));
+        assert_eq!(l.queue.len(), 1);
+        assert_eq!(l.release_nth(2, 0), Some((1, 20)));
+        assert_eq!(l.release_nth(1, 0), None);
+        assert_eq!(l.acquires, 3);
+        assert_eq!(l.holder, None);
+    }
+
+    #[test]
+    fn lock_release_nth_index_zero_matches_release() {
+        let mk = || {
+            let mut l = LockState::new(0);
+            l.acquire_or_enqueue(0, 1);
+            l.acquire_or_enqueue(1, 2);
+            l.acquire_or_enqueue(2, 3);
+            l
+        };
+        let (mut a, mut b) = (mk(), mk());
+        assert_eq!(a.release(0), b.release_nth(0, 0));
+        assert_eq!(a.queue, b.queue);
+        assert_eq!(a.holder, b.holder);
+    }
+
+    #[test]
     fn semaphore_counts_and_wakes_fifo() {
         let mut s = SemState::new(0, 1);
         assert!(s.wait_or_enqueue(0, 1));
@@ -213,5 +287,23 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.post(1), vec![]);
         assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn semaphore_post_with_wakes_chosen_waiters() {
+        let mut s = SemState::new(0, 0);
+        assert!(!s.wait_or_enqueue(0, 1));
+        assert!(!s.wait_or_enqueue(1, 2));
+        assert!(!s.wait_or_enqueue(2, 3));
+        // Wake back-of-queue first, then the (new) back again.
+        let woken = s.post_with(2, |q| q.len() - 1);
+        assert_eq!(woken, vec![(2, 3), (1, 2)]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.waiters.len(), 1);
+        // The head-index chooser behaves exactly like `post`.
+        assert_eq!(s.post_with(1, |_| 0), vec![(0, 1)]);
+        // Permits beyond the queue accumulate, as with `post`.
+        assert_eq!(s.post_with(2, |_| 0), vec![]);
+        assert_eq!(s.count, 2);
     }
 }

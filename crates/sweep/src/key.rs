@@ -41,16 +41,22 @@ pub struct RunKey {
     /// Whether critical-path profiling was enabled (it adds a path
     /// summary to the stored record, so it is part of the identity).
     pub critpath: bool,
+    /// The schedule-perturbation seed, when the cell explores a perturbed
+    /// interleaving. Seed-labeled keys keep schedule-exploration records
+    /// from ever colliding with performance cells (the machine
+    /// fingerprint also differs, but the explicit field makes the
+    /// identity self-describing in stored key dumps).
+    pub sched_seed: Option<u64>,
 }
 
 impl RunKey {
     /// The key's fields as `(name, value)` pairs, in declaration order.
     /// [`RunKey::hash_hex`] sorts them, so this order is cosmetic.
     ///
-    /// `sanitize` and `critpath` are included only when set: a `false`
-    /// value hashes to the exact key each field's introduction found on
-    /// disk, so stores written before these observers existed stay
-    /// valid.
+    /// `sanitize`, `critpath` and `sched_seed` are included only when
+    /// set: a `false`/`None` value hashes to the exact key each field's
+    /// introduction found on disk, so stores written before these
+    /// features existed stay valid.
     pub fn fields(&self) -> Vec<(String, String)> {
         let mut fields = vec![
             ("app".into(), self.app.clone()),
@@ -67,6 +73,9 @@ impl RunKey {
         }
         if self.critpath {
             fields.push(("critpath".into(), "true".into()));
+        }
+        if let Some(s) = self.sched_seed {
+            fields.push(("sched_seed".into(), s.to_string()));
         }
         fields
     }

@@ -67,6 +67,13 @@ pub struct MatrixSpec {
     /// Run the critical-path profiler over every cell and carry its
     /// path summary through the stored records.
     pub critpath: bool,
+    /// Schedule-space exploration: expand every cell into this many
+    /// seeded schedule-perturbation runs (`0` = unperturbed). Seeds run
+    /// `base..base+N` where `base` is [`MatrixSpec::sched_seed`] or 1.
+    pub schedules: u32,
+    /// A fixed schedule-perturbation seed: replay one interleaving
+    /// (when [`MatrixSpec::schedules`] is 0), or the sweep's base seed.
+    pub sched_seed: Option<u64>,
 }
 
 impl Default for MatrixSpec {
@@ -81,6 +88,8 @@ impl Default for MatrixSpec {
             trace: false,
             sanitize: false,
             critpath: false,
+            schedules: 0,
+            sched_seed: None,
         }
     }
 }
@@ -178,6 +187,13 @@ impl MatrixSpec {
                 "trace" => spec.trace = parse_bool(v)?,
                 "sanitize" => spec.sanitize = parse_bool(v)?,
                 "critpath" => spec.critpath = parse_bool(v)?,
+                "schedules" => {
+                    spec.schedules = v.parse().map_err(|_| format!("bad schedule count {v:?}"))?
+                }
+                "sched-seed" => {
+                    spec.sched_seed =
+                        Some(v.parse().map_err(|_| format!("bad schedule seed {v:?}"))?)
+                }
                 other => return Err(format!("unknown matrix key {other:?}")),
             }
         }
@@ -210,27 +226,48 @@ impl MatrixSpec {
         }
     }
 
+    /// The schedule-seed axis: `[None]` when unperturbed, one fixed seed
+    /// for replay, or `schedules` consecutive seeds for exploration.
+    pub fn seed_axis(&self) -> Vec<Option<u64>> {
+        if self.schedules > 0 {
+            let base = self.sched_seed.unwrap_or(1);
+            (0..u64::from(self.schedules))
+                .map(|i| Some(base + i))
+                .collect()
+        } else {
+            vec![self.sched_seed]
+        }
+    }
+
     /// Expands the rectangle into concrete cells, in a stable order
-    /// (apps, then versions, then sizes, then processor counts).
+    /// (apps, then versions, then sizes, then processor counts, then
+    /// schedule seeds).
     pub fn cells(&self) -> Vec<CellSpec> {
         let procs = self.proc_axis();
+        let seeds = self.seed_axis();
         let mut out = Vec::new();
+        let mut push = |app: &str, version: String, size, nprocs| {
+            for &sched_seed in &seeds {
+                out.push(CellSpec {
+                    app: app.to_string(),
+                    version: version.clone(),
+                    size,
+                    nprocs,
+                    scale: self.scale,
+                    attrib: self.attrib,
+                    trace: self.trace,
+                    sanitize: self.sanitize,
+                    critpath: self.critpath,
+                    sched_seed,
+                });
+            }
+        };
         for app in &self.apps {
             match self.sizes {
                 SizeSel::Basic => {
                     for version in self.versions_for(app) {
                         for &nprocs in &procs {
-                            out.push(CellSpec {
-                                app: app.clone(),
-                                version: version.clone(),
-                                size: None,
-                                nprocs,
-                                scale: self.scale,
-                                attrib: self.attrib,
-                                trace: self.trace,
-                                sanitize: self.sanitize,
-                                critpath: self.critpath,
-                            });
+                            push(app, version.clone(), None, nprocs);
                         }
                     }
                 }
@@ -238,17 +275,7 @@ impl MatrixSpec {
                     let n = experiments::sweep(app, self.scale).len();
                     for size in 0..n {
                         for &nprocs in &procs {
-                            out.push(CellSpec {
-                                app: app.clone(),
-                                version: ORIGINAL_VERSION.to_string(),
-                                size: Some(size),
-                                nprocs,
-                                scale: self.scale,
-                                attrib: self.attrib,
-                                trace: self.trace,
-                                sanitize: self.sanitize,
-                                critpath: self.critpath,
-                            });
+                            push(app, ORIGINAL_VERSION.to_string(), Some(size), nprocs);
                         }
                     }
                 }
@@ -282,15 +309,36 @@ pub struct CellSpec {
     pub sanitize: bool,
     /// Profile the run's critical path.
     pub critpath: bool,
+    /// Perturb the run's schedule with this seed
+    /// ([`ccnuma_sim::schedule`]); `None` runs the default interleaving.
+    pub sched_seed: Option<u64>,
 }
 
 impl CellSpec {
-    /// Human-readable cell label, e.g. `"fft/orig/4p"` or
-    /// `"ocean/orig[2]/8p"` for the third sweep size.
+    /// Human-readable cell label, e.g. `"fft/orig/4p"`,
+    /// `"ocean/orig[2]/8p"` for the third sweep size, or
+    /// `"fft/orig/4p@s3"` for a seed-3 schedule-perturbation run.
     pub fn label(&self) -> String {
-        match self.size {
+        let base = match self.size {
             None => format!("{}/{}/{}p", self.app, self.version, self.nprocs),
             Some(i) => format!("{}/{}[{i}]/{}p", self.app, self.version, self.nprocs),
+        };
+        match self.sched_seed {
+            None => base,
+            Some(s) => format!("{base}@s{s}"),
+        }
+    }
+
+    /// Splits a cell label into its seedless base and the schedule seed,
+    /// e.g. `"fft/orig/4p@s3"` → `("fft/orig/4p", Some(3))`. The inverse
+    /// of the suffix [`CellSpec::label`] appends.
+    pub fn split_label(label: &str) -> (&str, Option<u64>) {
+        match label.rsplit_once("@s") {
+            Some((base, seed)) => match seed.parse() {
+                Ok(s) => (base, Some(s)),
+                Err(_) => (label, None),
+            },
+            None => (label, None),
         }
     }
 
@@ -313,12 +361,16 @@ impl CellSpec {
 
     /// The machine configuration the cell runs on: the scale's default
     /// scaled Origin2000, with miss classification folded in when
-    /// [`CellSpec::attrib`] is set and tracing when [`CellSpec::trace`].
+    /// [`CellSpec::attrib`] is set, tracing when [`CellSpec::trace`],
+    /// and seeded schedule perturbation when [`CellSpec::sched_seed`].
     pub fn machine(&self) -> MachineConfig {
         let mut cfg = MachineConfig::origin2000_scaled(self.nprocs, self.scale.cache_bytes());
         cfg.classify_misses = self.attrib;
         cfg.sanitize.enabled = self.sanitize;
         cfg.critpath = self.critpath;
+        cfg.schedule = self
+            .sched_seed
+            .map(ccnuma_sim::schedule::ScheduleConfig::random);
         if self.trace {
             cfg.trace = ccnuma_sim::trace::TraceConfig::on();
         }
@@ -346,6 +398,7 @@ impl CellSpec {
             attrib: self.attrib,
             sanitize: self.sanitize,
             critpath: self.critpath,
+            sched_seed: self.sched_seed,
         }
     }
 }
@@ -433,6 +486,7 @@ mod tests {
                 trace: false,
                 sanitize: false,
                 critpath: false,
+                sched_seed: None,
             }
             .key()
             .hash_hex()
@@ -452,6 +506,7 @@ mod tests {
             trace: false,
             sanitize,
             critpath: false,
+            sched_seed: None,
         };
         assert_ne!(mk(false).key().hash_hex(), mk(true).key().hash_hex());
         assert!(mk(true).machine().sanitize.enabled);
@@ -473,6 +528,7 @@ mod tests {
             trace: false,
             sanitize: false,
             critpath,
+            sched_seed: None,
         };
         assert_ne!(mk(false).key().hash_hex(), mk(true).key().hash_hex());
         assert!(mk(true).machine().critpath);
@@ -480,6 +536,68 @@ mod tests {
         let spec = MatrixSpec::parse("apps=fft versions=orig procs=2 critpath=on").unwrap();
         assert!(spec.critpath);
         assert!(spec.cells().iter().all(|c| c.critpath));
+    }
+
+    #[test]
+    fn sched_seed_changes_the_run_key_and_machine() {
+        let mk = |sched_seed| CellSpec {
+            app: "fft".into(),
+            version: "orig".into(),
+            size: None,
+            nprocs: 4,
+            scale: Scale::Quick,
+            attrib: false,
+            trace: false,
+            sanitize: false,
+            critpath: false,
+            sched_seed,
+        };
+        // Unset hashes to the historical key; every seed gets its own.
+        assert_ne!(mk(None).key().hash_hex(), mk(Some(1)).key().hash_hex());
+        assert_ne!(mk(Some(1)).key().hash_hex(), mk(Some(2)).key().hash_hex());
+        assert!(mk(None).machine().schedule.is_none());
+        assert_eq!(
+            mk(Some(7)).machine().schedule,
+            Some(ccnuma_sim::schedule::ScheduleConfig::random(7))
+        );
+        // Seed-labeled cells never collide with performance cells.
+        assert_eq!(mk(Some(3)).label(), "fft/orig/4p@s3");
+        assert_eq!(
+            CellSpec::split_label("fft/orig/4p@s3"),
+            ("fft/orig/4p", Some(3))
+        );
+        assert_eq!(CellSpec::split_label("fft/orig/4p"), ("fft/orig/4p", None));
+        assert_eq!(
+            CellSpec::split_label("ocean/orig[2]/8p@s12"),
+            ("ocean/orig[2]/8p", Some(12))
+        );
+    }
+
+    #[test]
+    fn schedules_axis_expands_seeded_cells() {
+        let spec =
+            MatrixSpec::parse("apps=fft versions=orig procs=4 sanitize=on schedules=3").unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3);
+        let labels: Vec<String> = cells.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            ["fft/orig/4p@s1", "fft/orig/4p@s2", "fft/orig/4p@s3"]
+        );
+        let keys: std::collections::HashSet<String> =
+            cells.iter().map(|c| c.key().hash_hex()).collect();
+        assert_eq!(keys.len(), 3, "every seed is its own store entry");
+
+        // A base seed shifts the seed range; a bare sched-seed replays one.
+        let spec =
+            MatrixSpec::parse("apps=fft versions=orig procs=4 schedules=2 sched-seed=10").unwrap();
+        assert_eq!(spec.seed_axis(), [Some(10), Some(11)]);
+        let spec = MatrixSpec::parse("apps=fft versions=orig procs=4 sched-seed=5").unwrap();
+        assert_eq!(spec.seed_axis(), [Some(5)]);
+        assert_eq!(spec.cells()[0].label(), "fft/orig/4p@s5");
+
+        assert!(MatrixSpec::parse("schedules=x").is_err());
+        assert!(MatrixSpec::parse("sched-seed=").is_err());
     }
 
     #[test]
@@ -495,6 +613,7 @@ mod tests {
                 trace,
                 sanitize: false,
                 critpath: false,
+                sched_seed: None,
             }
             .key()
             .hash_hex()

@@ -224,8 +224,13 @@ impl Executor {
         let mut seq_cfg = spec.machine();
         seq_cfg.nprocs = 1;
         seq_cfg.mapping = ProcessMapping::Linear;
+        // The baseline is the *unperturbed* sequential time: schedule
+        // exploration must compare against the same denominator, and all
+        // seeds of one cell share one cached baseline run.
+        seq_cfg.schedule = None;
         let mut seq_spec = spec.clone();
         seq_spec.nprocs = 1;
+        seq_spec.sched_seed = None;
         let cache_key = format!(
             "{}/{}/{:?}@{}",
             spec.app,
@@ -301,6 +306,7 @@ mod tests {
             trace: false,
             sanitize: false,
             critpath: false,
+            sched_seed: None,
         }
     }
 

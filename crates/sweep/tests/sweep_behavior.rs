@@ -33,6 +33,7 @@ fn golden_run_key_hash_is_pinned() {
         attrib: false,
         sanitize: false,
         critpath: false,
+        sched_seed: None,
     };
     assert_eq!(key.hash_hex(), "ddc0dcc6b56be4f7");
 
@@ -52,6 +53,22 @@ fn golden_run_key_hash_is_pinned() {
     };
     assert_ne!(profiled.hash_hex(), key.hash_hex());
     assert_ne!(profiled.hash_hex(), sanitized.hash_hex());
+
+    // A schedule-perturbation seed is part of the identity the same way:
+    // only when set, and every seed gets its own key.
+    let seeded = RunKey {
+        sched_seed: Some(3),
+        ..key.clone()
+    };
+    assert_ne!(seeded.hash_hex(), key.hash_hex());
+    assert_ne!(
+        seeded.hash_hex(),
+        RunKey {
+            sched_seed: Some(4),
+            ..key.clone()
+        }
+        .hash_hex()
+    );
 
     // And the hash is a function of the field *set*, not field order:
     // hashing the reversed field list gives the same digest.
